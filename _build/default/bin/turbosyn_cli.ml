@@ -1,0 +1,236 @@
+(* Command-line driver for the TurboSYN library.
+
+   Examples:
+     turbosyn_cli list
+     turbosyn_cli stats --workload bbara
+     turbosyn_cli map --workload bbara --algo turbosyn -k 5
+     turbosyn_cli map --input my.blif --algo turbomap --output mapped.blif
+*)
+
+open Cmdliner
+
+let load ~input ~workload =
+  match (input, workload) with
+  | Some path, None -> (
+      match Circuit.Blif.parse_file path with
+      | Ok nl -> Ok nl
+      | Error e -> Error (Printf.sprintf "cannot parse %s: %s" path e))
+  | None, Some name -> (
+      match Workloads.Suite.find name with
+      | Some spec -> Ok (Workloads.Suite.build spec)
+      | None -> Error (Printf.sprintf "unknown workload %s (try `list`)" name))
+  | Some _, Some _ -> Error "give either --input or --workload, not both"
+  | None, None -> Error "give --input FILE or --workload NAME"
+
+let input_arg =
+  Arg.(value & opt (some string) None & info [ "input"; "i" ] ~docv:"FILE"
+         ~doc:"Read the circuit from a BLIF file.")
+
+let workload_arg =
+  Arg.(value & opt (some string) None & info [ "workload"; "w" ] ~docv:"NAME"
+         ~doc:"Use a named benchmark workload (see $(b,list)).")
+
+let k_arg =
+  Arg.(value & opt int 5 & info [ "k" ] ~docv:"K" ~doc:"LUT input count (2-6).")
+
+let algo_conv =
+  Arg.enum
+    [ ("turbosyn", `Turbosyn); ("turbomap", `Turbomap); ("flowsyn-s", `Flowsyn_s) ]
+
+let algo_arg =
+  Arg.(value & opt algo_conv `Turbosyn & info [ "algo"; "a" ] ~docv:"ALGO"
+         ~doc:"Mapping algorithm: $(b,turbosyn), $(b,turbomap) or $(b,flowsyn-s).")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
+         ~doc:"Write the mapped circuit as BLIF.")
+
+let verilog_arg =
+  Arg.(value & opt (some string) None & info [ "verilog" ] ~docv:"FILE"
+         ~doc:"Write the mapped circuit as structural Verilog.")
+
+let verify_arg =
+  Arg.(value & flag & info [ "verify" ]
+         ~doc:"Check the mapped circuit against the source by simulation.")
+
+let no_pld_arg =
+  Arg.(value & flag & info [ "no-pld" ] ~doc:"Disable positive loop detection.")
+
+let no_area_arg =
+  Arg.(value & flag & info [ "no-area" ] ~doc:"Skip area recovery.")
+
+let multi_arg =
+  Arg.(value & flag & info [ "multi" ]
+         ~doc:"Enable two-wire multi-output decomposition (wider search,                more area).")
+
+let exact_arg =
+  Arg.(value & flag & info [ "exact" ]
+         ~doc:"Search clock-period ratios over every denominator up to the                register count (default caps at 24).")
+
+let exit_err msg =
+  Format.eprintf "error: %s@." msg;
+  exit 1
+
+let list_cmd =
+  let run () =
+    Format.printf "%-10s %-10s %6s %4s %4s %4s@." "name" "style" "gates" "ffs"
+      "pis" "pos";
+    List.iter
+      (fun s ->
+        let style =
+          match s.Workloads.Suite.style with
+          | Workloads.Suite.Fsm -> "fsm"
+          | Workloads.Suite.Mixer d -> Printf.sprintf "mixer %.2f" d
+          | Workloads.Suite.Lfsr -> "lfsr"
+          | Workloads.Suite.Counter -> "counter"
+          | Workloads.Suite.Datapath -> "datapath"
+        in
+        Format.printf "%-10s %-10s %6d %4d %4d %4d@." s.Workloads.Suite.name
+          style s.Workloads.Suite.gates s.Workloads.Suite.ffs
+          s.Workloads.Suite.pis s.Workloads.Suite.pos)
+      Workloads.Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the named benchmark workloads.")
+    Term.(const run $ const ())
+
+let stats_cmd =
+  let run input workload =
+    match load ~input ~workload with
+    | Error e -> exit_err e
+    | Ok nl ->
+        Format.printf "%s: %a@." (Circuit.Netlist.name nl)
+          Circuit.Netlist.pp_stats
+          (Circuit.Netlist.stats nl);
+        (match Circuit.Netlist.mdr_ratio nl with
+        | Graphs.Cycle_ratio.Ratio r ->
+            Format.printf "MDR ratio: %a (clock-period bound %d)@." Prelude.Rat.pp
+              r
+              (max 1 (Prelude.Rat.ceil r))
+        | Graphs.Cycle_ratio.No_cycle ->
+            Format.printf "MDR ratio: none (acyclic: fully pipelinable)@."
+        | Graphs.Cycle_ratio.Infinite ->
+            Format.printf "MDR ratio: infinite (combinational loop!)@.");
+        Format.printf "clock period without retiming: %d@."
+          (Retime.Retiming.clock_period nl)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print circuit statistics and the MDR bound.")
+    Term.(const run $ input_arg $ workload_arg)
+
+let map_cmd =
+  let run input workload algo k output verilog verify no_pld no_area multi exact =
+    match load ~input ~workload with
+    | Error e -> exit_err e
+    | Ok nl -> (
+        let options =
+          {
+            (Turbosyn.Synth.default_options ~k ()) with
+            Turbosyn.Synth.pld = not no_pld;
+            area_recovery = not no_area;
+            multi_output = multi;
+            phi_max_den = (if exact then None else Some 24);
+          }
+        in
+        match Turbosyn.Synth.run ~options algo nl with
+        | exception Invalid_argument msg -> exit_err msg
+        | r ->
+            Format.printf "algorithm: %s@."
+              (match r.Turbosyn.Synth.algo with
+              | `Turbosyn -> "TurboSYN"
+              | `Turbomap -> "TurboMap"
+              | `Flowsyn_s -> "FlowSYN-s");
+            Format.printf "phi (min MDR ratio): %s@."
+              (Prelude.Rat.to_string r.Turbosyn.Synth.phi);
+            Format.printf "clock period: %d   pipeline latency: %d@."
+              r.Turbosyn.Synth.clock_period r.Turbosyn.Synth.latency;
+            Format.printf "LUTs: %d (before area recovery: %d)@."
+              r.Turbosyn.Synth.luts r.Turbosyn.Synth.luts_before_area;
+            Format.printf "CPU: %.2fs  probes: %d@." r.Turbosyn.Synth.cpu_seconds
+              r.Turbosyn.Synth.probes;
+            if verify then begin
+              let rng = Prelude.Rng.create 7 in
+              let ok = Sim.Equiv.mapped_equal rng nl r.Turbosyn.Synth.mapped in
+              Format.printf "verification: %s@." (if ok then "PASS" else "FAIL");
+              if not ok then exit 2
+            end;
+            (match output with
+            | Some path ->
+                Circuit.Blif.write_file r.Turbosyn.Synth.mapped path;
+                Format.printf "wrote %s@." path
+            | None -> ());
+            match verilog with
+            | Some path ->
+                Circuit.Verilog.write_file r.Turbosyn.Synth.mapped path;
+                Format.printf "wrote %s@." path
+            | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "map"
+       ~doc:"Map a circuit to K-LUTs minimizing the clock period under \
+             retiming and pipelining.")
+    Term.(
+      const run $ input_arg $ workload_arg $ algo_arg $ k_arg $ output_arg
+      $ verilog_arg $ verify_arg $ no_pld_arg $ no_area_arg $ multi_arg
+      $ exact_arg)
+
+let simulate_cmd =
+  let run input workload cycles seed =
+    match load ~input ~workload with
+    | Error e -> exit_err e
+    | Ok nl ->
+        let rng = Prelude.Rng.create seed in
+        let width = List.length (Circuit.Netlist.pis nl) in
+        let sim = Sim.Simulator.create nl in
+        let bit b = if b then '1' else '0' in
+        Format.printf "cycle  %s  ->  %s@."
+          (String.concat " " (List.map (Circuit.Netlist.node_name nl) (Circuit.Netlist.pis nl)))
+          (String.concat " " (List.map (Circuit.Netlist.node_name nl) (Circuit.Netlist.pos nl)));
+        for t = 0 to cycles - 1 do
+          let inputs = Array.init width (fun _ -> Prelude.Rng.bool rng) in
+          let outs = Sim.Simulator.step sim inputs in
+          Format.printf "%5d  %s  ->  %s@." t
+            (String.init width (fun i -> bit inputs.(i)))
+            (String.init (Array.length outs) (fun i -> bit outs.(i)))
+        done
+  in
+  let cycles_arg =
+    Arg.(value & opt int 16 & info [ "cycles"; "n" ] ~docv:"N"
+           ~doc:"Number of cycles to simulate.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Input stream seed.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate a circuit on a random input stream.")
+    Term.(const run $ input_arg $ workload_arg $ cycles_arg $ seed_arg)
+
+let equiv_cmd =
+  let run file_a file_b mapped =
+    match (Circuit.Blif.parse_file file_a, Circuit.Blif.parse_file file_b) with
+    | Error e, _ | _, Error e -> exit_err e
+    | Ok a, Ok b ->
+        let rng = Prelude.Rng.create 7 in
+        let ok =
+          if mapped then Sim.Equiv.mapped_equal rng a b
+          else Sim.Equiv.io_equal rng a b
+        in
+        Format.printf "%s@." (if ok then "EQUIVALENT" else "DIFFERENT");
+        if not ok then exit 2
+  in
+  let a_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"A.blif") in
+  let b_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"B.blif") in
+  let mapped_arg =
+    Arg.(value & flag & info [ "mapped" ]
+           ~doc:"Use the consistent-initial-state notion (for circuits mapped                  with retiming); node names of B must match signals of A.")
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:"Check two BLIF circuits for sequential equivalence by simulation.")
+    Term.(const run $ a_arg $ b_arg $ mapped_arg)
+
+let () =
+  let doc = "TurboSYN: FPGA synthesis with retiming and pipelining (DAC'97)" in
+  let main =
+    Cmd.group (Cmd.info "turbosyn_cli" ~doc)
+      [ list_cmd; stats_cmd; map_cmd; simulate_cmd; equiv_cmd ]
+  in
+  exit (Cmd.eval main)

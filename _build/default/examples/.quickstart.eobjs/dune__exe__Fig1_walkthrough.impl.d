@@ -1,0 +1,1 @@
+examples/fig1_walkthrough.ml: Array Circuit Format Graphs Logic Netlist Prelude Printf Sim Truthtable Turbosyn

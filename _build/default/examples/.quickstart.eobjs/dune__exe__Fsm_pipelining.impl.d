@@ -1,0 +1,1 @@
+examples/fsm_pipelining.ml: Circuit Format Netlist Option Prelude Retime Turbosyn Workloads

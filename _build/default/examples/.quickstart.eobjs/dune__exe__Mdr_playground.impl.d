@@ -1,0 +1,1 @@
+examples/mdr_playground.ml: Array Circuit Format Graphs Netlist Prelude Retime Workloads

@@ -1,0 +1,1 @@
+examples/mdr_playground.mli:

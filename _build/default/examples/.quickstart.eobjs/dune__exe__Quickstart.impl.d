@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Blif Build Circuit Format Graphs List Logic Netlist Prelude Printf Sim String Turbosyn

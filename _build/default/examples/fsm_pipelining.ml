@@ -1,0 +1,39 @@
+(* Map a generated FSM workload, then realize the minimum clock period by
+   retiming + pipelining, and show the period / latency trade the paper's
+   Problem 1 formalizes: pipelining removes every critical I/O path, so the
+   clock period is set by the loops alone (the MDR ratio).
+
+   Run with: dune exec examples/fsm_pipelining.exe *)
+
+open Circuit
+
+let () =
+  let spec = Option.get (Workloads.Suite.find "bbara") in
+  let nl = Workloads.Suite.build spec in
+  Format.printf "workload %s: %a@." spec.Workloads.Suite.name Netlist.pp_stats
+    (Netlist.stats nl);
+  Format.printf "clock period as-is (no retiming): %d@."
+    (Retime.Retiming.clock_period nl);
+  (* pure retiming on the unmapped circuit *)
+  let p_pure, _ = Retime.Retiming.min_period nl in
+  Format.printf "clock period after pure retiming: %d@." p_pure;
+  (* retiming + pipelining: bounded by the loops only *)
+  let p_pipe, r = Retime.Pipeline.min_period nl in
+  Format.printf "clock period with retiming + pipelining: %d (latency %d)@."
+    p_pipe
+    (Retime.Pipeline.latency nl ~r);
+  (* now map with TurboSYN: the LUT network's loops are shorter, so the
+     bound drops further *)
+  let res = Turbosyn.Synth.run `Turbosyn nl in
+  Format.printf "TurboSYN: phi = %s -> clock period %d with %d LUTs@."
+    (Prelude.Rat.to_string res.Turbosyn.Synth.phi)
+    res.Turbosyn.Synth.clock_period res.Turbosyn.Synth.luts;
+  match res.Turbosyn.Synth.realized with
+  | Some final ->
+      let s = Netlist.stats final in
+      Format.printf
+        "final realized circuit: %d LUTs, %d FFs, period %d, added latency %d@."
+        s.Netlist.n_gates s.Netlist.n_ff
+        (Retime.Retiming.clock_period final)
+        res.Turbosyn.Synth.latency
+  | None -> assert false

@@ -1,0 +1,64 @@
+(* The clock-period bound itself: compute the maximum delay-to-register
+   ratio of a circuit three ways (exact parametric search, Howard's policy
+   iteration, float bisection) and show what retiming/pipelining does with
+   it.
+
+   Run with: dune exec examples/mdr_playground.exe *)
+
+open Circuit
+
+let () =
+  let rng = Prelude.Rng.create 2024 in
+  let nl = Workloads.Generate.mixer rng ~pis:6 ~pos:3 ~gates:150 ~ff_density:0.25 in
+  let s = Netlist.stats nl in
+  Format.printf "circuit: %a@." Netlist.pp_stats s;
+  let n = Netlist.n nl in
+  let edges = Netlist.retiming_edges nl in
+  (* exact *)
+  let exact, t1 = Prelude.Timer.time (fun () -> Graphs.Cycle_ratio.max_ratio ~n ~edges) in
+  (match exact with
+  | Graphs.Cycle_ratio.Ratio r ->
+      Format.printf "exact MDR ratio:    %s   (%.2f ms)@." (Prelude.Rat.to_string r)
+        (t1 *. 1e3)
+  | _ -> Format.printf "no loops@.");
+  (* Howard *)
+  let hw =
+    Array.map
+      (fun e ->
+        {
+          Graphs.Howard.src = e.Graphs.Cycle_ratio.src;
+          dst = e.Graphs.Cycle_ratio.dst;
+          delay = e.Graphs.Cycle_ratio.delay;
+          weight = e.Graphs.Cycle_ratio.weight;
+        })
+      edges
+  in
+  let lam, t2 = Prelude.Timer.time (fun () -> Graphs.Howard.max_ratio ~n ~edges:hw) in
+  (match lam with
+  | Some l -> Format.printf "howard estimate:    %.6f   (%.2f ms)@." l (t2 *. 1e3)
+  | None -> ());
+  (* float bisection *)
+  let fb, t3 =
+    Prelude.Timer.time (fun () ->
+        Graphs.Cycle_ratio.max_ratio_float ~n ~edges ~epsilon:1e-6)
+  in
+  (match fb with
+  | Graphs.Cycle_ratio.Ratio r ->
+      Format.printf "bisection (1e-6):   %.6f   (%.2f ms)@." (Prelude.Rat.to_float r)
+        (t3 *. 1e3)
+  | _ -> ());
+  (* what the bound means: pipelined retiming achieves ceil(MDR) *)
+  match Retime.Pipeline.period_lower_bound nl with
+  | `Period p ->
+      let period, r = Retime.Pipeline.min_period nl in
+      assert (period = p);
+      let r = Retime.Retiming.minimize_ffs nl ~period ~r in
+      let final = Retime.Retiming.apply nl ~r in
+      Format.printf
+        "retimed + pipelined: clock period %d (was %d), %d FFs (was %d), \
+         latency %d@."
+        (Retime.Retiming.clock_period final)
+        (Retime.Retiming.clock_period nl)
+        (Netlist.stats final).Netlist.n_ff s.Netlist.n_ff
+        (Retime.Pipeline.latency nl ~r)
+  | `Infinite -> Format.printf "combinational loop!@."

@@ -1,0 +1,258 @@
+type t = int
+
+(* Node ids 0 and 1 are the terminals.  Internal nodes are stored in growable
+   arrays indexed by id; [level] is the variable index (terminals get
+   [max_int] so the top-variable computation is uniform). *)
+
+type man = {
+  mutable level : int array;
+  mutable low : int array;
+  mutable high : int array;
+  mutable next_id : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  ite_cache : (int * int * int, int) Hashtbl.t;
+  mutable nvars : int;
+}
+
+let initial = 1024
+
+let new_man ?(cache_size = 1 lsl 14) () =
+  let m =
+    {
+      level = Array.make initial max_int;
+      low = Array.make initial 0;
+      high = Array.make initial 0;
+      next_id = 2;
+      unique = Hashtbl.create cache_size;
+      ite_cache = Hashtbl.create cache_size;
+      nvars = 0;
+    }
+  in
+  (* ids 0 (false) and 1 (true) are pre-allocated terminals *)
+  m
+
+let bdd_false _ = 0
+let bdd_true _ = 1
+let of_bool _ b = if b then 1 else 0
+let is_false _ f = f = 0
+let is_true _ f = f = 1
+let is_const _ f = if f = 0 then Some false else if f = 1 then Some true else None
+let equal (a : t) (b : t) = a = b
+let nvars m = m.nvars
+let num_nodes m = m.next_id
+
+let grow m =
+  let n = Array.length m.level in
+  let n' = 2 * n in
+  let copy a fill =
+    let b = Array.make n' fill in
+    Array.blit a 0 b 0 n;
+    b
+  in
+  m.level <- copy m.level max_int;
+  m.low <- copy m.low 0;
+  m.high <- copy m.high 0
+
+let mk m lvl lo hi =
+  if lo = hi then lo
+  else
+    match Hashtbl.find_opt m.unique (lvl, lo, hi) with
+    | Some id -> id
+    | None ->
+        if m.next_id >= Array.length m.level then grow m;
+        let id = m.next_id in
+        m.next_id <- id + 1;
+        m.level.(id) <- lvl;
+        m.low.(id) <- lo;
+        m.high.(id) <- hi;
+        Hashtbl.replace m.unique (lvl, lo, hi) id;
+        id
+
+let var m i =
+  if i < 0 then invalid_arg "Bdd.var: negative index";
+  if i >= m.nvars then m.nvars <- i + 1;
+  mk m i 0 1
+
+let level m f = if f < 2 then max_int else m.level.(f)
+
+(* Shannon cofactors of f with respect to level lvl. *)
+let cof m f lvl =
+  if f < 2 || m.level.(f) > lvl then (f, f) else (m.low.(f), m.high.(f))
+
+let rec ite m f g h =
+  if f = 1 then g
+  else if f = 0 then h
+  else if g = h then g
+  else if g = 1 && h = 0 then f
+  else
+    let key = (f, g, h) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some r -> r
+    | None ->
+        let lvl = min (level m f) (min (level m g) (level m h)) in
+        let f0, f1 = cof m f lvl in
+        let g0, g1 = cof m g lvl in
+        let h0, h1 = cof m h lvl in
+        let lo = ite m f0 g0 h0 in
+        let hi = ite m f1 g1 h1 in
+        let r = mk m lvl lo hi in
+        Hashtbl.replace m.ite_cache key r;
+        r
+
+let neg m f = ite m f 0 1
+let and_ m f g = ite m f g 0
+let or_ m f g = ite m f 1 g
+let xor m f g = ite m f (ite m g 0 1) g
+let xnor m f g = ite m f g (ite m g 0 1)
+let imp m f g = ite m f g 1
+
+let restrict m f i b =
+  (* Substitute a constant for variable i: ite over var i would not work
+     directly, so walk the graph.  Memoized per call. *)
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    if f < 2 || m.level.(f) > i then f
+    else
+      match Hashtbl.find_opt memo f with
+      | Some r -> r
+      | None ->
+          let r =
+            if m.level.(f) = i then if b then m.high.(f) else m.low.(f)
+            else mk m m.level.(f) (go m.low.(f)) (go m.high.(f))
+          in
+          Hashtbl.replace memo f r;
+          r
+  in
+  go f
+
+let restrict_many m f assigns =
+  (* Sort by variable to allow early termination along each path. *)
+  let assigns = List.sort (fun (a, _) (b, _) -> Int.compare a b) assigns in
+  List.fold_left (fun acc (i, b) -> restrict m acc i b) f assigns
+
+let compose m f i g =
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    if f < 2 || m.level.(f) > i then f
+    else
+      match Hashtbl.find_opt memo f with
+      | Some r -> r
+      | None ->
+          let r =
+            if m.level.(f) = i then ite m g m.high.(f) m.low.(f)
+            else
+              (* Levels above i may collide with g's levels after
+                 substitution, so rebuild with ite on the level variable. *)
+              let v = mk m m.level.(f) 0 1 in
+              ite m v (go m.high.(f)) (go m.low.(f))
+          in
+          Hashtbl.replace memo f r;
+          r
+  in
+  go f
+
+let support m f =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go f =
+    if f >= 2 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.replace seen f ();
+      Hashtbl.replace vars m.level.(f) ();
+      go m.low.(f);
+      go m.high.(f)
+    end
+  in
+  go f;
+  List.sort Int.compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let eval m f env =
+  let rec go f =
+    if f = 0 then false
+    else if f = 1 then true
+    else if env m.level.(f) then go m.high.(f)
+    else go m.low.(f)
+  in
+  go f
+
+let sat_count m f n =
+  let memo = Hashtbl.create 64 in
+  (* count over variables [lvl, n) *)
+  let rec go f lvl =
+    if lvl >= n then (if f = 1 then 1 else if f = 0 then 0 else invalid_arg "Bdd.sat_count: support exceeds n")
+    else
+      let key = (f, lvl) in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+          let r =
+            if f < 2 || m.level.(f) > lvl then 2 * go f (lvl + 1)
+            else go m.low.(f) (lvl + 1) + go m.high.(f) (lvl + 1)
+          in
+          Hashtbl.replace memo key r;
+          r
+  in
+  go f 0
+
+let of_truthtable m tt vars =
+  let k = Logic.Truthtable.arity tt in
+  if Array.length vars <> k then invalid_arg "Bdd.of_truthtable: vars length";
+  (* Shannon expansion over truth-table inputs, highest BDD level first for
+     compactness is unnecessary; recurse on tt inputs directly. *)
+  let rec go tt j =
+    match Logic.Truthtable.is_const tt with
+    | Some b -> of_bool m b
+    | None ->
+        (* j is the next truth-table input to branch on *)
+        let lo = go (Logic.Truthtable.cofactor tt j false) (j + 1) in
+        let hi = go (Logic.Truthtable.cofactor tt j true) (j + 1) in
+        ite m (var m vars.(j)) hi lo
+  in
+  go tt 0
+
+let apply_truthtable m tt args =
+  let k = Logic.Truthtable.arity tt in
+  if Array.length args <> k then invalid_arg "Bdd.apply_truthtable: args length";
+  let rec go tt j =
+    match Logic.Truthtable.is_const tt with
+    | Some b -> of_bool m b
+    | None ->
+        let lo = go (Logic.Truthtable.cofactor tt j false) (j + 1) in
+        let hi = go (Logic.Truthtable.cofactor tt j true) (j + 1) in
+        ite m args.(j) hi lo
+  in
+  go tt 0
+
+let to_truthtable m f vars =
+  let k = Array.length vars in
+  if k > Logic.Truthtable.max_arity then invalid_arg "Bdd.to_truthtable: arity";
+  let sup = support m f in
+  let in_vars v = Array.exists (fun x -> x = v) vars in
+  if not (List.for_all in_vars sup) then
+    invalid_arg "Bdd.to_truthtable: support not covered";
+  let b = ref 0L in
+  for i = 0 to (1 lsl k) - 1 do
+    let env v =
+      (* find position of v in vars; v is guaranteed present for support *)
+      let pos = ref (-1) in
+      Array.iteri (fun j x -> if x = v then pos := j) vars;
+      !pos >= 0 && i land (1 lsl !pos) <> 0
+    in
+    if eval m f env then b := Int64.logor !b (Int64.shift_left 1L i)
+  done;
+  Logic.Truthtable.create k !b
+
+let size m f =
+  let seen = Hashtbl.create 64 in
+  let count = ref 0 in
+  let rec go f =
+    if not (Hashtbl.mem seen f) then begin
+      Hashtbl.replace seen f ();
+      incr count;
+      if f >= 2 then begin
+        go m.low.(f);
+        go m.high.(f)
+      end
+    end
+  in
+  go f;
+  !count

@@ -1,0 +1,87 @@
+(** Reduced ordered binary decision diagrams (ROBDDs) with hash-consing.
+
+    The variable order is the variable index (variable 0 at the top).  All
+    nodes live in an explicit manager, so distinct circuits can use
+    independent managers; within one manager, structural equality of node
+    ids is functional equivalence, which is what the functional-
+    decomposition engine relies on to count cofactor classes (column
+    multiplicity).
+
+    No dynamic reordering is implemented: the decomposition engine
+    enumerates bound-set assignments explicitly (bound sets have at most
+    K <= 6 variables), so it never needs the bound set moved to the top of
+    the order. *)
+
+type man
+(** A BDD manager: unique table + operation caches. *)
+
+type t
+(** A BDD node handle, valid only with the manager that created it. *)
+
+val new_man : ?cache_size:int -> unit -> man
+
+val bdd_false : man -> t
+val bdd_true : man -> t
+val of_bool : man -> bool -> t
+
+val var : man -> int -> t
+(** [var m i] is the projection on variable [i] (>= 0); the manager grows
+    its variable count as needed. *)
+
+val nvars : man -> int
+(** One more than the largest variable index seen so far. *)
+
+val num_nodes : man -> int
+(** Number of live nodes in the unique table (diagnostics). *)
+
+val neg : man -> t -> t
+val and_ : man -> t -> t -> t
+val or_ : man -> t -> t -> t
+val xor : man -> t -> t -> t
+val xnor : man -> t -> t -> t
+val imp : man -> t -> t -> t
+val ite : man -> t -> t -> t -> t
+
+val equal : t -> t -> bool
+(** Functional equivalence (hash-consing makes it constant-time). *)
+
+val is_true : man -> t -> bool
+val is_false : man -> t -> bool
+val is_const : man -> t -> bool option
+
+val restrict : man -> t -> int -> bool -> t
+(** [restrict m f i b] is the cofactor of [f] with variable [i] fixed
+    to [b]. *)
+
+val restrict_many : man -> t -> (int * bool) list -> t
+
+val compose : man -> t -> int -> t -> t
+(** [compose m f i g] substitutes [g] for variable [i] in [f]. *)
+
+val support : man -> t -> int list
+(** Variables [f] depends on, increasing. *)
+
+val eval : man -> t -> (int -> bool) -> bool
+(** [eval m f env] evaluates under the assignment [env]. *)
+
+val sat_count : man -> t -> int -> int
+(** [sat_count m f n] counts satisfying assignments over variables
+    [0 .. n-1]; [f] must not depend on variables [>= n]. *)
+
+val of_truthtable : man -> Logic.Truthtable.t -> int array -> t
+(** [of_truthtable m tt vars] builds the BDD of [tt] with input [j] of the
+    truth table mapped to BDD variable [vars.(j)]. *)
+
+val apply_truthtable : man -> Logic.Truthtable.t -> t array -> t
+(** [apply_truthtable m tt args] composes: the BDD of [tt] applied to the
+    argument BDDs (Shannon expansion over the truth table inputs). *)
+
+val to_truthtable : man -> t -> int array -> Logic.Truthtable.t
+(** [to_truthtable m f vars] evaluates [f] on all assignments of [vars]
+    (at most 6), yielding a truth table whose input [j] is variable
+    [vars.(j)].  [f] must not depend on variables outside [vars].
+    @raise Invalid_argument if [Array.length vars > 6] or the support
+    condition fails. *)
+
+val size : man -> t -> int
+(** Number of distinct nodes reachable from [f] (including terminals). *)

@@ -1,0 +1,1 @@
+lib/core/area.ml: Array Circuit Fun Hashtbl Int64 List Logic Netlist Truthtable

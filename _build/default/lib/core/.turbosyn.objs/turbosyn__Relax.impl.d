@@ -1,0 +1,1 @@
+lib/core/relax.ml: Array Circuit Graphs Hashtbl List Netlist Prelude Rat Seqmap

@@ -1,0 +1,1 @@
+lib/core/relax.mli: Circuit Prelude Seqmap

@@ -1,0 +1,1 @@
+lib/core/synth.ml: Area Circuit Flowmap Graphs List Netlist Prelude Rat Relax Seqmap Sys

@@ -1,0 +1,1 @@
+lib/core/synth.mli: Circuit Prelude Rat Seqmap

@@ -1,0 +1,135 @@
+open Logic
+open Circuit
+
+(* Rebuild the netlist keeping only nodes reachable from the POs (PIs are
+   always kept, in order, to preserve the interface). *)
+let compact nl =
+  let n = Netlist.n nl in
+  let needed = Array.make n false in
+  let rec mark v =
+    if not needed.(v) then begin
+      needed.(v) <- true;
+      Array.iter (fun (u, _) -> mark u) (Netlist.fanins nl v)
+    end
+  in
+  List.iter (fun po -> mark (fst (Netlist.fanins nl po).(0))) (Netlist.pos nl);
+  let out = Netlist.create ~name:(Netlist.name nl) () in
+  let map = Array.make n (-1) in
+  List.iter
+    (fun p -> map.(p) <- Netlist.add_pi ~name:(Netlist.node_name nl p) out)
+    (Netlist.pis nl);
+  for v = 0 to n - 1 do
+    if needed.(v) && Netlist.is_gate nl v then
+      map.(v) <- Netlist.reserve_gate ~name:(Netlist.node_name nl v) out
+  done;
+  for v = 0 to n - 1 do
+    if needed.(v) && Netlist.is_gate nl v then
+      Netlist.define_gate out map.(v)
+        (Netlist.gate_function nl v)
+        (Array.map (fun (u, w) -> (map.(u), w)) (Netlist.fanins nl v))
+  done;
+  List.iter
+    (fun po ->
+      let u, w = (Netlist.fanins nl po).(0) in
+      ignore
+        (Netlist.add_po ~name:(Netlist.node_name nl po) out ~driver:map.(u)
+           ~weight:w))
+    (Netlist.pos nl);
+  out
+
+let dedup nl =
+  let nl = Netlist.copy nl in
+  let n = Netlist.n nl in
+  let redirect = Array.init n Fun.id in
+  let rec find v = if redirect.(v) = v then v else find redirect.(v) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let seen = Hashtbl.create 256 in
+    for v = 0 to n - 1 do
+      if Netlist.is_gate nl v && find v = v then begin
+        let key =
+          ( Truthtable.bits (Netlist.gate_function nl v),
+            Truthtable.arity (Netlist.gate_function nl v),
+            Array.map (fun (u, w) -> (find u, w)) (Netlist.fanins nl v) )
+        in
+        match Hashtbl.find_opt seen key with
+        | Some u when u <> v ->
+            redirect.(v) <- u;
+            changed := true
+        | Some _ -> ()
+        | None -> Hashtbl.replace seen key v
+      end
+    done
+  done;
+  (* rewrite all fanins through the redirection *)
+  for v = 0 to n - 1 do
+    let fi = Netlist.fanins nl v in
+    if Array.length fi > 0 then
+      Netlist.set_fanins nl v (Array.map (fun (u, w) -> (find u, w)) fi)
+  done;
+  compact nl
+
+let pack nl ~k =
+  let nl = Netlist.copy nl in
+  let n = Netlist.n nl in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* consumer census *)
+    let consumers = Array.make n [] in
+    for v = 0 to n - 1 do
+      Array.iteri
+        (fun j (u, w) -> consumers.(u) <- (v, j, w) :: consumers.(u))
+        (Netlist.fanins nl v)
+    done;
+    for v = 0 to n - 1 do
+      if Netlist.is_gate nl v then
+        match consumers.(v) with
+        | [ (c, j, 0) ]
+          when c <> v && Netlist.is_gate nl c
+               (* the census may be stale after an earlier merge in this
+                  pass rewired [c]; re-check that fanin [j] is still [v] *)
+               && Array.length (Netlist.fanins nl c) > j
+               && (Netlist.fanins nl c).(j) = (v, 0) ->
+            (* candidate: absorb v into its unique consumer c at input j *)
+            let fv = Netlist.fanins nl v and fc = Netlist.fanins nl c in
+            (* merged distinct inputs: c's other fanins + v's fanins *)
+            let inputs = ref [] in
+            let add p = if not (List.mem p !inputs) then inputs := !inputs @ [ p ] in
+            Array.iteri (fun i p -> if i <> j then add p) fc;
+            Array.iter add fv;
+            let merged = Array.of_list !inputs in
+            if Array.length merged <= k then begin
+              (* build the merged truth table by exhaustive evaluation *)
+              let pos p =
+                let r = ref (-1) in
+                Array.iteri (fun i q -> if q = p then r := i) merged;
+                !r
+              in
+              let kk = Array.length merged in
+              let bits = ref 0L in
+              for m = 0 to (1 lsl kk) - 1 do
+                let value p = m land (1 lsl pos p) <> 0 in
+                let v_out =
+                  Truthtable.eval (Netlist.gate_function nl v)
+                    (Array.map value fv)
+                in
+                let c_in =
+                  Array.mapi
+                    (fun i p -> if i = j then v_out else value p)
+                    fc
+                in
+                if Truthtable.eval (Netlist.gate_function nl c) c_in then
+                  bits := Int64.logor !bits (Int64.shift_left 1L m)
+              done;
+              let tt = Truthtable.create kk !bits in
+              Netlist.define_gate nl c tt merged;
+              changed := true
+            end
+        | _ -> ()
+    done
+  done;
+  compact nl
+
+let reduce nl ~k = dedup (pack (dedup nl) ~k)

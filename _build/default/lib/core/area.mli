@@ -1,0 +1,20 @@
+(** Post-mapping area recovery (the paper's Step 2/3 reductions: low-cost
+    cut sharing, mpack/flow-pack style packing, dead-logic removal).
+
+    All passes preserve functionality signal-by-signal and never increase
+    the MDR ratio: merging only removes gates or collapses a single-fanout
+    LUT into its unique consumer through a weight-0 edge (path delays only
+    shrink, cycle register counts are untouched). *)
+
+val dedup : Circuit.Netlist.t -> Circuit.Netlist.t
+(** Merge gates with identical functions and identical fanin arrays
+    (iterated to a fixed point), then drop gates unreachable from the
+    POs. *)
+
+val pack : Circuit.Netlist.t -> k:int -> Circuit.Netlist.t
+(** Flow-pack style greedy packing: a LUT whose only consumer reads it
+    through a weight-0 edge is absorbed into that consumer when the merged
+    support stays within [k]. *)
+
+val reduce : Circuit.Netlist.t -> k:int -> Circuit.Netlist.t
+(** [dedup] then [pack] then [dedup], the default area flow. *)

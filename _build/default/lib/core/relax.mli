@@ -1,0 +1,18 @@
+(** Label relaxation (the paper's first LUT-reduction technique): stop
+    using the resynthesized implementation of a node — letting its label
+    grow by one — whenever doing so does not create a positive loop, i.e.
+    whenever the regenerated mapping still meets the target MDR ratio.
+    Decomposition trees cost extra LUTs, so every node relaxed back to a
+    plain cut is area saved. *)
+
+val relax :
+  Circuit.Netlist.t ->
+  impls:Seqmap.Label_engine.impl option array ->
+  phi:Prelude.Rat.t ->
+  Circuit.Netlist.t * int
+(** [relax nl ~impls ~phi] greedily replaces [Resyn] implementations with
+    the node's trivial cut (its immediate fanins) when the resulting
+    mapping's MDR ratio stays within [phi] and the LUT count does not grow
+    (the replacement makes the node's former cut inputs needed, which can
+    offset the saved tree LUTs); returns the final mapped netlist and the
+    number of nodes relaxed. *)

@@ -1,0 +1,128 @@
+open Prelude
+open Circuit
+
+type algo = [ `Turbosyn | `Turbomap | `Flowsyn_s ]
+
+type options = {
+  k : int;
+  cmax : int;
+  pld : bool;
+  exhaustive : bool;
+  area_recovery : bool;
+  extra_depth : int;
+  max_expansion : int;
+  resyn_depth : int;
+  phi_max_den : int option;
+  multi_output : bool;
+}
+
+let default_options ?(k = 5) () =
+  {
+    k;
+    cmax = 15;
+    pld = true;
+    exhaustive = true;
+    area_recovery = true;
+    extra_depth = 3;
+    max_expansion = 4000;
+    resyn_depth = 2;
+    phi_max_den = Some 24;
+    multi_output = false;
+  }
+
+type result = {
+  algo : algo;
+  mapped : Netlist.t;
+  realized : Netlist.t option;
+  phi : Rat.t;
+  clock_period : int;
+  latency : int;
+  luts : int;
+  luts_before_area : int;
+  resyn_nodes : int;
+  probes : int;
+  label_stats : Seqmap.Label_engine.stats option;
+  cpu_seconds : float;
+}
+
+let engine_options o ~resynthesize =
+  {
+    Seqmap.Label_engine.k = o.k;
+    resynthesize;
+    cmax = o.cmax;
+    exhaustive = o.exhaustive;
+    pld = o.pld;
+    extra_depth = o.extra_depth;
+    max_expansion = o.max_expansion;
+    resyn_depth = o.resyn_depth;
+    multi_output = o.multi_output;
+    full_expansion = false;
+  }
+
+let finish algo o ~mapped ~phi ~resyn_nodes ~probes ~label_stats ~cpu_seconds =
+  let luts_before_area = List.length (Netlist.gates mapped) in
+  let mapped = if o.area_recovery then Area.reduce mapped ~k:o.k else mapped in
+  let realized, clock_period, latency =
+    match Seqmap.Turbomap.realize mapped with
+    | Some (r, p, l) -> (Some r, p, l)
+    | None -> (None, -1, 0)
+  in
+  {
+    algo;
+    mapped;
+    realized;
+    phi;
+    clock_period;
+    latency;
+    luts = List.length (Netlist.gates mapped);
+    luts_before_area;
+    resyn_nodes;
+    probes;
+    label_stats;
+    cpu_seconds;
+  }
+
+let run_seq algo o nl ~resynthesize =
+  let t0 = Sys.time () in
+  let opts = engine_options o ~resynthesize in
+  let mapped, report, impls =
+    Seqmap.Turbomap.map_full ~options:opts ?phi_max_den:o.phi_max_den nl ~k:o.k
+  in
+  (* the paper's label relaxation: drop decomposition trees whose label
+     increase does not create a positive loop (area recovery step 1) *)
+  let mapped =
+    if resynthesize && o.area_recovery then
+      fst (Relax.relax nl ~impls ~phi:report.Seqmap.Turbomap.phi)
+    else mapped
+  in
+  let cpu = Sys.time () -. t0 in
+  finish algo o ~mapped ~phi:report.Seqmap.Turbomap.phi
+    ~resyn_nodes:report.Seqmap.Turbomap.stats.Seqmap.Label_engine.decompositions
+    ~probes:report.Seqmap.Turbomap.probes
+    ~label_stats:(Some report.Seqmap.Turbomap.stats)
+    ~cpu_seconds:cpu
+
+let run_flowsyn_s o nl =
+  let t0 = Sys.time () in
+  let mapped, report =
+    Flowmap.Flowsyn.map_sequential ~resynthesize:true ~cmax:o.cmax
+      ~exhaustive:o.exhaustive nl ~k:o.k
+  in
+  let cpu = Sys.time () -. t0 in
+  let phi =
+    match report.Flowmap.Flowsyn.mdr with
+    | Graphs.Cycle_ratio.Ratio r -> r
+    | Graphs.Cycle_ratio.No_cycle -> Rat.zero
+    | Graphs.Cycle_ratio.Infinite -> Rat.of_int (-1)
+  in
+  finish `Flowsyn_s o ~mapped ~phi
+    ~resyn_nodes:report.Flowmap.Flowsyn.resyn_nodes ~probes:0 ~label_stats:None
+    ~cpu_seconds:cpu
+
+let run ?options algo nl =
+  let o = match options with Some o -> o | None -> default_options () in
+  Netlist.validate_exn ~k:o.k nl;
+  match algo with
+  | `Turbosyn -> run_seq `Turbosyn o nl ~resynthesize:true
+  | `Turbomap -> run_seq `Turbomap o nl ~resynthesize:false
+  | `Flowsyn_s -> run_flowsyn_s o nl

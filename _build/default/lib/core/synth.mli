@@ -1,0 +1,68 @@
+(** TurboSYN: FPGA synthesis with retiming and pipelining for clock-period
+    minimization of sequential circuits (Cong & Wu, DAC 1997).
+
+    The flow mirrors the paper's Figure 4:
+
+    + run TurboMap-style label computation to obtain the upper bound UB
+      (here: the exact-rational Stern–Brocot search starts from the MDR of
+      the trivial mapping, which bounds UB);
+    + binary-search the minimum MDR ratio φ*, each probe being a label
+      computation with sequential functional decomposition and positive
+      loop detection;
+    + generate the LUT mapping from the converged labels;
+    + recover area (cut sharing, packing);
+    + retime + pipeline the result to clock period [ceil φ*].
+
+    Use [`Turbosyn] for the paper's algorithm, [`Turbomap] for the
+    no-resynthesis baseline, and [`Flowsyn_s] for the cut-at-FFs baseline
+    (FlowSYN applied per combinational block). *)
+
+open Prelude
+
+type algo = [ `Turbosyn | `Turbomap | `Flowsyn_s ]
+
+type options = {
+  k : int;
+  cmax : int;
+  pld : bool;
+  exhaustive : bool;
+  area_recovery : bool;
+  extra_depth : int;
+  max_expansion : int;
+  resyn_depth : int;
+  phi_max_den : int option;
+      (** cap on the denominators explored by the exact ratio search
+          ([None] = fully exact up to the register count) *)
+  multi_output : bool;
+      (** two-wire bound-set extraction in the decomposition engine (the
+          paper's future-work extension; off by default, like the paper) *)
+}
+
+val default_options : ?k:int -> unit -> options
+(** Paper defaults: K = 5, Cmax = 15, PLD on, area recovery on,
+    [phi_max_den = Some 24].  [exhaustive] is on — the decomposition tries
+    bound sets beyond the earliest-arrival prefix, which measurably closes
+    quality gaps at modest cost. *)
+
+type result = {
+  algo : algo;
+  mapped : Circuit.Netlist.t;  (** after area recovery *)
+  realized : Circuit.Netlist.t option;
+      (** retimed + pipelined to [clock_period]; [None] only if
+          realization failed (never for valid inputs) *)
+  phi : Rat.t;  (** minimum (or achieved, for [`Flowsyn_s]) MDR ratio *)
+  clock_period : int;  (** [max 1 (ceil phi_mapped)] *)
+  latency : int;  (** pipeline stages added at realization *)
+  luts : int;  (** after area recovery *)
+  luts_before_area : int;
+  resyn_nodes : int;  (** decompositions accepted during labeling *)
+  probes : int;
+  label_stats : Seqmap.Label_engine.stats option;  (** None for [`Flowsyn_s] *)
+  cpu_seconds : float;
+}
+
+val run : ?options:options -> algo -> Circuit.Netlist.t -> result
+(** @raise Invalid_argument on invalid or non-K-bounded input. *)
+
+val engine_options : options -> resynthesize:bool -> Seqmap.Label_engine.options
+(** The label-engine options this [options] record induces. *)

@@ -1,0 +1,1 @@
+lib/decomp/classes.ml: Array Bdd Hashtbl List

@@ -1,0 +1,1 @@
+lib/decomp/classes.mli: Bdd

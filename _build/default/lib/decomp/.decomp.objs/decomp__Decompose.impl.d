@@ -1,0 +1,1 @@
+lib/decomp/decompose.ml: Array Bdd Classes Hashtbl Int Int64 List Logic Prelude Rat Truthtable

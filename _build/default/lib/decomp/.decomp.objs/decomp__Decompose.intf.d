@@ -1,0 +1,1 @@
+lib/decomp/decompose.mli: Bdd Logic Prelude Rat

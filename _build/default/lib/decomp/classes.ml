@@ -1,0 +1,28 @@
+type t = { class_of : int array; representatives : Bdd.t array }
+
+let compute man f ~bound =
+  let b = Array.length bound in
+  if b > 16 then invalid_arg "Classes.compute: bound set too large";
+  let count = 1 lsl b in
+  let class_of = Array.make count (-1) in
+  let reps = ref [] in
+  let nclasses = ref 0 in
+  let seen = Hashtbl.create 16 in
+  for m = 0 to count - 1 do
+    let assigns =
+      Array.to_list (Array.mapi (fun j v -> (v, m land (1 lsl j) <> 0)) bound)
+    in
+    let cof = Bdd.restrict_many man f assigns in
+    match Hashtbl.find_opt seen cof with
+    | Some c -> class_of.(m) <- c
+    | None ->
+        let c = !nclasses in
+        incr nclasses;
+        Hashtbl.replace seen cof c;
+        class_of.(m) <- c;
+        reps := cof :: !reps
+  done;
+  { class_of; representatives = Array.of_list (List.rev !reps) }
+
+let multiplicity man f ~bound =
+  Array.length (compute man f ~bound).representatives

@@ -1,0 +1,1 @@
+lib/flow/kcut.ml: Array Fun List Maxflow

@@ -1,0 +1,31 @@
+(** K-feasible node cuts on cone networks.
+
+    Given a DAG whose edges point from inputs toward a root, a set of
+    [sink_side] nodes that must stay on the root side of the cut (in
+    FlowMap terms: the nodes collapsed into the sink because their label or
+    height is too large) and a set of frontier [sources] (fed by the
+    super-source), decide whether the sources can be separated from the
+    root by removing at most [k] nodes, and return such a node cut-set.
+
+    This is the decision at the heart of FlowMap's label computation and of
+    TurboMap/TurboSYN's sequential label computation on expanded circuits:
+    node capacities are 1, so by max-flow/min-cut a flow value [<= k]
+    certifies a K-feasible cut and the residual graph yields it. *)
+
+type spec = {
+  n : int;
+  edges : (int * int) array;  (** [(u, v)]: u feeds v (v is closer to the root) *)
+  sink_side : bool array;  (** length [n]; must include the root *)
+  sources : int list;  (** frontier nodes; a valid cut never crosses them upstream *)
+}
+
+type result =
+  | Cut of int list  (** a node cut-set of size [<= k], ascending ids *)
+  | Exceeds  (** every cut separating the sources from the root is larger than [k] *)
+
+val find : spec -> k:int -> result
+(** @raise Invalid_argument on malformed specs (bad ids, empty sink side). *)
+
+val min_cut : spec -> int list option
+(** The minimum node cut with no size bound ([None] when no finite cut
+    exists, i.e. a source is on the sink side). *)

@@ -1,0 +1,119 @@
+type t = {
+  n : int;
+  (* arcs stored flat; arc i and its reverse i lxor 1 are adjacent *)
+  mutable head : int array; (* arc -> destination node *)
+  mutable cap : int array; (* arc -> remaining capacity *)
+  mutable adj : int list array; (* node -> arcs out of it *)
+  mutable narcs : int;
+  mutable orig_cap : int array;
+}
+
+let infinity = max_int / 4
+
+let create n =
+  {
+    n;
+    head = Array.make 16 0;
+    cap = Array.make 16 0;
+    adj = Array.make (max n 1) [];
+    narcs = 0;
+    orig_cap = Array.make 16 0;
+  }
+
+let grow_arcs t =
+  let len = Array.length t.head in
+  let extend a = let b = Array.make (2 * len) 0 in Array.blit a 0 b 0 len; b in
+  t.head <- extend t.head;
+  t.cap <- extend t.cap;
+  t.orig_cap <- extend t.orig_cap
+
+let add_edge t ~src ~dst ~cap =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Maxflow.add_edge: node out of range";
+  if cap < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  while t.narcs + 2 > Array.length t.head do
+    grow_arcs t
+  done;
+  let a = t.narcs in
+  t.narcs <- a + 2;
+  t.head.(a) <- dst;
+  t.cap.(a) <- cap;
+  t.orig_cap.(a) <- cap;
+  t.head.(a + 1) <- src;
+  t.cap.(a + 1) <- 0;
+  t.orig_cap.(a + 1) <- 0;
+  t.adj.(src) <- a :: t.adj.(src);
+  t.adj.(dst) <- (a + 1) :: t.adj.(dst)
+
+let reset t = Array.blit t.orig_cap 0 t.cap 0 t.narcs
+
+(* BFS for an augmenting path; returns parent arc per node or [||] if t
+   unreachable. *)
+let bfs t ~s ~t:tnode =
+  let parent_arc = Array.make t.n (-1) in
+  let visited = Array.make t.n false in
+  visited.(s) <- true;
+  let q = Queue.create () in
+  Queue.add s q;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun a ->
+        let w = t.head.(a) in
+        if (not visited.(w)) && t.cap.(a) > 0 then begin
+          visited.(w) <- true;
+          parent_arc.(w) <- a;
+          if w = tnode then found := true else Queue.add w q
+        end)
+      t.adj.(v)
+  done;
+  if !found then Some parent_arc else None
+
+let max_flow t ~s ~t:tnode ~limit =
+  if s = tnode then invalid_arg "Maxflow.max_flow: s = t";
+  let flow = ref 0 in
+  let continue = ref true in
+  while !continue && !flow <= limit do
+    match bfs t ~s ~t:tnode with
+    | None -> continue := false
+    | Some parent ->
+        (* the source of arc a is the head of its reverse arc (a lxor 1) *)
+        let arc_src a = t.head.(a lxor 1) in
+        let rec bottleneck v acc =
+          if v = s then acc
+          else
+            let a = parent.(v) in
+            bottleneck (arc_src a) (min acc t.cap.(a))
+        in
+        let b = bottleneck tnode max_int in
+        let rec push v =
+          if v <> s then begin
+            let a = parent.(v) in
+            t.cap.(a) <- t.cap.(a) - b;
+            t.cap.(a lxor 1) <- t.cap.(a lxor 1) + b;
+            push (arc_src a)
+          end
+        in
+        push tnode;
+        flow := !flow + b
+  done;
+  !flow
+
+let residual_reachable t ~s =
+  let visited = Array.make t.n false in
+  visited.(s) <- true;
+  let q = Queue.create () in
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun a ->
+        let w = t.head.(a) in
+        if (not visited.(w)) && t.cap.(a) > 0 then begin
+          visited.(w) <- true;
+          Queue.add w q
+        end)
+      t.adj.(v)
+  done;
+  visited

@@ -1,0 +1,30 @@
+(** Integer max-flow (Edmonds–Karp: BFS augmenting paths).
+
+    The flow networks in this project are tiny (one per K-feasible-cut
+    decision, with node-splitting) and the flow value is capped at K+1, so
+    BFS augmentation is the right tool: at most K+1 augmentations of O(E)
+    each. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes an empty network on nodes [0 .. n-1]. *)
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> unit
+(** Adds a directed edge (and its residual reverse edge of capacity 0). *)
+
+val infinity : int
+(** A capacity safely treated as unbounded. *)
+
+val max_flow : t -> s:int -> t:int -> limit:int -> int
+(** [max_flow net ~s ~t ~limit] augments until no path remains or the flow
+    value exceeds [limit]; returns the flow found (at most [limit + 1]).
+    Mutates the network; call [reset] to reuse it. *)
+
+val reset : t -> unit
+(** Zero all flows. *)
+
+val residual_reachable : t -> s:int -> bool array
+(** Nodes reachable from [s] in the residual graph of the current flow —
+    the source side of a minimum cut once [max_flow] has run to
+    completion. *)

@@ -1,0 +1,1 @@
+lib/flowmap/comb.ml: Array Bdd Graphs Hashtbl Int64 List Logic

@@ -1,0 +1,1 @@
+lib/flowmap/comb.mli: Bdd Logic

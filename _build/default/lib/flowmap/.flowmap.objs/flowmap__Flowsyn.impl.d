@@ -1,0 +1,1 @@
+lib/flowmap/flowsyn.ml: Array Circuit Comb Fun Graphs Hashtbl Labels List Mapper Netlist Printf

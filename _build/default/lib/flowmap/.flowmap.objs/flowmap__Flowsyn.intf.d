@@ -1,0 +1,1 @@
+lib/flowmap/flowsyn.mli: Circuit Comb Graphs

@@ -1,0 +1,1 @@
+lib/flowmap/labels.ml: Array Bdd Comb Decomp Flow Fun Hashtbl List Logic Prelude Rat

@@ -1,0 +1,1 @@
+lib/flowmap/labels.mli: Comb Decomp

@@ -1,0 +1,1 @@
+lib/flowmap/mapper.ml: Array Bdd Comb Decomp Hashtbl Labels List Logic

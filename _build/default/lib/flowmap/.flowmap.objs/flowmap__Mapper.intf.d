@@ -1,0 +1,1 @@
+lib/flowmap/mapper.mli: Comb Labels

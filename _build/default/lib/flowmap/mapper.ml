@@ -1,0 +1,136 @@
+type mapped = {
+  comb : Comb.t;
+  node_of : int array;
+  luts : int;
+  depth : int;
+}
+
+(* growable target network *)
+type builder = {
+  mutable kinds : Comb.node_kind list; (* reversed *)
+  mutable fans : int array list; (* reversed *)
+  mutable count : int;
+  share : (Comb.node_kind * int array, int) Hashtbl.t;
+}
+
+let new_builder () = { kinds = []; fans = []; count = 0; share = Hashtbl.create 64 }
+
+let emit_raw b kind fanins =
+  let id = b.count in
+  b.count <- id + 1;
+  b.kinds <- kind :: b.kinds;
+  b.fans <- fanins :: b.fans;
+  id
+
+(* share identical LUTs over identical fanins (never input nodes: each
+   original input must stay a distinct node) *)
+let emit b kind fanins =
+  match kind with
+  | Comb.In -> emit_raw b kind fanins
+  | Comb.Gate _ -> (
+      match Hashtbl.find_opt b.share (kind, fanins) with
+      | Some id -> id
+      | None ->
+          let id = emit_raw b kind fanins in
+          Hashtbl.replace b.share (kind, fanins) id;
+          id)
+
+let generate t (res : Labels.result) =
+  let n = Comb.n t in
+  let node_of = Array.make n (-1) in
+  let b = new_builder () in
+  let rec need v =
+    if node_of.(v) >= 0 then node_of.(v)
+    else begin
+      let id =
+        match t.Comb.kind.(v) with
+        | Comb.In -> emit b Comb.In [||]
+        | Comb.Gate _ -> (
+            match res.Labels.impls.(v) with
+            | None -> invalid_arg "Mapper.generate: missing implementation"
+            | Some (Labels.Cut cut) ->
+                let tt = Comb.cone_function t ~root:v ~inputs:cut in
+                (* drop cut inputs the function does not depend on *)
+                let tt, sup = Logic.Truthtable.shrink_support tt in
+                let cut = Array.of_list (List.map (fun j -> cut.(j)) sup) in
+                let fanins = Array.map need cut in
+                emit b (Comb.Gate tt) fanins
+            | Some (Labels.Resyn (tree, inputs)) ->
+                let rec build = function
+                  | Decomp.Decompose.Input i -> need inputs.(i)
+                  | Decomp.Decompose.Lut (tt, fs) ->
+                      let fanins = Array.map build fs in
+                      emit b (Comb.Gate tt) fanins
+                in
+                build tree)
+      in
+      (* In nodes map uniquely; gate nodes may share LUTs *)
+      node_of.(v) <- id;
+      id
+    end
+  in
+  List.iter (fun r -> ignore (need r)) t.Comb.roots;
+  let kind = Array.of_list (List.rev b.kinds) in
+  let fanins = Array.of_list (List.rev b.fans) in
+  let roots = List.map (fun r -> node_of.(r)) t.Comb.roots in
+  let comb = { Comb.kind; fanins; roots } in
+  Comb.validate comb;
+  let luts =
+    Array.fold_left
+      (fun acc k -> match k with Comb.Gate _ -> acc + 1 | Comb.In -> acc)
+      0 kind
+  in
+  let d = Comb.depth comb in
+  let depth = List.fold_left (fun acc r -> max acc d.(r)) 0 roots in
+  { comb; node_of; luts; depth }
+
+let check t mapped ~k =
+  (* K-boundedness *)
+  let kbound =
+    Array.for_all
+      (fun fi -> Array.length fi <= k)
+      mapped.comb.Comb.fanins
+  in
+  kbound
+  &&
+  (* functional equivalence of every root over the original inputs *)
+  let man = Bdd.new_man () in
+  (* original inputs get BDD vars by their node id in t *)
+  let orig_bdd = Hashtbl.create 64 in
+  let rec orig v =
+    match Hashtbl.find_opt orig_bdd v with
+    | Some b -> b
+    | None ->
+        let b =
+          match t.Comb.kind.(v) with
+          | Comb.In -> Bdd.var man v
+          | Comb.Gate f ->
+              Bdd.apply_truthtable man f (Array.map orig t.Comb.fanins.(v))
+        in
+        Hashtbl.replace orig_bdd v b;
+        b
+  in
+  (* mapped In nodes correspond to original In nodes via node_of *)
+  let in_var = Hashtbl.create 16 in
+  Array.iteri
+    (fun v id ->
+      if id >= 0 && t.Comb.kind.(v) = Comb.In then Hashtbl.replace in_var id v)
+    mapped.node_of;
+  let new_bdd = Hashtbl.create 64 in
+  let rec mapped_fn v =
+    match Hashtbl.find_opt new_bdd v with
+    | Some b -> b
+    | None ->
+        let b =
+          match mapped.comb.Comb.kind.(v) with
+          | Comb.In -> Bdd.var man (Hashtbl.find in_var v)
+          | Comb.Gate f ->
+              Bdd.apply_truthtable man f
+                (Array.map mapped_fn mapped.comb.Comb.fanins.(v))
+        in
+        Hashtbl.replace new_bdd v b;
+        b
+  in
+  List.for_all2
+    (fun r r' -> Bdd.equal (orig r) (mapped_fn r'))
+    t.Comb.roots mapped.comb.Comb.roots

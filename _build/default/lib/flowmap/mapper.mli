@@ -1,0 +1,24 @@
+(** LUT network generation from computed labels (the mapping phase of
+    FlowMap/FlowSYN).
+
+    Starting from the roots, each needed gate is realized by the
+    implementation recorded during labeling — a single LUT over its cut, or
+    a decomposed LUT tree — and its cut inputs become needed in turn.
+    Equal LUTs over identical mapped fanins are shared. *)
+
+type mapped = {
+  comb : Comb.t;  (** the LUT network; every gate has at most K inputs *)
+  node_of : int array;
+      (** original node -> node in [comb]; [-1] when the original node is
+          not part of the mapping *)
+  luts : int;
+  depth : int;
+}
+
+val generate : Comb.t -> Labels.result -> mapped
+(** @raise Invalid_argument when labels/impls do not cover the roots. *)
+
+val check : Comb.t -> mapped -> k:int -> bool
+(** Structural + functional verification: the mapped network is K-bounded
+    and every root computes the same function of the original inputs
+    (checked symbolically with BDDs). *)

@@ -1,0 +1,1 @@
+lib/graphs/bellman_ford.mli:

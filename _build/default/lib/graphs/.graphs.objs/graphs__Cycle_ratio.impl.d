@@ -1,0 +1,1 @@
+lib/graphs/cycle_ratio.ml: Array Bellman_ford Float Hashtbl Howard List Prelude Rat Scc

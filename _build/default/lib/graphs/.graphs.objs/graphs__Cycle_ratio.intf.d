@@ -1,0 +1,1 @@
+lib/graphs/cycle_ratio.mli: Prelude

@@ -1,0 +1,1 @@
+lib/graphs/howard.ml: Array Float Hashtbl List Scc

@@ -1,0 +1,1 @@
+lib/graphs/karp.ml: Array Hashtbl List Prelude Rat Scc

@@ -1,0 +1,1 @@
+lib/graphs/karp.mli: Prelude

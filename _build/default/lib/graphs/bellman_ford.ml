@@ -1,0 +1,42 @@
+type edge = { src : int; dst : int; len : int }
+
+let has_positive_cycle ~n ~edges =
+  (* All-zero initialization is equivalent to a virtual source with 0-length
+     edges to every node: any positive cycle keeps relaxing forever. *)
+  let dist = Array.make n 0 in
+  let changed = ref true in
+  let pass = ref 0 in
+  let result = ref false in
+  while !changed && not !result do
+    changed := false;
+    Array.iter
+      (fun { src; dst; len } ->
+        if dist.(src) + len > dist.(dst) then begin
+          dist.(dst) <- dist.(src) + len;
+          changed := true
+        end)
+      edges;
+    incr pass;
+    if !changed && !pass >= n then result := true
+  done;
+  !result
+
+let longest_paths ~n ~edges ~sources =
+  let dist = Array.make n min_int in
+  List.iter (fun s -> dist.(s) <- 0) sources;
+  let changed = ref true in
+  let pass = ref 0 in
+  let cyclic = ref false in
+  while !changed && not !cyclic do
+    changed := false;
+    Array.iter
+      (fun { src; dst; len } ->
+        if dist.(src) <> min_int && dist.(src) + len > dist.(dst) then begin
+          dist.(dst) <- dist.(src) + len;
+          changed := true
+        end)
+      edges;
+    incr pass;
+    if !changed && !pass >= n then cyclic := true
+  done;
+  if !cyclic then None else Some dist

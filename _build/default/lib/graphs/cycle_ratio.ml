@@ -1,0 +1,193 @@
+open Prelude
+
+type edge = { src : int; dst : int; delay : int; weight : int }
+type result = No_cycle | Infinite | Ratio of Rat.t
+
+let validate edges =
+  Array.iter
+    (fun e ->
+      if e.delay < 0 || e.weight < 0 then
+        invalid_arg "Cycle_ratio: negative delay or weight")
+    edges
+
+(* Successor lists for SCC computation. *)
+let succ_of_edges n edges =
+  let succ = Array.make n [] in
+  Array.iter (fun e -> succ.(e.src) <- e.dst :: succ.(e.src)) edges;
+  fun v -> succ.(v)
+
+(* Does the sub-SCC contain a zero-weight cycle with positive delay?
+   Within the zero-weight subgraph of the SCC, any edge of positive delay
+   whose endpoints are in the same zero-weight SCC closes such a cycle. *)
+let has_combinational_loop n edges =
+  let zero_edges = Array.of_list (List.filter (fun e -> e.weight = 0) (Array.to_list edges)) in
+  let succ = succ_of_edges n zero_edges in
+  let scc = Scc.compute ~n ~succ in
+  Array.exists
+    (fun e ->
+      e.weight = 0 && e.delay > 0 && scc.Scc.comp.(e.src) = scc.Scc.comp.(e.dst))
+    zero_edges
+
+(* Positive-cycle probe for ratio phi = p/q over one edge set. *)
+let probe_exceeds n edges phi =
+  let p = Rat.num phi and q = Rat.den phi in
+  let bf_edges =
+    Array.map
+      (fun e ->
+        { Bellman_ford.src = e.src; dst = e.dst; len = (q * e.delay) - (p * e.weight) })
+      edges
+  in
+  Bellman_ford.has_positive_cycle ~n ~edges:bf_edges
+
+let exceeds ~n ~edges phi =
+  validate edges;
+  has_combinational_loop n edges || probe_exceeds n edges phi
+
+(* Restrict the problem to one non-trivial SCC, with nodes renumbered. *)
+let scc_subproblems n edges =
+  let succ = succ_of_edges n edges in
+  let scc = Scc.compute ~n ~succ in
+  let nontrivial = Array.make scc.Scc.count false in
+  (* an SCC is non-trivial for cycle purposes if it has an internal edge *)
+  Array.iter
+    (fun e ->
+      if scc.Scc.comp.(e.src) = scc.Scc.comp.(e.dst) then
+        nontrivial.(scc.Scc.comp.(e.src)) <- true)
+    edges;
+  let subs = ref [] in
+  for c = 0 to scc.Scc.count - 1 do
+    if nontrivial.(c) then begin
+      let members = scc.Scc.members.(c) in
+      let renum = Hashtbl.create (Array.length members) in
+      Array.iteri (fun i v -> Hashtbl.replace renum v i) members;
+      let sub_edges =
+        Array.of_list
+          (List.filter_map
+             (fun e ->
+               if
+                 scc.Scc.comp.(e.src) = c && scc.Scc.comp.(e.dst) = c
+               then
+                 Some
+                   {
+                     e with
+                     src = Hashtbl.find renum e.src;
+                     dst = Hashtbl.find renum e.dst;
+                   }
+               else None)
+             (Array.to_list edges))
+      in
+      subs := (Array.length members, sub_edges) :: !subs
+    end
+  done;
+  !subs
+
+(* Best rational approximation of a float with bounded denominator, by a
+   Stern-Brocot descent on float comparisons (no graph probes). *)
+let approx_rat x max_den =
+  if x <= 0.0 then Rat.zero
+  else begin
+    let a = ref 0 and b = ref 1 and c = ref 1 and d = ref 0 in
+    let best = ref (Rat.of_int 0) in
+    let best_err = ref infinity in
+    let steps = ref 0 in
+    while !b + !d <= max_den && !steps < 4096 do
+      incr steps;
+      let num = !a + !c and den = !b + !d in
+      let v = float_of_int num /. float_of_int den in
+      let err = Float.abs (v -. x) in
+      if err < !best_err then begin
+        best := Rat.make num den;
+        best_err := err
+      end;
+      if v < x then begin
+        a := num;
+        b := den
+      end
+      else begin
+        c := num;
+        d := den
+      end
+    done;
+    !best
+  end
+
+let max_ratio_scc n edges =
+  (* n, edges describe a single strongly-connected subgraph with >= 1 cycle *)
+  let total_delay = Array.fold_left (fun acc e -> acc + e.delay) 0 edges in
+  let total_weight = Array.fold_left (fun acc e -> acc + e.weight) 0 edges in
+  if has_combinational_loop n edges then Infinite
+  else begin
+    let feasible phi = not (probe_exceeds n edges phi) in
+    let hi = Rat.of_int (max 1 total_delay) in
+    let max_den = max 1 total_weight in
+    (* Howard's policy iteration gives the answer up to float precision in
+       a fraction of the time; reconstruct the rational and verify it with
+       two exact probes.  The verification makes the fast path sound: on
+       any disagreement we fall back to the full parametric search. *)
+    let fast =
+      let hw_edges =
+        Array.map
+          (fun e -> { Howard.src = e.src; dst = e.dst; delay = e.delay; weight = e.weight })
+          edges
+      in
+      match Howard.max_ratio ~n ~edges:hw_edges with
+      | Some lam when Float.is_finite lam && lam >= 0.0 ->
+          let cand = approx_rat lam max_den in
+          if
+            Rat.( > ) cand Rat.zero
+            && feasible cand
+            && not (feasible (Rat.sub cand (Rat.make 1 (max_den * Rat.den cand))))
+          then Some cand
+          else if Rat.equal cand Rat.zero && feasible Rat.zero then Some Rat.zero
+          else None
+      | _ -> None
+    in
+    match fast with
+    | Some r -> Ratio r
+    | None -> (
+        match Rat.stern_brocot_min ~lo:Rat.zero ~hi ~max_den ~feasible with
+        | Some r -> Ratio r
+        | None ->
+            (* cannot happen: hi is always feasible without combinational
+               loops *)
+            assert false)
+  end
+
+let max_ratio ~n ~edges =
+  validate edges;
+  let subs = scc_subproblems n edges in
+  if subs = [] then No_cycle
+  else
+    List.fold_left
+      (fun acc (sn, se) ->
+        match (acc, max_ratio_scc sn se) with
+        | Infinite, _ | _, Infinite -> Infinite
+        | No_cycle, r -> r
+        | r, No_cycle -> r
+        | Ratio a, Ratio b -> Ratio (Rat.max a b))
+      No_cycle subs
+
+let max_ratio_float ~n ~edges ~epsilon =
+  validate edges;
+  let subs = scc_subproblems n edges in
+  if subs = [] then No_cycle
+  else if List.exists (fun (sn, se) -> has_combinational_loop sn se) subs then
+    Infinite
+  else begin
+    (* probe with float lengths via scaled integers: approximate by scaling
+       phi to a rational with denominator 1/epsilon *)
+    let den = int_of_float (ceil (1.0 /. epsilon)) in
+    let result = ref 0.0 in
+    List.iter
+      (fun (sn, se) ->
+        let total_delay = Array.fold_left (fun acc e -> acc + e.delay) 0 se in
+        let lo = ref 0.0 and hi = ref (float_of_int (max 1 total_delay)) in
+        while !hi -. !lo > epsilon do
+          let mid = (!lo +. !hi) /. 2.0 in
+          let phi = Rat.make (int_of_float (mid *. float_of_int den)) den in
+          if probe_exceeds sn se phi then lo := mid else hi := mid
+        done;
+        if !hi > !result then result := !hi)
+      subs;
+    Ratio (Rat.make (int_of_float (!result *. float_of_int den)) den)
+  end

@@ -1,0 +1,36 @@
+(** Maximum delay-to-register ratio (MDR) of a directed graph.
+
+    Edges carry a non-negative integer [delay] and a non-negative integer
+    [weight] (register count).  The MDR ratio is
+    [max over cycles C of (delay(C) / weight(C))]; it is the paper's lower
+    bound on the clock period achievable by retiming + pipelining (critical
+    I/O paths can be pipelined away, loops cannot).
+
+    The computation is exact: a Stern–Brocot descent over candidate
+    rationals, each probed with integer Bellman–Ford positive-cycle
+    detection, run independently on every non-trivial SCC. *)
+
+type edge = { src : int; dst : int; delay : int; weight : int }
+
+(** A degenerate cycle of zero total delay and zero total weight counts as a
+    ratio-0 cycle (such cycles never arise in mapped circuits, where every
+    LUT has delay 1). *)
+
+type result =
+  | No_cycle  (** the graph is acyclic: pipelining alone bounds the period *)
+  | Infinite
+      (** some cycle has zero total weight and positive delay — no retiming
+          can fix it (a combinational loop) *)
+  | Ratio of Prelude.Rat.t
+
+val max_ratio : n:int -> edges:edge array -> result
+(** @raise Invalid_argument if an edge has negative delay or weight. *)
+
+val exceeds : n:int -> edges:edge array -> Prelude.Rat.t -> bool
+(** [exceeds ~n ~edges phi] is true when some cycle has ratio strictly
+    greater than [phi] (including zero-weight positive-delay cycles). *)
+
+val max_ratio_float : n:int -> edges:edge array -> epsilon:float -> result
+(** Plain float binary search to precision [epsilon] — the baseline the
+    benchmarks compare the exact search against.  Returns [Ratio] of a
+    float-rounded rational. *)

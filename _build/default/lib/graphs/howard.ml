@@ -1,0 +1,135 @@
+type edge = { src : int; dst : int; delay : int; weight : int }
+
+(* Policy iteration on one strongly connected subgraph (local ids).
+   Every node has at least one outgoing edge.  [out.(u)] lists
+   (dst, delay, weight); the policy picks one of them per node. *)
+let scc_max_ratio m (out : (int * int * int) list array) =
+  let pol =
+    Array.map (fun l -> match l with e :: _ -> e | [] -> assert false) out
+  in
+  let lambda = Array.make m neg_infinity in
+  let value = Array.make m 0.0 in
+  let eps = 1e-10 in
+  let changed = ref true in
+  let guard = ref ((m * m) + 64) in
+  while !changed && !guard > 0 do
+    decr guard;
+    changed := false;
+    (* --- evaluate the policy (a functional graph) --- *)
+    let state = Array.make m 0 (* 0 unseen, 1 on current path, 2 done *) in
+    (* resolve a node whose successor chain is already evaluated *)
+    let rec resolve v =
+      if state.(v) <> 2 then begin
+        let dst, d, w = pol.(v) in
+        resolve dst;
+        lambda.(v) <- lambda.(dst);
+        value.(v) <-
+          float_of_int d -. (lambda.(dst) *. float_of_int w) +. value.(dst);
+        state.(v) <- 2
+      end
+    in
+    for start = 0 to m - 1 do
+      if state.(start) = 0 then begin
+        (* walk the policy chain until reaching a done node or closing a
+           cycle among the nodes of this walk *)
+        let path = ref [] in
+        let u = ref start in
+        while state.(!u) = 0 do
+          state.(!u) <- 1;
+          path := !u :: !path;
+          let dst, _, _ = pol.(!u) in
+          u := dst
+        done;
+        if state.(!u) = 1 then begin
+          (* closed a fresh cycle anchored at !u *)
+          let anchor = !u in
+          let rec collect v acc =
+            let dst, _, _ = pol.(v) in
+            if dst = anchor then v :: acc else collect dst (v :: acc)
+          in
+          let cycle = collect anchor [] in
+          let dsum = ref 0 and wsum = ref 0 in
+          List.iter
+            (fun v ->
+              let _, d, w = pol.(v) in
+              dsum := !dsum + d;
+              wsum := !wsum + w)
+            cycle;
+          let lam =
+            if !wsum = 0 then if !dsum > 0 then infinity else 0.0
+            else float_of_int !dsum /. float_of_int !wsum
+          in
+          lambda.(anchor) <- lam;
+          value.(anchor) <- 0.0;
+          state.(anchor) <- 2;
+          (* values around the cycle, following successors first *)
+          let rec set_back v =
+            if state.(v) <> 2 then begin
+              let dst, d, w = pol.(v) in
+              set_back dst;
+              lambda.(v) <- lam;
+              value.(v) <-
+                float_of_int d -. (lam *. float_of_int w) +. value.(dst);
+              state.(v) <- 2
+            end
+          in
+          List.iter set_back cycle
+        end;
+        (* tree nodes of this walk hang off the evaluated part *)
+        List.iter resolve !path
+      end
+    done;
+    (* --- improve the policy --- *)
+    for u = 0 to m - 1 do
+      List.iter
+        (fun ((dst, d, w) as e) ->
+          let better =
+            lambda.(dst) > lambda.(u) +. eps
+            || (Float.abs (lambda.(dst) -. lambda.(u)) <= eps
+               && float_of_int d -. (lambda.(u) *. float_of_int w) +. value.(dst)
+                  > value.(u) +. eps)
+          in
+          if better then begin
+            pol.(u) <- e;
+            changed := true
+          end)
+        out.(u)
+    done
+  done;
+  Array.fold_left max neg_infinity lambda
+
+let max_ratio ~n ~edges =
+  let succ =
+    let out = Array.make n [] in
+    Array.iter (fun e -> out.(e.src) <- e.dst :: out.(e.src)) edges;
+    fun v -> out.(v)
+  in
+  let scc = Scc.compute ~n ~succ in
+  let nontrivial = Array.make scc.Scc.count false in
+  Array.iter
+    (fun e ->
+      if scc.Scc.comp.(e.src) = scc.Scc.comp.(e.dst) then
+        nontrivial.(scc.Scc.comp.(e.src)) <- true)
+    edges;
+  let best = ref None in
+  for c = 0 to scc.Scc.count - 1 do
+    if nontrivial.(c) then begin
+      let members = scc.Scc.members.(c) in
+      let m = Array.length members in
+      let renum = Hashtbl.create m in
+      Array.iteri (fun i v -> Hashtbl.replace renum v i) members;
+      let out = Array.make m [] in
+      Array.iter
+        (fun e ->
+          if scc.Scc.comp.(e.src) = c && scc.Scc.comp.(e.dst) = c then
+            out.(Hashtbl.find renum e.src) <-
+              (Hashtbl.find renum e.dst, e.delay, e.weight)
+              :: out.(Hashtbl.find renum e.src))
+        edges;
+      let lam = scc_max_ratio m out in
+      match !best with
+      | None -> best := Some lam
+      | Some b -> if lam > b then best := Some lam
+    end
+  done;
+  !best

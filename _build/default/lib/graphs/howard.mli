@@ -1,0 +1,19 @@
+(** Howard's policy-iteration algorithm for the maximum cycle ratio
+    (floating point).
+
+    Much faster in practice than parametric search with Bellman–Ford
+    probes, but approximate (float arithmetic) — the library's reference
+    MDR computation remains {!Cycle_ratio.max_ratio}; this implementation
+    exists for the benchmark comparison and as a fast estimator.
+
+    Precondition: every cycle must have strictly positive total weight
+    (check for combinational loops first, e.g. with
+    {!Cycle_ratio.max_ratio} or by construction: unit-delay mapped
+    circuits only have registered cycles). *)
+
+type edge = { src : int; dst : int; delay : int; weight : int }
+
+val max_ratio : n:int -> edges:edge array -> float option
+(** [None] when the graph has no cycle.  Runs policy iteration on every
+    non-trivial SCC and returns the maximum cycle ratio found, accurate to
+    float precision (a few ulps on well-conditioned inputs). *)

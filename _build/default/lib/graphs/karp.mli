@@ -1,0 +1,12 @@
+(** Karp's algorithm for the maximum mean cycle (exact, integer).
+
+    The maximum mean cycle is the MDR ratio specialized to one register per
+    edge; Karp's dynamic program computes it exactly in O(nm) with integer
+    arithmetic.  Included for the benchmark comparison against the
+    parametric search (and as a correctness cross-check). *)
+
+val max_mean :
+  n:int -> edges:(int * int * int) array -> Prelude.Rat.t option
+(** [max_mean ~n ~edges] with [(src, dst, length)] edges: the maximum over
+    cycles of (total length / number of edges), or [None] when the graph is
+    acyclic. *)

@@ -1,0 +1,1 @@
+lib/logic/truthtable.ml: Array Format Fun Hashtbl Int Int64 List Prelude

@@ -1,0 +1,176 @@
+type t = { arity : int; bits : int64 }
+
+let max_arity = 6
+
+let mask arity =
+  if arity = 6 then -1L else Int64.sub (Int64.shift_left 1L (1 lsl arity)) 1L
+
+let create arity bits =
+  if arity < 0 || arity > max_arity then invalid_arg "Truthtable.create: arity";
+  { arity; bits = Int64.logand bits (mask arity) }
+
+let arity t = t.arity
+let bits t = t.bits
+let const0 k = create k 0L
+let const1 k = create k (-1L)
+
+(* Precomputed projection patterns: pattern for variable [j] is the int64
+   whose bit [i] equals bit [j] of [i]. *)
+let var_pattern =
+  let pat j =
+    let v = ref 0L in
+    for i = 0 to 63 do
+      if i land (1 lsl j) <> 0 then v := Int64.logor !v (Int64.shift_left 1L i)
+    done;
+    !v
+  in
+  Array.init 6 pat
+
+let var arity j =
+  if j < 0 || j >= arity then invalid_arg "Truthtable.var: index";
+  create arity var_pattern.(j)
+
+let check_same a b =
+  if a.arity <> b.arity then invalid_arg "Truthtable: arity mismatch"
+
+let not_ a = create a.arity (Int64.lognot a.bits)
+
+let and_ a b =
+  check_same a b;
+  { a with bits = Int64.logand a.bits b.bits }
+
+let or_ a b =
+  check_same a b;
+  { a with bits = Int64.logor a.bits b.bits }
+
+let xor a b =
+  check_same a b;
+  { a with bits = Int64.logxor a.bits b.bits }
+
+let nand a b = not_ (and_ a b)
+let nor a b = not_ (or_ a b)
+let xnor a b = not_ (xor a b)
+
+let ite c a b =
+  check_same c a;
+  check_same c b;
+  or_ (and_ c a) (and_ (not_ c) b)
+
+let eval_bits t m =
+  let m = m land ((1 lsl t.arity) - 1) in
+  Int64.logand (Int64.shift_right_logical t.bits m) 1L = 1L
+
+let eval t inputs =
+  if Array.length inputs <> t.arity then invalid_arg "Truthtable.eval: arity";
+  let m = ref 0 in
+  Array.iteri (fun j b -> if b then m := !m lor (1 lsl j)) inputs;
+  eval_bits t !m
+
+let cofactor t j b =
+  if j < 0 || j >= t.arity then invalid_arg "Truthtable.cofactor: index";
+  let p = var_pattern.(j) in
+  let shift = 1 lsl j in
+  if b then
+    (* Keep entries where var j = 1, replicate onto var j = 0 slots. *)
+    let hi = Int64.logand t.bits p in
+    create t.arity (Int64.logor hi (Int64.shift_right_logical hi shift))
+  else
+    let lo = Int64.logand t.bits (Int64.lognot p) in
+    create t.arity (Int64.logor lo (Int64.shift_left lo shift))
+
+let depends_on t j =
+  j >= 0 && j < t.arity
+  && not (Int64.equal (cofactor t j true).bits (cofactor t j false).bits)
+
+let support t =
+  List.filter (depends_on t) (List.init t.arity Fun.id)
+
+let shrink_support t =
+  let vars = support t in
+  let k = List.length vars in
+  let vars_arr = Array.of_list vars in
+  let b = ref 0L in
+  for i = 0 to (1 lsl k) - 1 do
+    (* Map compact assignment i to a full assignment of t. *)
+    let m = ref 0 in
+    Array.iteri (fun pos v -> if i land (1 lsl pos) <> 0 then m := !m lor (1 lsl v)) vars_arr;
+    if eval_bits t !m then b := Int64.logor !b (Int64.shift_left 1L i)
+  done;
+  (create k !b, vars)
+
+let permute t p =
+  if Array.length p <> t.arity then invalid_arg "Truthtable.permute: length";
+  let b = ref 0L in
+  for i = 0 to (1 lsl t.arity) - 1 do
+    (* assignment i of the result: variable j has value bit j of i, which is
+       the value of variable p.(j) of t. *)
+    let m = ref 0 in
+    for j = 0 to t.arity - 1 do
+      if i land (1 lsl j) <> 0 then m := !m lor (1 lsl p.(j))
+    done;
+    if eval_bits t !m then b := Int64.logor !b (Int64.shift_left 1L i)
+  done;
+  create t.arity !b
+
+let lift t k =
+  if k < t.arity || k > max_arity then invalid_arg "Truthtable.lift";
+  let b = ref 0L in
+  for i = 0 to (1 lsl k) - 1 do
+    if eval_bits t (i land ((1 lsl t.arity) - 1)) then
+      b := Int64.logor !b (Int64.shift_left 1L i)
+  done;
+  create k !b
+
+let count_ones t =
+  let rec go acc b =
+    if Int64.equal b 0L then acc
+    else go (acc + 1) (Int64.logand b (Int64.sub b 1L))
+  in
+  go 0 t.bits
+
+let is_const t =
+  if Int64.equal t.bits 0L then Some false
+  else if Int64.equal t.bits (mask t.arity) then Some true
+  else None
+
+let equal a b = a.arity = b.arity && Int64.equal a.bits b.bits
+let compare a b =
+  let c = Int.compare a.arity b.arity in
+  if c <> 0 then c else Int64.compare a.bits b.bits
+
+let hash t = Hashtbl.hash (t.arity, t.bits)
+
+let random rng k = create k (Prelude.Rng.int64 rng)
+
+let xor_all k =
+  let f = ref (const0 k) in
+  for j = 0 to k - 1 do
+    f := xor !f (var k j)
+  done;
+  !f
+
+let and_all k =
+  let f = ref (const1 k) in
+  for j = 0 to k - 1 do
+    f := and_ !f (var k j)
+  done;
+  !f
+
+let or_all k =
+  let f = ref (const0 k) in
+  for j = 0 to k - 1 do
+    f := or_ !f (var k j)
+  done;
+  !f
+
+let random_nondegenerate rng k =
+  let rec try_ n =
+    if n = 0 then xor_all k
+    else
+      let f = random rng k in
+      if List.length (support f) = k then f else try_ (n - 1)
+  in
+  if k = 0 then const1 0 else try_ 64
+
+let pp fmt t = Format.fprintf fmt "%d:0x%Lx" t.arity t.bits
+let to_string t = Format.asprintf "%a" pp t

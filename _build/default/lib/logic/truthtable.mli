@@ -1,0 +1,105 @@
+(** Truth tables for Boolean functions of up to 6 variables.
+
+    A function of arity [k] (0 <= k <= 6) is stored as the low [2^k] bits of
+    an [int64]: bit [i] is the value of the function on the assignment whose
+    bit [j] gives the value of variable [j].  Bits above [2^k] are always
+    zero (canonical form), so structural equality coincides with functional
+    equality at a given arity.
+
+    Truth tables are the function representation of netlist gates and of
+    mapped K-LUTs (the paper uses K = 5).  Larger cut functions (up to the
+    paper's Cmax = 15 inputs) are handled by the [bdd] library. *)
+
+type t = private { arity : int; bits : int64 }
+
+val max_arity : int
+(** 6: the largest arity representable in an [int64]. *)
+
+val create : int -> int64 -> t
+(** [create arity bits] masks [bits] to the low [2^arity] bits.
+    @raise Invalid_argument if [arity] is outside [\[0, 6\]]. *)
+
+val arity : t -> int
+val bits : t -> int64
+
+val const0 : int -> t
+(** [const0 k] is the always-false function of arity [k]. *)
+
+val const1 : int -> t
+val var : int -> int -> t
+(** [var arity j] is the projection on variable [j].
+    @raise Invalid_argument unless [0 <= j < arity]. *)
+
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val xor : t -> t -> t
+val nand : t -> t -> t
+val nor : t -> t -> t
+val xnor : t -> t -> t
+(** Binary operators require equal arities.
+    @raise Invalid_argument on arity mismatch. *)
+
+val ite : t -> t -> t -> t
+(** [ite c a b] is if-then-else, all of equal arity. *)
+
+val eval : t -> bool array -> bool
+(** [eval f inputs] with [Array.length inputs = arity f]. *)
+
+val eval_bits : t -> int -> bool
+(** [eval_bits f m] evaluates on the assignment encoded by the low bits of
+    [m]. *)
+
+val cofactor : t -> int -> bool -> t
+(** [cofactor f j b] fixes variable [j] to [b]; the result keeps arity
+    [arity f] (variable [j] becomes irrelevant). *)
+
+val depends_on : t -> int -> bool
+(** Whether the function value depends on variable [j]. *)
+
+val support : t -> int list
+(** Indices the function actually depends on, increasing. *)
+
+val shrink_support : t -> t * int list
+(** [shrink_support f] removes irrelevant variables: returns [(g, vars)]
+    where [arity g = List.length vars], [vars] are the support indices of
+    [f] in increasing order, and [g] applied to the values of those
+    variables equals [f]. *)
+
+val permute : t -> int array -> t
+(** [permute f p] renames variables: variable [j] of the result corresponds
+    to variable [p.(j)] of [f].  [p] must be a permutation of
+    [0 .. arity-1]. *)
+
+val lift : t -> int -> t
+(** [lift f k] re-expresses [f] with arity [k >= arity f]; the new variables
+    are irrelevant. *)
+
+val count_ones : t -> int
+(** Number of satisfying assignments. *)
+
+val is_const : t -> bool option
+(** [Some false] for constant 0, [Some true] for constant 1, else [None]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val random : Prelude.Rng.t -> int -> t
+(** Uniformly random function of the given arity. *)
+
+val random_nondegenerate : Prelude.Rng.t -> int -> t
+(** Random function that depends on all of its variables (by rejection;
+    falls back to XOR of all variables after 64 attempts, which always
+    depends on everything). *)
+
+val xor_all : int -> t
+(** Parity of all [k] variables. *)
+
+val and_all : int -> t
+val or_all : int -> t
+
+val pp : Format.formatter -> t -> unit
+(** Hexadecimal rendering, e.g. [3:0x8e]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/netlist/blif.ml: Array Buffer Build Format Hashtbl In_channel Int64 List Logic Netlist Out_channel Printf String Truthtable

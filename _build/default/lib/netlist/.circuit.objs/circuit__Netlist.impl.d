@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Format Graphs Hashtbl List Logic Printf String

@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Fun Hashtbl List Logic Netlist Out_channel Printf String Truthtable

@@ -1,0 +1,443 @@
+open Logic
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* Strip comments, join continuation lines, drop blanks. *)
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let strip_comment l =
+    match String.index_opt l '#' with Some i -> String.sub l 0 i | None -> l
+  in
+  let rec join acc pending = function
+    | [] -> List.rev (if pending = "" then acc else pending :: acc)
+    | l :: rest ->
+        let l = strip_comment l in
+        let l = String.trim l in
+        if l = "" then join acc pending rest
+        else if String.length l > 0 && l.[String.length l - 1] = '\\' then
+          join acc (pending ^ String.sub l 0 (String.length l - 1) ^ " ") rest
+        else join ((pending ^ l) :: acc) "" rest
+  in
+  join [] "" raw
+
+let tokens l =
+  List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) l))
+
+type raw_gate = { out : string; ins : string list; cubes : (string * char) list }
+
+type raw = {
+  mutable model : string option;
+  mutable inputs : string list; (* reversed *)
+  mutable outputs : string list; (* reversed *)
+  mutable latches : (string * string) list; (* (d, q), reversed *)
+  mutable gates : raw_gate list; (* reversed *)
+}
+
+let parse_cube_line gate_name toks =
+  match toks with
+  | [ pat; out ] when String.length out = 1 && (out.[0] = '0' || out.[0] = '1') ->
+      (pat, out.[0])
+  | [ out ] when String.length out = 1 && (out.[0] = '0' || out.[0] = '1') ->
+      ("", out.[0])
+  | _ -> fail "bad cube line in .names %s" gate_name
+
+let parse_raw lines =
+  let raw = { model = None; inputs = []; outputs = []; latches = []; gates = [] } in
+  let rec go = function
+    | [] -> raw
+    | line :: rest -> (
+        match tokens line with
+        | [] -> go rest
+        | cmd :: args when String.length cmd > 0 && cmd.[0] = '.' -> (
+            match cmd with
+            | ".model" ->
+                raw.model <- (match args with nm :: _ -> Some nm | [] -> None);
+                go rest
+            | ".inputs" ->
+                raw.inputs <- List.rev_append args raw.inputs;
+                go rest
+            | ".outputs" ->
+                raw.outputs <- List.rev_append args raw.outputs;
+                go rest
+            | ".latch" -> (
+                match args with
+                | d :: q :: _ ->
+                    raw.latches <- (d, q) :: raw.latches;
+                    go rest
+                | _ -> fail ".latch needs input and output")
+            | ".names" -> (
+                match List.rev args with
+                | [] -> fail ".names needs a signal"
+                | out :: rev_ins ->
+                    let ins = List.rev rev_ins in
+                    (* consume cube lines *)
+                    let rec cubes acc = function
+                      | l :: more when (match tokens l with
+                                        | t :: _ -> t.[0] <> '.'
+                                        | [] -> false) ->
+                          cubes (parse_cube_line out (tokens l) :: acc) more
+                      | more -> (List.rev acc, more)
+                    in
+                    let cs, rest' = cubes [] rest in
+                    raw.gates <- { out; ins; cubes = cs } :: raw.gates;
+                    go rest')
+            | ".end" -> raw
+            | ".clock" | ".default_input_arrival" | ".default_output_required"
+            | ".area" | ".delay" | ".wire_load_slope" ->
+                go rest
+            | other -> fail "unsupported BLIF construct %s" other)
+        | _ -> fail "unexpected line %S" line)
+  in
+  go lines
+
+(* Build the truth table of one .names cover. *)
+let table_of_cubes ~out ~k cubes =
+  assert (k <= Truthtable.max_arity);
+  match cubes with
+  | [] -> Truthtable.const0 k
+  | (_, pol0) :: _ ->
+      if not (List.for_all (fun (_, p) -> p = pol0) cubes) then
+        fail ".names %s mixes ON-set and OFF-set cubes" out;
+      List.iter
+        (fun (pat, _) ->
+          if String.length pat <> k then fail ".names %s: cube width mismatch" out)
+        cubes;
+      let covered = ref 0L in
+      for m = 0 to (1 lsl k) - 1 do
+        let matches (pat, _) =
+          let ok = ref true in
+          String.iteri
+            (fun j c ->
+              let bit = m land (1 lsl j) <> 0 in
+              match c with
+              | '1' -> if not bit then ok := false
+              | '0' -> if bit then ok := false
+              | '-' -> ()
+              | _ -> fail ".names %s: bad cube char %c" out c)
+            pat;
+          !ok
+        in
+        if List.exists matches cubes then
+          covered := Int64.logor !covered (Int64.shift_left 1L m)
+      done;
+      let tt = Truthtable.create k !covered in
+      if pol0 = '1' then tt else Truthtable.not_ tt
+
+let build raw override_name =
+  let nl =
+    Netlist.create
+      ?name:(match override_name with Some n -> Some n | None -> raw.model)
+      ()
+  in
+  let inputs = List.rev raw.inputs in
+  let outputs = List.rev raw.outputs in
+  let latches = List.rev raw.latches in
+  let gates = List.rev raw.gates in
+  (* signal name -> defining entity *)
+  let pi_ids = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace pi_ids s (Netlist.add_pi ~name:s nl)) inputs;
+  let gate_ids = Hashtbl.create 64 in
+  List.iter
+    (fun g ->
+      if Hashtbl.mem gate_ids g.out || Hashtbl.mem pi_ids g.out then
+        fail "signal %s defined twice" g.out;
+      Hashtbl.replace gate_ids g.out (Netlist.reserve_gate ~name:g.out nl))
+    gates;
+  let latch_of = Hashtbl.create 16 in
+  List.iter
+    (fun (d, q) ->
+      if Hashtbl.mem latch_of q || Hashtbl.mem gate_ids q || Hashtbl.mem pi_ids q
+      then fail "signal %s defined twice" q;
+      Hashtbl.replace latch_of q d)
+    latches;
+  (* Resolve a signal to (base node, accumulated latch count). *)
+  let resolved = Hashtbl.create 64 in
+  let rec resolve ?(seen = []) s =
+    match Hashtbl.find_opt resolved s with
+    | Some r -> r
+    | None ->
+        if List.mem s seen then fail "latch cycle through %s has no driver" s;
+        let r =
+          match Hashtbl.find_opt pi_ids s with
+          | Some id -> (id, 0)
+          | None -> (
+              match Hashtbl.find_opt gate_ids s with
+              | Some id -> (id, 0)
+              | None -> (
+                  match Hashtbl.find_opt latch_of s with
+                  | Some d ->
+                      let base, w = resolve ~seen:(s :: seen) d in
+                      (base, w + 1)
+                  | None -> fail "undefined signal %s" s))
+        in
+        Hashtbl.replace resolved s r;
+        r
+  in
+  (* Define gates.  Covers with more than 6 inputs cannot be held in one
+     truth table; they are decomposed into balanced AND trees (one per
+     cube) feeding a balanced OR tree — the classic balanced-tree gate
+     decomposition used to K-bound netlists before mapping. *)
+  let tree_arity = 4 in
+  let balanced op zero nl leaves =
+    (* reduce [leaves] with [tree_arity]-ary gates of function [op] *)
+    match leaves with
+    | [] -> Build.const nl (Truthtable.is_const zero = Some true)
+    | [ (d, w) ] when w = 0 -> d
+    | _ ->
+        let rec reduce leaves =
+          match leaves with
+          | [ (d, 0) ] -> d
+          | [ (d, w) ] ->
+              (* a lone registered leaf still needs a node of its own *)
+              Netlist.add_gate nl (Truthtable.var 1 0) [| (d, w) |]
+          | _ ->
+              let rec take n = function
+                | x :: rest when n > 0 ->
+                    let got, rem = take (n - 1) rest in
+                    (x :: got, rem)
+                | rest -> ([], rest)
+              in
+              let rec level acc = function
+                | [] -> List.rev acc
+                | leaves ->
+                    let group, rest = take tree_arity leaves in
+                    let arity = List.length group in
+                    if arity = 1 then level (List.hd group :: acc) rest
+                    else
+                      let g =
+                        Netlist.add_gate nl (op arity) (Array.of_list group)
+                      in
+                      level ((g, 0) :: acc) rest
+              in
+              reduce (level [] leaves)
+        in
+        reduce leaves
+  in
+  let define_wide id g =
+    let fanins = List.map (fun s -> resolve s) g.ins in
+    let fanin_arr = Array.of_list fanins in
+    (match g.cubes with
+    | [] -> Netlist.define_gate nl id (Truthtable.const0 0) [||]
+    | (_, pol0) :: _ ->
+        if not (List.for_all (fun (_, p) -> p = pol0) g.cubes) then
+          fail ".names %s mixes ON-set and OFF-set cubes" g.out;
+        (* one balanced AND tree per cube over its literals *)
+        let cube_roots =
+          List.map
+            (fun (pat, _) ->
+              if String.length pat <> List.length g.ins then
+                fail ".names %s: cube width mismatch" g.out;
+              let literals = ref [] in
+              String.iteri
+                (fun j c ->
+                  match c with
+                  | '-' -> ()
+                  | '1' -> literals := fanin_arr.(j) :: !literals
+                  | '0' ->
+                      let d, w = fanin_arr.(j) in
+                      let inv =
+                        Netlist.add_gate nl
+                          (Truthtable.not_ (Truthtable.var 1 0))
+                          [| (d, w) |]
+                      in
+                      literals := (inv, 0) :: !literals
+                  | c -> fail ".names %s: bad cube char %c" g.out c)
+                pat;
+              match !literals with
+              | [] -> (Build.const nl true, 0)
+              | ls -> (balanced Truthtable.and_all (Truthtable.const0 0) nl ls, 0))
+            g.cubes
+        in
+        let or_root = balanced Truthtable.or_all (Truthtable.const0 0) nl cube_roots in
+        if pol0 = '1' then
+          Netlist.define_gate nl id (Truthtable.var 1 0) [| (or_root, 0) |]
+        else
+          Netlist.define_gate nl id
+            (Truthtable.not_ (Truthtable.var 1 0))
+            [| (or_root, 0) |])
+  in
+  List.iter
+    (fun g ->
+      let id = Hashtbl.find gate_ids g.out in
+      let k = List.length g.ins in
+      if k <= Truthtable.max_arity then begin
+        let tt = table_of_cubes ~out:g.out ~k g.cubes in
+        let fanins = Array.of_list (List.map (fun s -> resolve s) g.ins) in
+        Netlist.define_gate nl id tt fanins
+      end
+      else define_wide id g)
+    gates;
+  (* Primary outputs. *)
+  List.iter
+    (fun s ->
+      let base, w = resolve s in
+      let name =
+        (* keep the signal name on the PO only when no other node holds it *)
+        if Hashtbl.mem pi_ids s || Hashtbl.mem gate_ids s then None else Some s
+      in
+      ignore (Netlist.add_po ?name nl ~driver:base ~weight:w))
+    outputs;
+  nl
+
+let parse_string ?name text =
+  match build (parse_raw (logical_lines text)) name with
+  | nl -> (
+      match Netlist.validate nl with
+      | [] -> Ok nl
+      | errs ->
+          Error
+            (Format.asprintf "invalid circuit: %a"
+               (Format.pp_print_list
+                  ~pp_sep:(fun f () -> Format.fprintf f "; ")
+                  Netlist.pp_error)
+               errs))
+  | exception Parse_error msg -> Error msg
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_string text
+  | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let to_string nl =
+  let buf = Buffer.create 4096 in
+  (* signal names must be unique even when explicit names collide with the
+     generated names of anonymous nodes *)
+  let names = Array.make (Netlist.n nl) "" in
+  let taken = Hashtbl.create 64 in
+  for v = 0 to Netlist.n nl - 1 do
+    let base = Netlist.node_name nl v in
+    let name = ref base in
+    let i = ref 0 in
+    while Hashtbl.mem taken !name do
+      incr i;
+      name := Printf.sprintf "%s_d%d" base !i
+    done;
+    Hashtbl.replace taken !name ();
+    names.(v) <- !name
+  done;
+  let sig_name v = names.(v) in
+  (* the signal name of driver v seen through w latches *)
+  let delayed v w = if w = 0 then sig_name v else Printf.sprintf "%s_ff%d" (sig_name v) w in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" (Netlist.name nl));
+  let pis = Netlist.pis nl and pos = Netlist.pos nl in
+  Buffer.add_string buf
+    (".inputs " ^ String.concat " " (List.map sig_name pis) ^ "\n");
+  Buffer.add_string buf
+    (".outputs " ^ String.concat " " (List.map sig_name pos) ^ "\n");
+  (* latch chains: one shared chain per driver up to its max fanout weight *)
+  let maxw = Array.make (Netlist.n nl) 0 in
+  for v = 0 to Netlist.n nl - 1 do
+    Array.iter
+      (fun (d, w) -> if w > maxw.(d) then maxw.(d) <- w)
+      (Netlist.fanins nl v)
+  done;
+  for v = 0 to Netlist.n nl - 1 do
+    for i = 1 to maxw.(v) do
+      Buffer.add_string buf
+        (Printf.sprintf ".latch %s %s 0\n" (delayed v (i - 1)) (delayed v i))
+    done
+  done;
+  (* gates as minterm covers *)
+  let emit_gate v =
+    let f = Netlist.gate_function nl v in
+    let fanins = Netlist.fanins nl v in
+    let in_names =
+      Array.to_list (Array.map (fun (d, w) -> delayed d w) fanins)
+    in
+    Buffer.add_string buf
+      (".names " ^ String.concat " " (in_names @ [ sig_name v ]) ^ "\n");
+    let k = Truthtable.arity f in
+    if k = 0 then begin
+      match Truthtable.is_const f with
+      | Some true -> Buffer.add_string buf "1\n"
+      | _ -> ()
+    end
+    else
+      for m = 0 to (1 lsl k) - 1 do
+        if Truthtable.eval_bits f m then begin
+          for j = 0 to k - 1 do
+            Buffer.add_char buf (if m land (1 lsl j) <> 0 then '1' else '0')
+          done;
+          Buffer.add_string buf " 1\n"
+        end
+      done
+  in
+  List.iter emit_gate (Netlist.gates nl);
+  (* POs: buffer from the (possibly delayed) driver signal *)
+  List.iter
+    (fun po ->
+      match Netlist.fanins nl po with
+      | [| (d, w) |] ->
+          Buffer.add_string buf
+            (Printf.sprintf ".names %s %s\n1 1\n" (delayed d w) (sig_name po))
+      | _ -> invalid_arg "Blif.to_string: malformed PO")
+    pos;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_file nl path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string nl))
+
+(* ------------------------------------------------------------------ *)
+(* Structural comparison modulo buffers and latch chains                *)
+(* ------------------------------------------------------------------ *)
+
+let is_buffer tt = Truthtable.equal tt (Truthtable.var 1 0)
+
+let roundtrip_equal a b =
+  (* Chase through identity gates, accumulating weight. *)
+  let rec chase nl v w =
+    match Netlist.kind nl v with
+    | Netlist.Gate tt when is_buffer tt ->
+        let d, we = (Netlist.fanins nl v).(0) in
+        chase nl d (w + we)
+    | _ -> (v, w)
+  in
+  let memo = Hashtbl.create 256 in
+  let rec eq va wa vb wb =
+    let va, wa = chase a va wa and vb, wb = chase b vb wb in
+    if wa <> wb then false
+    else
+      let key = (va, vb) in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+          (* optimistically assume equal to terminate on sequential loops;
+             any later mismatch falsifies the whole comparison *)
+          Hashtbl.replace memo key true;
+          let r =
+            match (Netlist.kind a va, Netlist.kind b vb) with
+            | Netlist.Pi, Netlist.Pi ->
+                Netlist.node_name a va = Netlist.node_name b vb
+            | Netlist.Gate fa, Netlist.Gate fb ->
+                Truthtable.equal fa fb
+                && Array.length (Netlist.fanins a va)
+                   = Array.length (Netlist.fanins b vb)
+                && Array.for_all2
+                     (fun (da, wea) (db, web) -> eq da wea db web)
+                     (Netlist.fanins a va) (Netlist.fanins b vb)
+            | _ -> false
+          in
+          Hashtbl.replace memo key r;
+          r
+  in
+  let pos_a = Netlist.pos a and pos_b = Netlist.pos b in
+  List.length (Netlist.pis a) = List.length (Netlist.pis b)
+  && List.length pos_a = List.length pos_b
+  && List.for_all2
+       (fun pa pb ->
+         let da, wa = (Netlist.fanins a pa).(0) in
+         let db, wb = (Netlist.fanins b pb).(0) in
+         eq da wa db wb)
+       pos_a pos_b

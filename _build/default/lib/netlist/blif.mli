@@ -1,0 +1,30 @@
+(** BLIF (Berkeley Logic Interchange Format) reader and writer.
+
+    The subset handled is what SIS-era benchmark flows use: [.model],
+    [.inputs], [.outputs], [.names] (single-output cover with [0]/[1]/[-]
+    cubes), [.latch] and [.end].  Latches become edge weights of the
+    retiming graph: a chain of latches from signal [d] to signal [q]
+    contributes weight equal to the chain length wherever [q] is consumed.
+    Latch clocking and initial values are accepted and ignored (the
+    retiming-graph model is initial-state agnostic; see DESIGN.md).
+
+    Writing inverts the transformation: every edge of weight [w > 0] is
+    emitted as a shared chain of [w] latches on its driver.
+
+    Covers with more than 6 inputs (the [Truthtable] limit) are accepted
+    and decomposed on the fly into balanced AND/OR trees over their cubes —
+    the classic balanced-tree gate decomposition the paper cites for
+    K-bounding netlists before mapping. *)
+
+val parse_string : ?name:string -> string -> (Netlist.t, string) result
+(** [name] overrides the [.model] name. *)
+
+val parse_file : string -> (Netlist.t, string) result
+
+val to_string : Netlist.t -> string
+val write_file : Netlist.t -> string -> unit
+
+val roundtrip_equal : Netlist.t -> Netlist.t -> bool
+(** Structural comparison used by the tests: same PI/PO names in order and,
+    for every PO, the same cone structure (gate functions, fanin order and
+    accumulated weights) when traversed from the outputs. *)

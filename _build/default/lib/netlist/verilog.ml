@@ -1,0 +1,112 @@
+open Logic
+
+let sanitize s =
+  let ok c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let b = Buffer.create (String.length s) in
+  String.iter (fun c -> Buffer.add_char b (if ok c then c else '_')) s;
+  let s = Buffer.contents b in
+  if s = "" || not ((s.[0] >= 'a' && s.[0] <= 'z') || (s.[0] >= 'A' && s.[0] <= 'Z') || s.[0] = '_')
+  then "n_" ^ s
+  else s
+
+let to_string nl =
+  let buf = Buffer.create 4096 in
+  let names = Array.make (Netlist.n nl) "" in
+  let taken = Hashtbl.create 64 in
+  for v = 0 to Netlist.n nl - 1 do
+    let base = sanitize (Netlist.node_name nl v) in
+    let nm = ref base in
+    let i = ref 0 in
+    while Hashtbl.mem taken !nm || !nm = "clk" do
+      incr i;
+      nm := Printf.sprintf "%s_d%d" base !i
+    done;
+    Hashtbl.replace taken !nm ();
+    names.(v) <- !nm
+  done;
+  let name v = names.(v) in
+  (* delayed signal names *)
+  let delayed v w = if w = 0 then name v else Printf.sprintf "%s_ff%d" (name v) w in
+  let pis = Netlist.pis nl and pos = Netlist.pos nl in
+  let maxw = Array.make (Netlist.n nl) 0 in
+  for v = 0 to Netlist.n nl - 1 do
+    Array.iter (fun (d, w) -> if w > maxw.(d) then maxw.(d) <- w) (Netlist.fanins nl v)
+  done;
+  let has_regs = Array.exists (fun w -> w > 0) maxw in
+  let ports =
+    (if has_regs then [ "clk" ] else [])
+    @ List.map name pis @ List.map name pos
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "module %s(%s);\n" (sanitize (Netlist.name nl))
+       (String.concat ", " ports));
+  if has_regs then Buffer.add_string buf "  input clk;\n";
+  List.iter (fun p -> Buffer.add_string buf (Printf.sprintf "  input %s;\n" (name p))) pis;
+  List.iter (fun p -> Buffer.add_string buf (Printf.sprintf "  output %s;\n" (name p))) pos;
+  (* declarations *)
+  List.iter
+    (fun v ->
+      Buffer.add_string buf (Printf.sprintf "  wire %s;\n" (name v)))
+    (Netlist.gates nl);
+  for v = 0 to Netlist.n nl - 1 do
+    for i = 1 to maxw.(v) do
+      Buffer.add_string buf
+        (Printf.sprintf "  reg %s = 1'b0;\n" (delayed v i))
+    done
+  done;
+  (* register chains *)
+  if has_regs then begin
+    Buffer.add_string buf "  always @(posedge clk) begin\n";
+    for v = 0 to Netlist.n nl - 1 do
+      for i = 1 to maxw.(v) do
+        Buffer.add_string buf
+          (Printf.sprintf "    %s <= %s;\n" (delayed v i) (delayed v (i - 1)))
+      done
+    done;
+    Buffer.add_string buf "  end\n"
+  end;
+  (* gates as sum-of-minterms assigns *)
+  List.iter
+    (fun v ->
+      let f = Netlist.gate_function nl v in
+      let fanins = Netlist.fanins nl v in
+      let k = Truthtable.arity f in
+      let term m =
+        let lits =
+          List.init k (fun j ->
+              let d, w = fanins.(j) in
+              let s = delayed d w in
+              if m land (1 lsl j) <> 0 then s else "~" ^ s)
+        in
+        match lits with
+        | [] -> "1'b1"
+        | _ -> "(" ^ String.concat " & " lits ^ ")"
+      in
+      let minterms =
+        List.filter_map
+          (fun m -> if Truthtable.eval_bits f m then Some (term m) else None)
+          (List.init (1 lsl k) Fun.id)
+      in
+      let rhs =
+        match (Truthtable.is_const f, minterms) with
+        | Some true, _ -> "1'b1"
+        | Some false, _ | _, [] -> "1'b0"
+        | None, ms -> String.concat " | " ms
+      in
+      Buffer.add_string buf (Printf.sprintf "  assign %s = %s;\n" (name v) rhs))
+    (Netlist.gates nl);
+  (* outputs *)
+  List.iter
+    (fun po ->
+      let d, w = (Netlist.fanins nl po).(0) in
+      Buffer.add_string buf
+        (Printf.sprintf "  assign %s = %s;\n" (name po) (delayed d w)))
+    pos;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let write_file nl path =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string nl))

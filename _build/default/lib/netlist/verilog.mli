@@ -1,0 +1,11 @@
+(** Structural Verilog output for mapped circuits.
+
+    Gates become continuous assignments over their truth tables (sum of
+    minterms) and every weighted edge becomes a chain of DFF instances in a
+    single always block, so the output drops into a standard FPGA or ASIC
+    flow for inspection.  Identifiers are sanitized ([a-zA-Z0-9_], prefixed
+    with [n_] when needed); the module has one clock input [clk] when the
+    circuit contains registers. *)
+
+val to_string : Netlist.t -> string
+val write_file : Netlist.t -> string -> unit

@@ -1,0 +1,1 @@
+lib/prelude/table.ml: Format List String

@@ -1,0 +1,64 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 finalizer. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t =
+  let s = int64 t in
+  { state = mix (Int64.logxor s 0x1F83D9ABFB41BD6BL) }
+
+let of_string s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  { state = mix !h }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the value is a non-negative native int on 64-bit
+     platforms (OCaml ints are 63-bit). *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  v mod bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample t k n =
+  if k > n || k < 0 then invalid_arg "Rng.sample";
+  (* Floyd's algorithm: k distinct values without materializing [0,n). *)
+  let seen = Hashtbl.create (2 * k) in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    if Hashtbl.mem seen r then Hashtbl.replace seen j ()
+    else Hashtbl.replace seen r ()
+  done;
+  Hashtbl.fold (fun v () acc -> v :: acc) seen []

@@ -1,0 +1,39 @@
+(** Deterministic splittable pseudo-random numbers (SplitMix64).
+
+    Every workload generator in this project derives its randomness from a
+    seed so that benchmark circuits are reproducible across runs and
+    machines.  The implementation is the standard SplitMix64 mixer. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Two generators created with the
+    same seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t]. *)
+
+val of_string : string -> t
+(** Seed a generator from a string (FNV-1a hash of the bytes), used to give
+    each named workload its own stream. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample : t -> int -> int -> int list
+(** [sample t k n] draws [k] distinct values from [\[0, n)] (requires
+    [k <= n]); order is unspecified. *)

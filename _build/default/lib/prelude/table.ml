@@ -1,0 +1,56 @@
+type align = Left | Right
+type row = Cells of string list | Rule
+
+type t = {
+  headers : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create headers = { headers; rows = [] }
+
+let add_row t cells =
+  let n = List.length t.headers in
+  let k = List.length cells in
+  if k > n then invalid_arg "Table.add_row: too many cells";
+  let cells = cells @ List.init (n - k) (fun _ -> "") in
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pp fmt t =
+  let headers = List.map fst t.headers in
+  let aligns = List.map snd t.headers in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | Rule -> acc
+            | Cells cs -> max acc (String.length (List.nth cs i)))
+          (String.length h) rows)
+      headers
+  in
+  let pad align width s =
+    let gap = width - String.length s in
+    let gap = max 0 gap in
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+  in
+  let print_cells cs =
+    let padded = List.map2 (fun (w, a) c -> pad a w c) (List.combine widths aligns) cs in
+    Format.fprintf fmt "| %s |@," (String.concat " | " padded)
+  in
+  let rule () =
+    let dashes = List.map (fun w -> String.make (w + 2) '-') widths in
+    Format.fprintf fmt "|%s|@," (String.concat "|" dashes)
+  in
+  Format.fprintf fmt "@[<v>";
+  print_cells headers;
+  rule ();
+  List.iter (function Rule -> rule () | Cells cs -> print_cells cs) rows;
+  Format.fprintf fmt "@]"
+
+let print t = Format.printf "%a@." pp t

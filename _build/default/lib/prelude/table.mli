@@ -1,0 +1,23 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The harness prints each reproduced paper table with the same row/column
+    structure as the original; this module handles alignment and rules. *)
+
+type align = Left | Right
+
+type t
+
+val create : (string * align) list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row.  Rows shorter than the header are padded with empty
+    cells; longer rows are rejected.
+    @raise Invalid_argument on too many cells. *)
+
+val add_rule : t -> unit
+(** Append a horizontal rule (printed between summary and data rows). *)
+
+val pp : Format.formatter -> t -> unit
+val print : t -> unit
+(** [print t] renders to stdout followed by a newline. *)

@@ -1,0 +1,12 @@
+let wall () = Unix.gettimeofday ()
+let cpu () = Sys.time ()
+
+let time f =
+  let t0 = wall () in
+  let r = f () in
+  (r, wall () -. t0)
+
+let time_cpu f =
+  let t0 = cpu () in
+  let r = f () in
+  (r, cpu () -. t0)

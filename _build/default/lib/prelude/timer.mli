@@ -1,0 +1,13 @@
+(** Wall-clock and CPU timing for the benchmark harness. *)
+
+val wall : unit -> float
+(** Monotonic wall-clock seconds (arbitrary epoch). *)
+
+val cpu : unit -> float
+(** Process CPU seconds, as [Sys.time]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with elapsed wall seconds. *)
+
+val time_cpu : (unit -> 'a) -> 'a * float
+(** [time_cpu f] runs [f ()] and returns its result with CPU seconds. *)

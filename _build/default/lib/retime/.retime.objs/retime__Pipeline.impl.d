@@ -1,0 +1,1 @@
+lib/retime/pipeline.ml: Array Circuit Graphs List Netlist Prelude Retiming

@@ -1,0 +1,1 @@
+lib/retime/retiming.ml: Array Circuit Graphs List Netlist Set

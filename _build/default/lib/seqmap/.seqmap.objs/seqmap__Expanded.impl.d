@@ -1,0 +1,1 @@
+lib/seqmap/expanded.ml: Array Bdd Circuit Flow Fun Hashtbl List Logic Netlist Prelude Queue Rat

@@ -1,0 +1,1 @@
+lib/seqmap/expanded.mli: Bdd Circuit Flow Logic Prelude Rat

@@ -1,0 +1,1 @@
+lib/seqmap/label_engine.ml: Array Bdd Circuit Decomp Expanded Flow Fun Graphs Hashtbl Int List Netlist Option Pld Prelude Rat

@@ -1,0 +1,1 @@
+lib/seqmap/label_engine.mli: Circuit Decomp Prelude Rat

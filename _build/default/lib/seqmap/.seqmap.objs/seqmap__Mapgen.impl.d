@@ -1,0 +1,1 @@
+lib/seqmap/mapgen.ml: Array Bdd Circuit Decomp Fun Graphs Hashtbl Label_engine List Logic Netlist Printf Queue

@@ -1,0 +1,1 @@
+lib/seqmap/mapgen.mli: Circuit Label_engine Logic

@@ -1,0 +1,1 @@
+lib/seqmap/pld.ml: Array Circuit Hashtbl List Netlist Prelude Rat

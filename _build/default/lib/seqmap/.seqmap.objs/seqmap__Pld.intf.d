@@ -1,0 +1,1 @@
+lib/seqmap/pld.mli: Circuit Prelude Rat

@@ -1,0 +1,1 @@
+lib/seqmap/turbomap.ml: Array Circuit Graphs Label_engine List Mapgen Netlist Prelude Rat Retime

@@ -1,0 +1,1 @@
+lib/seqmap/turbomap.mli: Circuit Graphs Label_engine Prelude Rat

@@ -1,0 +1,172 @@
+open Prelude
+open Circuit
+
+type node = { u : int; w : int }
+
+type t = {
+  nodes : node array;
+  edges : (int * int) array;
+  internal : bool array;
+  sources : int list;
+  overflow : bool;
+}
+
+let height labels phi u w = Rat.add (Rat.sub labels.(u) (Rat.mul_int phi w)) Rat.one
+
+(* growable parallel arrays for the expansion *)
+type vec = {
+  mutable node : node array;
+  mutable internal_ : bool array;
+  mutable len : int;
+}
+
+let vec_push v n i =
+  if v.len >= Array.length v.node then begin
+    let cap = 2 * Array.length v.node in
+    let bigger = Array.make cap { u = -1; w = -1 } in
+    Array.blit v.node 0 bigger 0 v.len;
+    v.node <- bigger;
+    let bigger_b = Array.make cap false in
+    Array.blit v.internal_ 0 bigger_b 0 v.len;
+    v.internal_ <- bigger_b
+  end;
+  v.node.(v.len) <- n;
+  v.internal_.(v.len) <- i;
+  v.len <- v.len + 1;
+  v.len - 1
+
+let build nl ~root ~labels ~phi ~threshold ~extra_depth ~max_nodes =
+  let index = Hashtbl.create 256 in
+  let vec = { node = Array.make 64 { u = -1; w = -1 }; internal_ = Array.make 64 false; len = 0 } in
+  let edges = ref [] in
+  let seen_edge = Hashtbl.create 256 in
+  let add_edge j i =
+    if not (Hashtbl.mem seen_edge (j, i)) then begin
+      Hashtbl.replace seen_edge (j, i) ();
+      edges := (j, i) :: !edges
+    end
+  in
+  let cdepth = Hashtbl.create 256 in
+  let expanded = Hashtbl.create 256 in
+  let overflow = ref false in
+  let get u w ~is_root =
+    match Hashtbl.find_opt index (u, w) with
+    | Some i -> i
+    | None ->
+        let internal =
+          is_root || Rat.( > ) (height labels phi u w) threshold
+        in
+        let i = vec_push vec { u; w } internal in
+        Hashtbl.replace index (u, w) i;
+        i
+  in
+  let rootid = get root 0 ~is_root:true in
+  Hashtbl.replace cdepth rootid 0;
+  let queue = Queue.create () in
+  Queue.add rootid queue;
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    if not (Hashtbl.mem expanded i) then begin
+      let { u; w } = vec.node.(i) in
+      let my_cd = match Hashtbl.find_opt cdepth i with Some d -> d | None -> 0 in
+      let expandable =
+        Netlist.kind nl u <> Netlist.Pi
+        && (vec.internal_.(i) || my_cd < extra_depth)
+      in
+      if expandable then
+        if vec.len > max_nodes then begin
+          if vec.internal_.(i) then overflow := true
+        end
+        else begin
+          Hashtbl.replace expanded i ();
+          Array.iter
+            (fun (x, we) ->
+              let j = get x (w + we) ~is_root:false in
+              add_edge j i;
+              let child_cd = if vec.internal_.(j) then 0 else my_cd + 1 in
+              match Hashtbl.find_opt cdepth j with
+              | Some old when old <= child_cd -> ()
+              | _ ->
+                  Hashtbl.replace cdepth j child_cd;
+                  (* (re)visit with the improved candidate depth *)
+                  Hashtbl.remove expanded j;
+                  Queue.add j queue)
+            (Netlist.fanins nl u)
+        end
+    end
+  done;
+  let n = vec.len in
+  let nodes = Array.init n (fun i -> vec.node.(i)) in
+  let internal = Array.init n (fun i -> vec.internal_.(i)) in
+  let sources =
+    List.filter (fun i -> not (Hashtbl.mem expanded i)) (List.init n Fun.id)
+  in
+  { nodes; edges = Array.of_list !edges; internal; sources; overflow = !overflow }
+
+let frontier_cut t =
+  (* invalid when the internal region touches an unexpandable node (an
+     internal PI or a node cut off by the budget): some root path then
+     never crosses the frontier *)
+  if List.exists (fun i -> t.internal.(i)) t.sources then []
+  else begin
+    let n = Array.length t.nodes in
+    let on = Array.make n false in
+    Array.iter
+      (fun (src, dst) ->
+        if (not t.internal.(src)) && t.internal.(dst) then on.(src) <- true)
+      t.edges;
+    List.filter (fun i -> on.(i)) (List.init n Fun.id)
+  end
+
+let kcut_spec t =
+  {
+    Flow.Kcut.n = Array.length t.nodes;
+    edges = t.edges;
+    sink_side = t.internal;
+    sources = t.sources;
+  }
+
+let cone_bdd man nl t ~cut ~vars =
+  let cut_pos = Hashtbl.create 8 in
+  List.iteri (fun j i -> Hashtbl.replace cut_pos i j) cut;
+  let index = Hashtbl.create 64 in
+  Array.iteri (fun i { u; w } -> Hashtbl.replace index (u, w) i) t.nodes;
+  let memo = Hashtbl.create 64 in
+  let rec go i =
+    match Hashtbl.find_opt cut_pos i with
+    | Some j -> Bdd.var man vars.(j)
+    | None -> (
+        match Hashtbl.find_opt memo i with
+        | Some b -> b
+        | None ->
+            let { u; w } = t.nodes.(i) in
+            let b =
+              match Netlist.kind nl u with
+              | Netlist.Pi | Netlist.Po ->
+                  invalid_arg "Expanded.cone_bdd: path escapes the cut"
+              | Netlist.Gate f ->
+                  let args =
+                    Array.map
+                      (fun (x, we) ->
+                        match Hashtbl.find_opt index (x, w + we) with
+                        | Some j -> go j
+                        | None ->
+                            invalid_arg
+                              "Expanded.cone_bdd: path escapes the expansion")
+                      (Netlist.fanins nl u)
+                  in
+                  Bdd.apply_truthtable man f args
+            in
+            Hashtbl.replace memo i b;
+            b)
+  in
+  go 0
+
+let cone_truthtable nl t ~cut =
+  let k = List.length cut in
+  if k > Logic.Truthtable.max_arity then
+    invalid_arg "Expanded.cone_truthtable: cut too wide";
+  let man = Bdd.new_man () in
+  let vars = Array.init k Fun.id in
+  let f = cone_bdd man nl t ~cut ~vars in
+  Bdd.to_truthtable man f vars

@@ -1,0 +1,323 @@
+open Prelude
+open Circuit
+
+type impl =
+  | Cut of (int * int) array
+  | Resyn of Decomp.Decompose.tree * (int * int) array
+
+type options = {
+  k : int;
+  resynthesize : bool;
+  cmax : int;
+  exhaustive : bool;
+  pld : bool;
+  extra_depth : int;
+  max_expansion : int;
+  resyn_depth : int;
+  multi_output : bool;
+  full_expansion : bool;
+}
+
+let default_options ~k =
+  {
+    k;
+    resynthesize = false;
+    cmax = 15;
+    exhaustive = false;
+    pld = true;
+    extra_depth = 3;
+    max_expansion = 4000;
+    resyn_depth = 2;
+    multi_output = false;
+    full_expansion = false;
+  }
+
+type stats = {
+  mutable iterations : int;
+  mutable flow_tests : int;
+  mutable decompositions : int;
+  mutable pld_hits : int;
+}
+
+type outcome =
+  | Feasible of { labels : Rat.t array; impls : impl option array }
+  | Infeasible
+
+exception Diverged
+
+let big_l nl labels phi v =
+  let fanins = Netlist.fanins nl v in
+  if Array.length fanins = 0 then Rat.zero (* constant gate *)
+  else
+    Array.fold_left
+      (fun acc (u, w) -> Rat.max acc (Rat.sub labels.(u) (Rat.mul_int phi w)))
+      (let u, w = fanins.(0) in
+       Rat.sub labels.(u) (Rat.mul_int phi w))
+      fanins
+
+(* SeqMapII-style full expansion keeps growing the candidate region to the
+   node budget instead of stopping a few levels below the threshold — the
+   pre-TurboMap network construction whose cost the paper's lineage
+   improved on. *)
+let effective_depth opts =
+  if opts.full_expansion then max_int / 2 else opts.extra_depth
+
+(* Decide whether a K-cut of height <= threshold exists; return it. *)
+let kcut_test opts stats nl labels phi v ~threshold =
+  stats.flow_tests <- stats.flow_tests + 1;
+  let ex =
+    Expanded.build nl ~root:v ~labels ~phi ~threshold
+      ~extra_depth:(effective_depth opts) ~max_nodes:opts.max_expansion
+  in
+  if ex.Expanded.overflow then None
+  else
+    match Flow.Kcut.find (Expanded.kcut_spec ex) ~k:opts.k with
+    | Flow.Kcut.Cut c -> Some (ex, c)
+    | Flow.Kcut.Exceeds -> None
+
+(* The decomposition tree is fully determined by the cut (which fixes the
+   cone function) and the ORDER of the input arrivals (the bound-set
+   heuristic sorts by arrival): memoize the tree on (cut, arrival
+   permutation) and re-evaluate its level against the current arrivals on
+   every hit — labels drift a little each iteration but rarely change the
+   order, so this caches across iterations and probes. *)
+type resyn_cache =
+  (int * (int * int) array * int array, Decomp.Decompose.tree option) Hashtbl.t
+
+let argsort (arrivals : Rat.t array) =
+  let idx = Array.init (Array.length arrivals) Fun.id in
+  Array.stable_sort (fun a b -> Rat.compare arrivals.(a) arrivals.(b)) idx;
+  idx
+
+(* TurboSYN sequential functional decomposition at lowered thresholds. *)
+let resyn_test ?(cache : resyn_cache option) opts stats nl labels phi v ~target =
+  let rec attempt h =
+    if h > opts.resyn_depth then None
+    else
+      let threshold = Rat.sub target (Rat.of_int h) in
+      let ex =
+        Expanded.build nl ~root:v ~labels ~phi ~threshold
+          ~extra_depth:(effective_depth opts) ~max_nodes:opts.max_expansion
+      in
+      if ex.Expanded.overflow then attempt (h + 1)
+      else
+        (* candidate cuts, widest first: the frontier cut gives the
+           decomposition the most room (it is what FlowSYN sees at a block
+           boundary); the minimum cut keeps the function narrow *)
+        let candidates =
+          let frontier = Expanded.frontier_cut ex in
+          let min_c =
+            match Flow.Kcut.min_cut (Expanded.kcut_spec ex) with
+            | Some c when c <> frontier -> [ c ]
+            | _ -> []
+          in
+          List.filter
+            (fun c -> c <> [] && List.length c <= opts.cmax)
+            (frontier :: min_c)
+        in
+        match candidates with
+        | [] -> attempt (h + 1)
+        | _ ->
+            let rec try_cuts = function
+              | [] -> attempt (h + 1)
+              | c :: rest -> (
+                  match try_cut c with
+                  | Some impl -> Some impl
+                  | None -> try_cuts rest)
+            and try_cut c =
+              let cut_nodes = List.map (fun i -> ex.Expanded.nodes.(i)) c in
+            let inputs =
+              Array.of_list
+                (List.map (fun n -> (n.Expanded.u, n.Expanded.w)) cut_nodes)
+            in
+            let arrivals =
+              Array.map
+                (fun (u, w) -> Rat.sub labels.(u) (Rat.mul_int phi w))
+                inputs
+            in
+            (* the root is part of the key: the same cut pairs under a
+               different root denote a different cone function *)
+            let key = (v, inputs, argsort arrivals) in
+            let tree =
+              match
+                match cache with
+                | Some tbl -> Hashtbl.find_opt tbl key
+                | None -> None
+              with
+              | Some cached -> cached
+              | None ->
+                  stats.decompositions <- stats.decompositions + 1;
+                  let man = Bdd.new_man () in
+                  let vars = Array.init (Array.length inputs) Fun.id in
+                  let f = Expanded.cone_bdd man nl ex ~cut:c ~vars in
+                  let computed =
+                    Option.map
+                      (fun r -> r.Decomp.Decompose.tree)
+                      (Decomp.Decompose.decompose ~exhaustive:opts.exhaustive
+                         ~multi:opts.multi_output man ~f ~vars ~arrivals
+                         ~k:opts.k)
+                  in
+                  (match cache with
+                  | Some tbl -> Hashtbl.replace tbl key computed
+                  | None -> ());
+                  computed
+            in
+              match tree with
+              | Some t
+                when Rat.( <= ) (Decomp.Decompose.tree_level ~arrivals t) target
+                ->
+                  Some (Resyn (t, inputs))
+              | _ -> None
+            in
+            try_cuts candidates
+  in
+  attempt 0
+
+(* One label update; returns true if the label changed. *)
+let update ?cache opts stats nl labels phi bound v =
+  let l_cur = labels.(v) in
+  let lv = big_l nl labels phi v in
+  if Rat.( <= ) (Rat.add lv Rat.one) l_cur then false
+  else begin
+    let decision =
+      match kcut_test opts stats nl labels phi v ~threshold:lv with
+      | Some _ -> lv
+      | None ->
+          let resyn =
+            if opts.resynthesize then
+              resyn_test ?cache opts stats nl labels phi v ~target:lv
+            else None
+          in
+          (match resyn with Some _ -> lv | None -> Rat.add lv Rat.one)
+    in
+    let l_new = Rat.max l_cur decision in
+    (match bound with
+    | Some b when Rat.( > ) l_new b -> raise Diverged
+    | _ -> ());
+    if Rat.( > ) l_new l_cur then begin
+      labels.(v) <- l_new;
+      true
+    end
+    else false
+  end
+
+(* Post-convergence pass: record an implementation for every gate. *)
+let harvest ?cache opts stats nl labels phi =
+  let n = Netlist.n nl in
+  let impls = Array.make n None in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if !ok && Netlist.is_gate nl v then begin
+      let target = labels.(v) in
+      match kcut_test opts stats nl labels phi v ~threshold:target with
+      | Some (ex, c) ->
+          let cut =
+            Array.of_list
+              (List.map
+                 (fun i ->
+                   let nd = ex.Expanded.nodes.(i) in
+                   (nd.Expanded.u, nd.Expanded.w))
+                 c)
+          in
+          impls.(v) <- Some (Cut cut)
+      | None -> (
+          match
+            if opts.resynthesize then
+              resyn_test ?cache opts stats nl labels phi v ~target
+            else None
+          with
+          | Some impl -> impls.(v) <- Some impl
+          | None -> ok := false)
+    end
+  done;
+  if !ok then Some impls else None
+
+let run ?cache opts nl ~phi =
+  Netlist.validate_exn ~k:opts.k nl;
+  let n = Netlist.n nl in
+  let stats = { iterations = 0; flow_tests = 0; decompositions = 0; pld_hits = 0 } in
+  let labels = Array.make n Rat.zero in
+  let n_gates = List.length (Netlist.gates nl) in
+  (* Labels of feasible targets are bounded by the mapping depth (at most
+     the gate count); exceeding the bound proves infeasibility.  This
+     shortcut is part of the PLD package — the no-PLD baseline reproduces
+     the pre-TurboSYN stopping criterion (quadratic iteration cap only). *)
+  let bound = if opts.pld then Some (Rat.of_int (n_gates + 1)) else None in
+  for v = 0 to n - 1 do
+    if Netlist.is_gate nl v then labels.(v) <- Rat.one
+  done;
+  (* SCCs over the full graph *)
+  let succ =
+    let out = Array.make n [] in
+    for v = 0 to n - 1 do
+      Array.iter (fun (u, _) -> out.(u) <- v :: out.(u)) (Netlist.fanins nl v)
+    done;
+    fun v -> out.(v)
+  in
+  let scc = Graphs.Scc.compute ~n ~succ in
+  let order = Graphs.Scc.topo_order scc in
+  let feasible = ref true in
+  (try
+     Array.iter
+       (fun c ->
+         if !feasible then begin
+           let members =
+             Array.of_list
+               (List.filter
+                  (fun v -> Netlist.is_gate nl v)
+                  (Array.to_list scc.Graphs.Scc.members.(c)))
+           in
+           let m = Array.length members in
+           if m > 0 then
+             if Graphs.Scc.is_trivial scc ~succ c then begin
+               stats.iterations <- stats.iterations + 1;
+               ignore (update ?cache opts stats nl labels phi bound members.(0))
+             end
+             else begin
+               Array.sort Int.compare members;
+               let in_scc v = scc.Graphs.Scc.comp.(v) = c in
+               (* Theorem 2 of the paper: a positive loop exists iff after
+                  6n iterations the SCC is totally isolated in the support
+                  graph.  The test is only meaningful from 6n on (before
+                  that, transient equality-supported states of feasible
+                  targets can look isolated); without PLD only the
+                  conservative quadratic cap applies (the pre-TurboSYN
+                  stopping criterion). *)
+               let pld_gate = 6 * m in
+               let hard_cap = (m * m) + 64 in
+               let converged = ref false in
+               let iter = ref 0 in
+               while (not !converged) && !feasible do
+                 incr iter;
+                 stats.iterations <- stats.iterations + 1;
+                 let changed = ref false in
+                 Array.iter
+                   (fun v ->
+                     if update ?cache opts stats nl labels phi bound v then
+                       changed := true)
+                   members;
+                 if not !changed then converged := true
+                 else begin
+                   if
+                     opts.pld && !iter >= pld_gate
+                     && Pld.all_isolated nl ~labels ~phi ~members ~in_scc
+                   then begin
+                     stats.pld_hits <- stats.pld_hits + 1;
+                     feasible := false
+                   end;
+                   if !iter > hard_cap then feasible := false
+                 end
+               done
+             end
+         end)
+       order
+   with Diverged -> feasible := false);
+  if not !feasible then (Infeasible, stats)
+  else
+    match harvest ?cache opts stats nl labels phi with
+    | Some impls -> (Feasible { labels; impls }, stats)
+    | None ->
+        (* should not happen: convergence guarantees an implementation *)
+        (Infeasible, stats)
+
+let new_cache () : resyn_cache = Hashtbl.create 512

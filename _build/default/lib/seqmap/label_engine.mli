@@ -1,0 +1,79 @@
+(** Iterative sequential label computation (TurboMap, and TurboSYN when
+    resynthesis is enabled).
+
+    For a target clock-period ratio φ, every gate gets a label lower-bound
+    (PIs are 0, gates start at 1) that is monotonically raised:
+
+    - [L(v) = max over fanins e(u,v) of l(u) - φ·w(e)];
+    - [l(v) = L(v)] when the partial expanded circuit [E_v] has a
+      K-feasible cut of height [<= L(v)] (max-flow test), and otherwise
+    - with resynthesis: still [L(v)] if a min-cut of size [<= cmax] at
+      height threshold [L(v) - h] (h = 0, 1, …) has a single-output
+      functional decomposition whose root level stays [<= L(v)]
+      (the paper's sequential functional decomposition);
+    - else [L(v) + 1].
+
+    SCCs are processed in topological order.  Within an SCC the iteration
+    stops on convergence (feasible), on total isolation in the support
+    graph when PLD is enabled (infeasible), when a label exceeds the gate
+    count (labels of feasible targets are bounded by the depth, infeasible),
+    or at the hard n²-style cap (infeasible) — the paper's pre-PLD
+    criterion. *)
+
+open Prelude
+
+type impl =
+  | Cut of (int * int) array
+      (** sequential cut: (driver, register count) pairs, distinct *)
+  | Resyn of Decomp.Decompose.tree * (int * int) array
+      (** decomposed LUT tree over the listed sequential inputs *)
+
+type options = {
+  k : int;
+  resynthesize : bool;  (** TurboSYN when true, TurboMap when false *)
+  cmax : int;  (** max cut width handed to the decomposition engine *)
+  exhaustive : bool;  (** decomposition bound-set search *)
+  pld : bool;  (** positive loop detection (on = the paper's TurboSYN/TurboMap) *)
+  extra_depth : int;  (** candidate expansion slack in [E_v] *)
+  max_expansion : int;  (** node budget per expanded circuit *)
+  resyn_depth : int;  (** thresholds L(v) - 0 .. L(v) - resyn_depth tried *)
+  multi_output : bool;
+      (** allow two-wire bound-set extraction when single-output
+          decomposition is stuck (the paper's future-work extension) *)
+  full_expansion : bool;
+      (** SeqMapII-style baseline: expand candidate regions of [E_v] to
+          the node budget instead of the partial-network frontier — the
+          construction TurboMap's partial flow networks replaced; for the
+          benchmark comparison *)
+}
+
+val default_options : k:int -> options
+(** k, resynthesize=false, cmax=15, exhaustive=false, pld=true,
+    extra_depth=3, max_expansion=4000, resyn_depth=2, multi_output=false,
+    full_expansion=false. *)
+
+type stats = {
+  mutable iterations : int;
+  mutable flow_tests : int;
+  mutable decompositions : int;
+  mutable pld_hits : int;  (** SCCs proven infeasible by isolation *)
+}
+
+type outcome =
+  | Feasible of { labels : Rat.t array; impls : impl option array }
+  | Infeasible
+
+type resyn_cache
+(** Memo table for decomposition attempts, shared across probes of one
+    binary search (a cut and its arrivals fully determine the result). *)
+
+val new_cache : unit -> resyn_cache
+
+val run :
+  ?cache:resyn_cache -> options -> Circuit.Netlist.t -> phi:Rat.t ->
+  outcome * stats
+(** On [Feasible], [impls] is defined exactly on gates and every
+    implementation realizes its gate with sequential arrival [<= l(v)]
+    under the returned labels.
+    @raise Invalid_argument if the circuit is not K-bounded or has a
+    combinational loop. *)

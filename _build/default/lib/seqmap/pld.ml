@@ -1,0 +1,41 @@
+open Prelude
+open Circuit
+
+let all_isolated nl ~labels ~phi ~members ~in_scc =
+  (* supporters of v: fanins u with l(u) - phi*w + 1 >= l(v) *)
+  let supporters v =
+    if Rat.( <= ) labels.(v) Rat.one then []
+    else
+      Array.to_list (Netlist.fanins nl v)
+      |> List.filter_map (fun (u, w) ->
+             let support =
+               Rat.add (Rat.sub labels.(u) (Rat.mul_int phi w)) Rat.one
+             in
+             if Rat.( >= ) support labels.(v) then Some u else None)
+  in
+  let supported = Hashtbl.create (Array.length members) in
+  (* seed: members grounded directly *)
+  Array.iter
+    (fun v ->
+      if Rat.( <= ) labels.(v) Rat.one then Hashtbl.replace supported v ()
+      else if List.exists (fun u -> not (in_scc u)) (supporters v) then
+        Hashtbl.replace supported v ())
+    members;
+  (* propagate support along Gπ edges inside the SCC *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun v ->
+        if not (Hashtbl.mem supported v) then
+          if
+            List.exists
+              (fun u -> in_scc u && Hashtbl.mem supported u)
+              (supporters v)
+          then begin
+            Hashtbl.replace supported v ();
+            changed := true
+          end)
+      members
+  done;
+  Array.for_all (fun v -> not (Hashtbl.mem supported v)) members

@@ -1,0 +1,123 @@
+open Prelude
+open Circuit
+
+type report = {
+  phi : Rat.t;
+  luts : int;
+  mapped_mdr : Graphs.Cycle_ratio.result;
+  clock_period : int;
+  probes : int;
+  stats : Label_engine.stats;
+}
+
+let add_stats (acc : Label_engine.stats) (s : Label_engine.stats) =
+  acc.Label_engine.iterations <- acc.Label_engine.iterations + s.Label_engine.iterations;
+  acc.Label_engine.flow_tests <- acc.Label_engine.flow_tests + s.Label_engine.flow_tests;
+  acc.Label_engine.decompositions <-
+    acc.Label_engine.decompositions + s.Label_engine.decompositions;
+  acc.Label_engine.pld_hits <- acc.Label_engine.pld_hits + s.Label_engine.pld_hits
+
+let minimum_ratio ?cache ?phi_max_den opts nl =
+  let acc =
+    {
+      Label_engine.iterations = 0;
+      flow_tests = 0;
+      decompositions = 0;
+      pld_hits = 0;
+    }
+  in
+  let probes = ref 0 in
+  let feasible phi =
+    incr probes;
+    let outcome, s = Label_engine.run ?cache opts nl ~phi in
+    add_stats acc s;
+    match outcome with
+    | Label_engine.Feasible _ -> true
+    | Label_engine.Infeasible -> false
+  in
+  match Netlist.mdr_ratio nl with
+  | Graphs.Cycle_ratio.Infinite ->
+      invalid_arg "Turbomap: combinational loop"
+  | Graphs.Cycle_ratio.No_cycle -> (Rat.zero, !probes, acc)
+  | Graphs.Cycle_ratio.Ratio ub ->
+      let total_weight =
+        Array.fold_left
+          (fun a e -> a + e.Graphs.Cycle_ratio.weight)
+          0 (Netlist.retiming_edges nl)
+      in
+      (* Simple cycles of a mapped circuit can carry more registers than
+         the source's cycles: a LUT may read its own output through w
+         registers by unrolling a loop (each unroll level consumes LUT
+         inputs, so at most K-1 levels are useful).  Bound the ratio
+         denominators accordingly. *)
+      let max_den = max 1 (total_weight * (opts.Label_engine.k - 1)) in
+      let max_den =
+        match phi_max_den with
+        | Some d -> min max_den (max 1 d)
+        | None -> max_den
+      in
+      (* the paper searches targets in [1, UB]: the realizable clock period
+         is max(1, ceil phi), so refining below ratio 1 only costs LUTs
+         (deeper loop unrolling) without speeding the clock *)
+      if Rat.( <= ) ub Rat.one then (ub, !probes, acc)
+      else if feasible Rat.one then (Rat.one, !probes, acc)
+      else
+        match
+          Rat.stern_brocot_min ~lo:Rat.one ~hi:ub ~max_den ~feasible
+        with
+        | Some phi -> (phi, !probes, acc)
+        | None ->
+            (* UB is feasible by construction (the trivial mapping) *)
+            assert false
+
+let realize mapped =
+  match Retime.Pipeline.period_lower_bound mapped with
+  | `Infinite -> None
+  | `Period p ->
+      let period, r = Retime.Pipeline.min_period mapped in
+      assert (period = p);
+      (* greedy FF minimization at the achieved period (skipped on very
+         large circuits where the local search would dominate runtime) *)
+      let r =
+        if List.length (Netlist.gates mapped) <= 1500 then
+          Retime.Retiming.minimize_ffs mapped ~period ~r
+        else r
+      in
+      let out = Retime.Retiming.apply mapped ~r in
+      Some (out, period, Retime.Pipeline.latency mapped ~r)
+
+let map_full ?options ?phi_max_den nl ~k =
+  let opts =
+    match options with Some o -> o | None -> Label_engine.default_options ~k
+  in
+  let cache = Label_engine.new_cache () in
+  let phi, probes, stats = minimum_ratio ~cache ?phi_max_den opts nl in
+  let outcome, s = Label_engine.run ~cache opts nl ~phi in
+  add_stats stats s;
+  match outcome with
+  | Label_engine.Infeasible ->
+      (* cannot happen: phi came back feasible from the search *)
+      assert false
+  | Label_engine.Feasible { impls; labels = _ } ->
+      let mapped = Mapgen.generate nl ~impls in
+      Netlist.validate_exn ~k mapped;
+      let mapped_mdr = Netlist.mdr_ratio mapped in
+      let clock_period =
+        match Retime.Pipeline.period_lower_bound mapped with
+        | `Period p -> p
+        | `Infinite -> -1
+      in
+      ( mapped,
+        {
+          phi;
+          luts = Mapgen.lut_count mapped;
+          mapped_mdr;
+          clock_period;
+          probes = probes + 1;
+          stats;
+        },
+        impls )
+
+let map ?options ?phi_max_den nl ~k =
+  let mapped, report, _ = map_full ?options ?phi_max_den nl ~k in
+  (mapped, report)

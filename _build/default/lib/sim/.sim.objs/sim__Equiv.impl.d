@@ -1,0 +1,1 @@
+lib/sim/equiv.ml: Array Circuit List Netlist Prelude Simulator String

@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Circuit Logic Netlist

@@ -1,0 +1,123 @@
+open Circuit
+
+let check_widths a b =
+  List.length (Netlist.pis a) = List.length (Netlist.pis b)
+  && List.length (Netlist.pos a) = List.length (Netlist.pos b)
+
+let random_vector rng width = Array.init width (fun _ -> Prelude.Rng.bool rng)
+
+let io_equal ?(cycles = 64) ?(runs = 8) rng a b =
+  check_widths a b
+  &&
+  let width = List.length (Netlist.pis a) in
+  let ok = ref true in
+  for _ = 1 to runs do
+    if !ok then begin
+      let sa = Simulator.create a and sb = Simulator.create b in
+      for _ = 1 to cycles do
+        if !ok then begin
+          let v = random_vector rng width in
+          if Simulator.step sa v <> Simulator.step sb v then ok := false
+        end
+      done
+    end
+  done;
+  !ok
+
+let latency_equal ?(cycles = 64) ?(runs = 8) ~warmup ~latency rng a b =
+  if latency < 0 then invalid_arg "Equiv.latency_equal: negative latency";
+  check_widths a b
+  &&
+  let width = List.length (Netlist.pis a) in
+  let ok = ref true in
+  for _ = 1 to runs do
+    if !ok then begin
+      let sa = Simulator.create a and sb = Simulator.create b in
+      (* one input stream, replayed into both; b additionally consumes
+         [latency] trailing cycles of arbitrary input to flush outputs *)
+      let total = cycles + latency in
+      let stream = Array.init total (fun _ -> random_vector rng width) in
+      let outs_a = Array.map (fun v -> Simulator.step sa v) (Array.sub stream 0 cycles) in
+      let outs_b = Array.map (fun v -> Simulator.step sb v) stream in
+      for t = warmup to cycles - 1 do
+        if outs_a.(t) <> outs_b.(t + latency) then ok := false
+      done
+    end
+  done;
+  !ok
+
+let mapped_equal ?(cycles = 64) ?(runs = 6) ?(warmup = 48) rng original mapped =
+  check_widths original mapped
+  &&
+  let width = List.length (Netlist.pis original) in
+  (* source node for each mapped node, via names; auto-generated names
+     ("n<id>") of unnamed source nodes are resolved by id *)
+  let resolve nm =
+    match Netlist.find_by_name original nm with
+    | Some o -> Some o
+    | None ->
+        if String.length nm > 1 && nm.[0] = 'n' then
+          match int_of_string_opt (String.sub nm 1 (String.length nm - 1)) with
+          | Some id
+            when id >= 0 && id < Netlist.n original
+                 && Netlist.node_name original id = nm ->
+              Some id
+          | _ -> None
+        else None
+  in
+  let source_of =
+    Array.init (Netlist.n mapped) (fun m ->
+        match resolve (Netlist.node_name mapped m) with
+        | Some o -> o
+        | None -> -1)
+  in
+  let total = warmup + cycles in
+  let ok = ref true in
+  for _ = 1 to runs do
+    if !ok then begin
+      let stream = Array.init total (fun _ -> random_vector rng width) in
+      (* simulate the source, recording every node's full history *)
+      let sa = Simulator.create original in
+      let hist = Array.make_matrix (Netlist.n original) total false in
+      let outs_a = Array.make total [||] in
+      Array.iteri
+        (fun t v ->
+          outs_a.(t) <- Simulator.step sa v;
+          for o = 0 to Netlist.n original - 1 do
+            hist.(o).(t) <- Simulator.node_value sa o
+          done)
+        stream;
+      (* mapped circuit starts at global time [warmup]; its register chains
+         read the source's actual trajectory *)
+      let prehistory m t =
+        (* t < 0 relative to warmup *)
+        let o = source_of.(m) in
+        let abs = warmup + t in
+        if o < 0 || abs < 0 then false else hist.(o).(abs)
+      in
+      let sb = Simulator.create ~prehistory mapped in
+      for t = warmup to total - 1 do
+        let out_b = Simulator.step sb stream.(t) in
+        if out_b <> outs_a.(t) then ok := false
+      done
+    end
+  done;
+  !ok
+
+let find_io_mismatch ?(cycles = 256) rng a b =
+  if not (check_widths a b) then invalid_arg "Equiv.find_io_mismatch: widths";
+  let width = List.length (Netlist.pis a) in
+  let sa = Simulator.create a and sb = Simulator.create b in
+  let played = ref [] in
+  let result = ref None in
+  (try
+     for t = 0 to cycles - 1 do
+       let v = random_vector rng width in
+       played := v :: !played;
+       if Simulator.step sa v <> Simulator.step sb v then begin
+         result := Some (t, Array.of_list (List.rev !played));
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result

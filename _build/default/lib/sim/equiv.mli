@@ -1,0 +1,44 @@
+(** Simulation-based sequential equivalence checks.
+
+    Two checks are provided, matching what retiming-based synthesis can
+    guarantee (see DESIGN.md):
+
+    - [io_equal]: exact same-cycle equality of output streams from reset.
+      Holds for transformations that keep register positions (e.g. plain
+      technology mapping without retiming).
+    - [latency_equal]: equality of output streams after a warm-up period
+      and with a constant latency shift — what pipelining provides on
+      flushable circuits.
+
+    These are bounded randomized checks, not proofs: they simulate many
+    random input streams. *)
+
+val io_equal :
+  ?cycles:int -> ?runs:int -> Prelude.Rng.t ->
+  Circuit.Netlist.t -> Circuit.Netlist.t -> bool
+(** Same PI/PO counts required; defaults: 64 cycles, 8 runs. *)
+
+val latency_equal :
+  ?cycles:int -> ?runs:int -> warmup:int -> latency:int -> Prelude.Rng.t ->
+  Circuit.Netlist.t -> Circuit.Netlist.t -> bool
+(** [latency_equal ~warmup ~latency rng a b]: for every [t >= warmup],
+    output of [b] at cycle [t + latency] equals output of [a] at [t]. *)
+
+val mapped_equal :
+  ?cycles:int -> ?runs:int -> ?warmup:int -> Prelude.Rng.t ->
+  Circuit.Netlist.t -> Circuit.Netlist.t -> bool
+(** [mapped_equal rng original mapped] checks a technology-mapped circuit
+    against its source when mapping moved registers into LUT-input delays
+    (TurboMap/TurboSYN).  Node names of [mapped] identify the source
+    signals: the source is simulated for [warmup] cycles (default 48) and
+    its actual signal history initializes the mapped circuit's register
+    chains ([Simulator]'s prehistory); both must then produce identical
+    output streams.  This is the correct sequential-equivalence notion for
+    register-retiming transforms — equality from consistent initial
+    states. *)
+
+val find_io_mismatch :
+  ?cycles:int -> Prelude.Rng.t -> Circuit.Netlist.t -> Circuit.Netlist.t ->
+  (int * bool array array) option
+(** First cycle where outputs differ on one random stream, with the input
+    stream played so far — a debugging aid. *)

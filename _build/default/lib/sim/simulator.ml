@@ -1,0 +1,73 @@
+open Circuit
+
+type t = {
+  nl : Netlist.t;
+  order : int array; (* combinational topological order *)
+  hist : bool array array; (* node -> circular buffer of depth histlen *)
+  histlen : int;
+  mutable time : int; (* number of completed steps *)
+  pis : int array;
+  pos : int array;
+  prehistory : (int -> int -> bool) option;
+}
+
+let create ?prehistory nl =
+  Netlist.validate_exn nl;
+  let histlen = Netlist.max_fanin_weight nl + 1 in
+  {
+    nl;
+    order = Netlist.comb_topo_order nl;
+    hist = Array.init (Netlist.n nl) (fun _ -> Array.make histlen false);
+    histlen;
+    time = 0;
+    pis = Array.of_list (Netlist.pis nl);
+    pos = Array.of_list (Netlist.pos nl);
+    prehistory;
+  }
+
+let circuit t = t.nl
+
+let reset t =
+  Array.iter (fun h -> Array.fill h 0 (Array.length h) false) t.hist;
+  t.time <- 0
+
+(* slot of node value at [time] in the circular buffer *)
+let slot t time = ((time mod t.histlen) + t.histlen) mod t.histlen
+
+(* value of [v] at absolute time [time]; times before 0 read the prehistory
+   (default 0) *)
+let value_at t v time =
+  if time < 0 then
+    match t.prehistory with None -> false | Some f -> f v time
+  else t.hist.(v).(slot t time)
+
+let step t pi_values =
+  if Array.length pi_values <> Array.length t.pis then
+    invalid_arg "Simulator.step: PI width mismatch";
+  let now = t.time in
+  Array.iteri (fun i pi -> t.hist.(pi).(slot t now) <- pi_values.(i)) t.pis;
+  Array.iter
+    (fun v ->
+      match Netlist.kind t.nl v with
+      | Netlist.Pi -> ()
+      | Netlist.Po ->
+          let d, w = (Netlist.fanins t.nl v).(0) in
+          t.hist.(v).(slot t now) <- value_at t d (now - w)
+      | Netlist.Gate f ->
+          let inputs =
+            Array.map
+              (fun (d, w) -> value_at t d (now - w))
+              (Netlist.fanins t.nl v)
+          in
+          t.hist.(v).(slot t now) <- Logic.Truthtable.eval f inputs)
+    t.order;
+  t.time <- now + 1;
+  Array.map (fun po -> t.hist.(po).(slot t now)) t.pos
+
+let run nl vectors =
+  let sim = create nl in
+  Array.map (fun v -> step sim v) vectors
+
+let node_value t v =
+  if t.time = 0 then invalid_arg "Simulator.node_value: no step taken";
+  t.hist.(v).(slot t (t.time - 1))

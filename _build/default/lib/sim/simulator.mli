@@ -1,0 +1,33 @@
+(** Cycle-accurate simulation of retiming-graph circuits.
+
+    All flip-flops start at 0 (the retiming-graph model is initial-state
+    agnostic; see DESIGN.md).  A fanin of weight [w] reads the driver's
+    value from [w] cycles ago. *)
+
+type t
+
+val create :
+  ?prehistory:(Circuit.Netlist.node_id -> int -> bool) -> Circuit.Netlist.t -> t
+(** [prehistory v t] (with [t < 0]) supplies pre-reset values read through
+    registers; default all-0.  Technology mapping with retiming absorbs
+    registers into LUT-input delays, so checking a mapped circuit against
+    its source requires initializing those delays with the source's actual
+    signal history (see {!Equiv.mapped_equal}).
+    @raise Invalid_argument if the circuit fails validation. *)
+
+val circuit : t -> Circuit.Netlist.t
+
+val reset : t -> unit
+(** Clear all history to 0. *)
+
+val step : t -> bool array -> bool array
+(** [step sim pi_values] advances one clock cycle and returns the PO
+    values (in PO creation order).
+    @raise Invalid_argument when the input width differs from the PI
+    count. *)
+
+val run : Circuit.Netlist.t -> bool array array -> bool array array
+(** Simulate from reset over a sequence of input vectors. *)
+
+val node_value : t -> Circuit.Netlist.node_id -> bool
+(** Value computed for a node on the most recent [step]. *)

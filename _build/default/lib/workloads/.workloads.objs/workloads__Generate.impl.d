@@ -1,0 +1,1 @@
+lib/workloads/generate.ml: Array Build Circuit List Logic Netlist Prelude Printf Rng Truthtable

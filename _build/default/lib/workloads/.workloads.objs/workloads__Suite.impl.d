@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Circuit Generate List Prelude Rng

@@ -1,0 +1,291 @@
+open Prelude
+open Logic
+open Circuit
+
+(* Gate functions biased toward the decomposable families real synthesis
+   produces (xor/and/or trees out of SIS): column multiplicity 2 for every
+   bound set, which is what gives TurboSYN's sequential decomposition its
+   leverage.  A share of dense random functions keeps the mix honest. *)
+let biased_tt rng arity =
+  match Rng.int rng 100 with
+  | n when n < 35 -> Truthtable.xor_all arity
+  | n when n < 50 -> Truthtable.and_all arity
+  | n when n < 60 -> Truthtable.or_all arity
+  | n when n < 70 -> Truthtable.not_ (Truthtable.and_all arity)
+  | _ -> Truthtable.random_nondegenerate rng arity
+
+(* random gate over the given (driver, weight) candidate pool *)
+let random_gate rng nl pool ~max_arity =
+  let arity = 2 + Rng.int rng (max_arity - 1) in
+  let arity = min arity (max 1 (Array.length pool)) in
+  let fanins = Array.init arity (fun _ -> Rng.pick rng pool) in
+  Netlist.add_gate nl (biased_tt rng arity) fanins
+
+let add_outputs rng nl ~pool ~pos =
+  for j = 0 to pos - 1 do
+    ignore
+      (Netlist.add_po ~name:(Printf.sprintf "y%d" j) nl
+         ~driver:(Rng.pick rng pool) ~weight:0)
+  done
+
+let fsm rng ~pis ~pos ~gates ~ffs =
+  if ffs < 2 || gates < ffs + 2 then invalid_arg "Generate.fsm: sizes";
+  let nl = Netlist.create ~name:"fsm" () in
+  let pi_ids =
+    Array.init pis (fun i -> Netlist.add_pi ~name:(Printf.sprintf "x%d" i) nl)
+  in
+  (* state signals, defined later; read through one register everywhere *)
+  let state =
+    Array.init ffs (fun i ->
+        Netlist.reserve_gate ~name:(Printf.sprintf "s%d" i) nl)
+  in
+  let pi_pool = Array.map (fun p -> (p, 0)) pi_ids in
+  let state_pool = Array.map (fun s -> (s, 1)) state in
+  (* next-state and output logic: a random cone over PIs + registered state *)
+  let logic = ref [] in
+  for _ = 1 to gates - ffs do
+    let pool =
+      Array.concat
+        [ pi_pool; state_pool; Array.of_list (List.map (fun g -> (g, 0)) !logic) ]
+    in
+    logic := random_gate rng nl pool ~max_arity:4 :: !logic
+  done;
+  let logic_pool = Array.of_list (List.map (fun g -> (g, 0)) !logic) in
+  (* state gates: one logic cone input, the neighbour state (registered,
+     guaranteeing a loop through every state bit), and one free input *)
+  Array.iteri
+    (fun i s ->
+      let a = Rng.pick rng logic_pool in
+      let b = (state.((i + 1) mod ffs), 1) in
+      let c = Rng.pick rng (Array.append pi_pool logic_pool) in
+      Netlist.define_gate nl s (biased_tt rng 3) [| a; b; c |])
+    state;
+  add_outputs rng nl ~pool:(Array.map fst logic_pool) ~pos;
+  Netlist.validate_exn ~k:4 nl;
+  nl
+
+let mixer rng ~pis ~pos ~gates ~ff_density =
+  let nl = Netlist.create ~name:"mixer" () in
+  let pi_ids =
+    Array.init pis (fun i -> Netlist.add_pi ~name:(Printf.sprintf "x%d" i) nl)
+  in
+  let gate_ids =
+    Array.init gates (fun i -> Netlist.reserve_gate ~name:(Printf.sprintf "g%d" i) nl)
+  in
+  for i = 0 to gates - 1 do
+    (* a third of the gates extend 2-input chains (serpentine structure
+       whose registers fragment FlowSYN-s's combinational blocks) *)
+    let arity = if Rng.int rng 3 = 0 then 2 else 2 + Rng.int rng 3 in
+    let fanins =
+      Array.init arity (fun j ->
+          if j = 0 && i > 0 && arity = 2 then
+            (* chain edge from the previous gate, sometimes registered *)
+            (gate_ids.(i - 1), if Rng.int rng 4 = 0 then 1 else 0)
+          else if Rng.float rng < ff_density then
+            (* registered edge may target any node, closing loops *)
+            (Rng.pick rng (Array.append pi_ids gate_ids), 1 + Rng.int rng 2)
+          else
+            (* combinational edges point backward only *)
+            (Rng.pick rng (Array.append pi_ids (Array.sub gate_ids 0 i)), 0))
+    in
+    Netlist.define_gate nl gate_ids.(i) (biased_tt rng arity) fanins
+  done;
+  add_outputs rng nl ~pool:gate_ids ~pos;
+  Netlist.validate_exn ~k:4 nl;
+  nl
+
+let lfsr rng ~bits ~taps =
+  if bits < 2 || taps < 2 || taps > bits then invalid_arg "Generate.lfsr";
+  let nl = Netlist.create ~name:"lfsr" () in
+  let inj = Netlist.add_pi ~name:"inj" nl in
+  let cells =
+    Array.init bits (fun i -> Netlist.reserve_gate ~name:(Printf.sprintf "b%d" i) nl)
+  in
+  (* pick [taps] distinct tap positions (always including the last cell) *)
+  let tap_set =
+    let rest = Rng.sample rng (taps - 1) (bits - 1) in
+    (bits - 1) :: rest
+  in
+  (* feedback = xor of taps (registered) xor injection *)
+  let fb = ref inj in
+  let fb_w = ref 0 in
+  List.iter
+    (fun t ->
+      let g =
+        Netlist.add_gate nl (Truthtable.xor_all 2)
+          [| (!fb, !fb_w); (cells.(t), 1) |]
+      in
+      fb := g;
+      fb_w := 0)
+    tap_set;
+  Netlist.define_gate nl cells.(0) (Truthtable.var 1 0) [| (!fb, !fb_w) |];
+  for i = 1 to bits - 1 do
+    Netlist.define_gate nl cells.(i) (Truthtable.var 1 0) [| (cells.(i - 1), 1) |]
+  done;
+  ignore (Netlist.add_po ~name:"out" nl ~driver:cells.(bits - 1) ~weight:0);
+  Netlist.validate_exn ~k:4 nl;
+  nl
+
+let counter ~bits =
+  if bits < 1 then invalid_arg "Generate.counter";
+  let nl = Netlist.create ~name:"counter" () in
+  let en = Netlist.add_pi ~name:"en" nl in
+  (* bit i toggles when en and all lower bits are 1 *)
+  let bitsg =
+    Array.init bits (fun i -> Netlist.reserve_gate ~name:(Printf.sprintf "b%d" i) nl)
+  in
+  let carry = ref en and carry_w = ref 0 in
+  for i = 0 to bits - 1 do
+    (* b_i = b_i xor carry_i, with b_i read through its register *)
+    Netlist.define_gate nl bitsg.(i) (Truthtable.xor_all 2)
+      [| (bitsg.(i), 1); (!carry, !carry_w) |];
+    if i < bits - 1 then begin
+      let c =
+        Netlist.add_gate ~name:(Printf.sprintf "c%d" i) nl (Truthtable.and_all 2)
+          [| (!carry, !carry_w); (bitsg.(i), 1) |]
+      in
+      carry := c;
+      carry_w := 0
+    end
+  done;
+  ignore (Netlist.add_po ~name:"msb" nl ~driver:bitsg.(bits - 1) ~weight:0);
+  Netlist.validate_exn ~k:4 nl;
+  nl
+
+let datapath rng ~width ~stages =
+  if width < 2 || stages < 1 then invalid_arg "Generate.datapath";
+  let nl = Netlist.create ~name:"datapath" () in
+  let ins =
+    Array.init width (fun i -> Netlist.add_pi ~name:(Printf.sprintf "d%d" i) nl)
+  in
+  (* feedback from the accumulator MSB into the first mixing layer closes a
+     long loop through the datapath (declared below, defined later) *)
+  let acc0 = Netlist.reserve_gate ~name:"afb" nl in
+  (* pipelined mixing layers *)
+  let layer = ref (Array.map (fun p -> (p, 0)) ins) in
+  (!layer).(0) <- (acc0, 1);
+  for _ = 1 to stages do
+    let prev = !layer in
+    layer :=
+      Array.init width (fun i ->
+          let a = prev.(i) in
+          let b = prev.((i + 1 + Rng.int rng (width - 1)) mod width) in
+          let tt =
+            if Rng.bool rng then Truthtable.xor_all 2 else Truthtable.and_all 2
+          in
+          let g = Netlist.add_gate nl tt [| a; b |] in
+          (* register the stage boundary *)
+          (g, 1))
+  done;
+  (* accumulator: acc = acc + stage_out (ripple carry), sums registered *)
+  let acc =
+    Array.init width (fun i ->
+        if i = 0 then acc0
+        else Netlist.reserve_gate ~name:(Printf.sprintf "a%d" i) nl)
+  in
+  let carry = ref None in
+  for i = 0 to width - 1 do
+    let x = !layer.(i) in
+    let acc_in = (acc.(i), 1) in
+    let cin =
+      match !carry with None -> None | Some c -> Some (c, 0)
+    in
+    (match cin with
+    | None ->
+        (* half adder *)
+        Netlist.define_gate nl acc.(i) (Truthtable.xor_all 2) [| x; acc_in |];
+        let c = Netlist.add_gate nl (Truthtable.and_all 2) [| x; acc_in |] in
+        carry := Some c
+    | Some c ->
+        Netlist.define_gate nl acc.(i) (Truthtable.xor_all 3) [| x; acc_in; c |];
+        let v j = Truthtable.var 3 j in
+        let maj =
+          Truthtable.or_
+            (Truthtable.and_ (v 0) (v 1))
+            (Truthtable.or_
+               (Truthtable.and_ (v 0) (v 2))
+               (Truthtable.and_ (v 1) (v 2)))
+        in
+        let cg = Netlist.add_gate nl maj [| x; acc_in; c |] in
+        carry := Some cg)
+  done;
+  Array.iteri
+    (fun i a ->
+      ignore (Netlist.add_po ~name:(Printf.sprintf "q%d" i) nl ~driver:a ~weight:0))
+    acc;
+  Netlist.validate_exn ~k:4 nl;
+  nl
+
+let crc ~bits ~taps =
+  if bits < 2 then invalid_arg "Generate.crc";
+  List.iter (fun t -> if t < 1 || t >= bits then invalid_arg "Generate.crc: tap") taps;
+  let nl = Netlist.create ~name:"crc" () in
+  let din = Netlist.add_pi ~name:"din" nl in
+  let cells =
+    Array.init bits (fun i -> Netlist.reserve_gate ~name:(Printf.sprintf "c%d" i) nl)
+  in
+  (* feedback bit = msb(prev) xor din *)
+  let fb =
+    Netlist.add_gate ~name:"fb" nl (Truthtable.xor_all 2)
+      [| (cells.(bits - 1), 1); (din, 0) |]
+  in
+  for i = 0 to bits - 1 do
+    if i = 0 then
+      Netlist.define_gate nl cells.(0) (Truthtable.var 1 0) [| (fb, 0) |]
+    else if List.mem i taps then
+      Netlist.define_gate nl cells.(i) (Truthtable.xor_all 2)
+        [| (cells.(i - 1), 1); (fb, 0) |]
+    else
+      Netlist.define_gate nl cells.(i) (Truthtable.var 1 0)
+        [| (cells.(i - 1), 1) |]
+  done;
+  ignore (Netlist.add_po ~name:"crc_out" nl ~driver:cells.(bits - 1) ~weight:0);
+  Netlist.validate_exn ~k:4 nl;
+  nl
+
+let traffic () =
+  (* Moore FSM: states G1(000) Y1(001) R1R2(010) G2(011) Y2(100); inputs:
+     car sensors s1 s2; outputs: green1 yellow1 green2 yellow2.  Hand-coded
+     next-state equations over 3 state bits. *)
+  let nl = Netlist.create ~name:"traffic" () in
+  let s1 = Netlist.add_pi ~name:"s1" nl in
+  let s2 = Netlist.add_pi ~name:"s2" nl in
+  let q0 = Netlist.reserve_gate ~name:"q0" nl in
+  let q1 = Netlist.reserve_gate ~name:"q1" nl in
+  let q2 = Netlist.reserve_gate ~name:"q2" nl in
+  (* helpers over registered state *)
+  let v3 i = Truthtable.var 3 i in
+  (* state decode from registered bits (weight 1 reads) *)
+  let st b2 b1 b0 =
+    let t = Truthtable.and_ (if b2 then v3 2 else Truthtable.not_ (v3 2))
+        (Truthtable.and_ (if b1 then v3 1 else Truthtable.not_ (v3 1))
+           (if b0 then v3 0 else Truthtable.not_ (v3 0))) in
+    Netlist.add_gate nl t [| (q0, 1); (q1, 1); (q2, 1) |]
+  in
+  let g1 = st false false false in
+  let y1 = st false false true in
+  let rr = st false true false in
+  let g2 = st false true true in
+  let y2 = st true false false in
+  (* transitions: G1 -> Y1 when s2 (cross traffic waiting); Y1 -> RR;
+     RR -> G2; G2 -> Y2 when s1; Y2 -> G1 *)
+  let adv_g1 = Build.and2 ~name:"adv_g1" nl g1 s2 in
+  let adv_g2 = Build.and2 ~name:"adv_g2" nl g2 s1 in
+  (* next state bits: next = Y1(001) from adv_g1; RR(010) from y1;
+     G2(011) from rr; Y2(100) from adv_g2; G1(000) from y2;
+     holds: g1 & !s2 stays 000, g2 & !s1 stays 011 *)
+  let and_not = Truthtable.and_ (Truthtable.var 2 0) (Truthtable.not_ (Truthtable.var 2 1)) in
+  let hold_g2 = Netlist.add_gate ~name:"hold_g2" nl and_not [| (g2, 0); (s1, 0) |] in
+  (* q0' = adv_g1 | (rr) | hold_g2 ; q1' = y1 | rr | hold_g2 ; q2' = adv_g2 *)
+  let q0n = Build.or2 ~name:"q0n" nl (Build.or2 nl adv_g1 rr) hold_g2 in
+  let q1n = Build.or2 ~name:"q1n" nl (Build.or2 nl y1 rr) hold_g2 in
+  Netlist.define_gate nl q0 (Truthtable.var 1 0) [| (q0n, 0) |];
+  Netlist.define_gate nl q1 (Truthtable.var 1 0) [| (q1n, 0) |];
+  Netlist.define_gate nl q2 (Truthtable.var 1 0) [| (adv_g2, 0) |];
+  (* outputs *)
+  ignore (Netlist.add_po ~name:"green1" nl ~driver:g1 ~weight:0);
+  ignore (Netlist.add_po ~name:"yellow1" nl ~driver:y1 ~weight:0);
+  ignore (Netlist.add_po ~name:"green2" nl ~driver:g2 ~weight:0);
+  ignore (Netlist.add_po ~name:"yellow2" nl ~driver:y2 ~weight:0);
+  Netlist.validate_exn ~k:4 nl;
+  nl

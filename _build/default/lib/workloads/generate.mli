@@ -1,0 +1,49 @@
+(** Deterministic synthetic benchmark circuits.
+
+    The paper evaluates on 12 MCNC FSM benchmarks and 4 ISCAS'89 circuits
+    prepared with SIS + dmig; those netlists are not redistributable here,
+    so each named workload is a seeded synthetic circuit with the same
+    structural statistics (gate count, flip-flop count, K-boundedness,
+    loop structure) — see DESIGN.md's substitution table.  All generators
+    are deterministic in the given RNG and produce K-bounded (fanin <= 4)
+    circuits with no combinational loops. *)
+
+open Prelude
+
+val fsm :
+  Rng.t -> pis:int -> pos:int -> gates:int -> ffs:int -> Circuit.Netlist.t
+(** Finite-state-machine shape: [ffs] state signals held in registered
+    loops, fed by random next-state logic cones over the inputs and the
+    registered state, plus output logic.  Exactly [gates] gates. *)
+
+val mixer :
+  Rng.t ->
+  pis:int -> pos:int -> gates:int -> ff_density:float ->
+  Circuit.Netlist.t
+(** Random K-bounded sequential graph: combinational edges only point
+    backward (no combinational loops); roughly [ff_density] of all edges
+    carry 1–2 registers, closing feedback loops of varied length. *)
+
+val lfsr : Rng.t -> bits:int -> taps:int -> Circuit.Netlist.t
+(** Fibonacci LFSR with an injection input: a [bits]-long registered shift
+    chain whose feedback xors [taps] stages. *)
+
+val counter : bits:int -> Circuit.Netlist.t
+(** Synchronous binary counter with enable: ripple carry logic (AND chain)
+    and one registered toggle loop per bit. *)
+
+val datapath :
+  Rng.t -> width:int -> stages:int -> Circuit.Netlist.t
+(** Accumulating datapath: [stages] pipelined xor/and mixing layers of
+    [width] bits feeding a ripple-carry accumulator loop ([width] full
+    adders whose sums are registered back). *)
+
+val crc : bits:int -> taps:int list -> Circuit.Netlist.t
+(** Serial CRC over a one-bit data input: a [bits]-stage register ring
+    whose feedback (msb xor data-in) is xored into the tapped stages —
+    a Galois LFSR with input.  [taps] are stage indices in [1, bits). *)
+
+val traffic : unit -> Circuit.Netlist.t
+(** A small concrete Moore FSM (two-road traffic-light controller with
+    sensors): 3 state bits, 2 inputs, 4 outputs — a classic MCNC-style
+    control circuit with hand-written next-state logic. *)

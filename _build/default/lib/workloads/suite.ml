@@ -1,0 +1,68 @@
+open Prelude
+
+type style = Fsm | Mixer of float | Lfsr | Counter | Datapath
+
+type spec = {
+  name : string;
+  style : style;
+  gates : int;
+  ffs : int;
+  pis : int;
+  pos : int;
+}
+
+(* 12 MCNC-FSM stand-ins + 4 ISCAS'89 stand-ins, scaled like the paper's
+   Table 1 circuits (tens to hundreds of gates, 5-75 FFs). *)
+let table1 =
+  [
+    { name = "bbara"; style = Fsm; gates = 58; ffs = 4; pis = 4; pos = 2 };
+    { name = "bbsse"; style = Fsm; gates = 104; ffs = 4; pis = 7; pos = 7 };
+    { name = "cse"; style = Fsm; gates = 190; ffs = 4; pis = 7; pos = 7 };
+    { name = "dk16"; style = Fsm; gates = 231; ffs = 5; pis = 2; pos = 3 };
+    { name = "donfile"; style = Fsm; gates = 157; ffs = 5; pis = 2; pos = 1 };
+    { name = "ex1"; style = Fsm; gates = 211; ffs = 5; pis = 9; pos = 19 };
+    { name = "keyb"; style = Fsm; gates = 193; ffs = 5; pis = 7; pos = 2 };
+    { name = "planet"; style = Fsm; gates = 414; ffs = 6; pis = 7; pos = 19 };
+    { name = "s1"; style = Fsm; gates = 153; ffs = 5; pis = 8; pos = 6 };
+    { name = "sand"; style = Fsm; gates = 427; ffs = 5; pis = 11; pos = 9 };
+    { name = "styr"; style = Fsm; gates = 313; ffs = 5; pis = 9; pos = 10 };
+    { name = "tbk"; style = Fsm; gates = 278; ffs = 5; pis = 6; pos = 3 };
+    { name = "s298"; style = Mixer 0.25; gates = 119; ffs = 14; pis = 3; pos = 6 };
+    { name = "s420"; style = Mixer 0.2; gates = 196; ffs = 16; pis = 18; pos = 1 };
+    { name = "s526"; style = Mixer 0.3; gates = 193; ffs = 21; pis = 3; pos = 6 };
+    { name = "s1423"; style = Datapath; gates = 657; ffs = 74; pis = 17; pos = 5 };
+  ]
+
+let scaling =
+  [
+    { name = "big1k"; style = Mixer 0.25; gates = 1000; ffs = 0; pis = 16; pos = 8 };
+    { name = "big2k"; style = Mixer 0.25; gates = 2000; ffs = 0; pis = 16; pos = 8 };
+    { name = "big4k"; style = Mixer 0.25; gates = 4000; ffs = 0; pis = 24; pos = 8 };
+    { name = "big8k"; style = Mixer 0.25; gates = 8000; ffs = 0; pis = 32; pos = 8 };
+  ]
+
+let all = table1 @ scaling
+
+let build spec =
+  let rng = Rng.of_string spec.name in
+  let nl =
+    match spec.style with
+    | Fsm ->
+        Generate.fsm rng ~pis:spec.pis ~pos:spec.pos ~gates:spec.gates
+          ~ffs:spec.ffs
+    | Mixer density ->
+        Generate.mixer rng ~pis:spec.pis ~pos:spec.pos ~gates:spec.gates
+          ~ff_density:density
+    | Lfsr -> Generate.lfsr rng ~bits:spec.ffs ~taps:(max 2 (spec.ffs / 4))
+    | Counter -> Generate.counter ~bits:spec.ffs
+    | Datapath ->
+        (* width*stages mixing gates + ~2*width adder gates: solve width
+           from the target *)
+        let width = max 4 (spec.ffs / 4) in
+        let stages = max 1 ((spec.gates - (2 * width)) / width) in
+        Generate.datapath rng ~width ~stages
+  in
+  Circuit.Netlist.set_name nl spec.name;
+  nl
+
+let find name = List.find_opt (fun s -> s.name = name) all

@@ -1,0 +1,39 @@
+(** The named benchmark suite mirroring the paper's evaluation.
+
+    Table 1 of the paper uses 12 MCNC FSM benchmarks and 4 ISCAS'89
+    circuits (prepared with SIS sequential synthesis + dmig).  Each name
+    below builds a deterministic synthetic stand-in of the same scale
+    (see DESIGN.md): the circuit is produced by the generator listed in its
+    spec, seeded by the benchmark name, so every run of the harness sees
+    the identical netlist. *)
+
+type style =
+  | Fsm
+  | Mixer of float  (** registered-edge density *)
+  | Lfsr
+  | Counter
+  | Datapath
+
+type spec = {
+  name : string;
+  style : style;
+  gates : int;  (** target gate count *)
+  ffs : int;  (** state/register signals (style-dependent meaning) *)
+  pis : int;
+  pos : int;
+}
+
+val table1 : spec list
+(** 16 circuits: 12 FSM-style (MCNC stand-ins) + 4 ISCAS'89 stand-ins. *)
+
+val scaling : spec list
+(** Larger circuits (up to ~8k gates / ~1k FFs) for the PLD speedup and
+    scalability experiment (the paper's 10^4-gates claim). *)
+
+val build : spec -> Circuit.Netlist.t
+(** Deterministic: seeded by [spec.name]. *)
+
+val find : string -> spec option
+(** Look up by name across [table1] and [scaling]. *)
+
+val all : spec list

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Bdd Fun Gen List Logic Prelude Printf QCheck QCheck_alcotest Test Truthtable

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Blif Build Circuit Filename Format Graphs List Logic Netlist Option Prelude Printf Sim Str String Sys Truthtable Verilog

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Build Circuit Format Graphs List Logic Netlist Option Prelude Printf Rat Retime Rng Seqmap Sim String Truthtable Turbosyn Workloads

@@ -1,0 +1,1 @@
+test/test_decomp.ml: Alcotest Array Bdd Classes Decomp Decompose Fun Gen List Logic Prelude Printf QCheck QCheck_alcotest Rat Rng String Test Truthtable

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Flow Fun Gen Kcut List Maxflow Printf QCheck QCheck_alcotest Queue String Test

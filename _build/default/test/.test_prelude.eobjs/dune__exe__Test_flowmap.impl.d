@@ -1,0 +1,1 @@
+test/test_flowmap.ml: Alcotest Array Build Circuit Comb Flowmap Flowsyn Gen Labels List Logic Mapper Netlist Prelude Printf QCheck QCheck_alcotest Sim Test Truthtable

@@ -1,0 +1,1 @@
+test/test_graphs.ml: Alcotest Array Bellman_ford Cycle_ratio Float Gen Graphs Howard Karp List Prelude Printf QCheck QCheck_alcotest Rat Scc String Test Topo

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Gen List Logic Prelude Printf QCheck QCheck_alcotest Test Truthtable

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Format Fun Gen List Prelude Printf QCheck QCheck_alcotest Rat Rng String Sys Table Test Timer

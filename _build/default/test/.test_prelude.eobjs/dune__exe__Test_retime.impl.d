@@ -1,0 +1,1 @@
+test/test_retime.ml: Alcotest Array Build Circuit Fun Graphs List Logic Netlist Pipeline Prelude Printf Retime Retiming

@@ -1,0 +1,1 @@
+test/test_seqmap.ml: Alcotest Array Build Circuit Expanded Format Graphs Label_engine List Logic Mapgen Netlist Option Prelude Printf Rat Retime Rng Seqmap Sim Truthtable Turbomap

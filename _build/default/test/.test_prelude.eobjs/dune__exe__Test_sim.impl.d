@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Build Circuit List Logic Netlist Prelude Retime Sim Truthtable

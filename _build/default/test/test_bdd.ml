@@ -1,0 +1,215 @@
+(* Tests for the BDD library, including cross-checks against truth tables. *)
+
+open Logic
+
+let test_terminals () =
+  let m = Bdd.new_man () in
+  Alcotest.(check bool) "true is true" true (Bdd.is_true m (Bdd.bdd_true m));
+  Alcotest.(check bool) "false is false" true (Bdd.is_false m (Bdd.bdd_false m));
+  Alcotest.(check bool) "distinct" false
+    (Bdd.equal (Bdd.bdd_true m) (Bdd.bdd_false m))
+
+let test_var_eval () =
+  let m = Bdd.new_man () in
+  let x = Bdd.var m 0 and y = Bdd.var m 3 in
+  Alcotest.(check bool) "x under x=1" true (Bdd.eval m x (fun i -> i = 0));
+  Alcotest.(check bool) "x under x=0" false (Bdd.eval m x (fun _ -> false));
+  Alcotest.(check bool) "y under y=1" true (Bdd.eval m y (fun i -> i = 3));
+  Alcotest.(check int) "nvars grows" 4 (Bdd.nvars m)
+
+let test_hash_consing () =
+  let m = Bdd.new_man () in
+  let a = Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1) in
+  let b = Bdd.and_ m (Bdd.var m 1) (Bdd.var m 0) in
+  Alcotest.(check bool) "and commutes to same node" true (Bdd.equal a b);
+  let c = Bdd.neg m (Bdd.or_ m (Bdd.neg m (Bdd.var m 0)) (Bdd.neg m (Bdd.var m 1))) in
+  Alcotest.(check bool) "demorgan same node" true (Bdd.equal a c)
+
+let test_ops_vs_truthtable () =
+  (* exhaustive check of every operator on every pair of 3-var functions
+     drawn from a random sample *)
+  let rng = Prelude.Rng.create 77 in
+  let m = Bdd.new_man () in
+  let vars = [| 0; 1; 2 |] in
+  for _ = 1 to 60 do
+    let ta = Truthtable.random rng 3 and tb = Truthtable.random rng 3 in
+    let a = Bdd.of_truthtable m ta vars and b = Bdd.of_truthtable m tb vars in
+    let pairs =
+      [
+        ("and", Truthtable.and_ ta tb, Bdd.and_ m a b);
+        ("or", Truthtable.or_ ta tb, Bdd.or_ m a b);
+        ("xor", Truthtable.xor ta tb, Bdd.xor m a b);
+        ("xnor", Truthtable.xnor ta tb, Bdd.xnor m a b);
+        ("imp", Truthtable.or_ (Truthtable.not_ ta) tb, Bdd.imp m a b);
+        ("neg", Truthtable.not_ ta, Bdd.neg m a);
+      ]
+    in
+    List.iter
+      (fun (name, expect_tt, got) ->
+        let got_tt = Bdd.to_truthtable m got vars in
+        Alcotest.(check bool) name true (Truthtable.equal expect_tt got_tt))
+      pairs
+  done
+
+let test_roundtrip () =
+  let rng = Prelude.Rng.create 123 in
+  let m = Bdd.new_man () in
+  for k = 0 to 6 do
+    let vars = Array.init k Fun.id in
+    for _ = 1 to 30 do
+      let t = Truthtable.random rng k in
+      let f = Bdd.of_truthtable m t vars in
+      let t' = Bdd.to_truthtable m f vars in
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip k=%d" k)
+        true (Truthtable.equal t t')
+    done
+  done
+
+let test_roundtrip_scrambled_vars () =
+  let rng = Prelude.Rng.create 9 in
+  let m = Bdd.new_man () in
+  let vars = [| 5; 2; 9 |] in
+  for _ = 1 to 30 do
+    let t = Truthtable.random rng 3 in
+    let f = Bdd.of_truthtable m t vars in
+    let t' = Bdd.to_truthtable m f vars in
+    Alcotest.(check bool) "roundtrip scrambled" true (Truthtable.equal t t')
+  done
+
+let test_restrict () =
+  let m = Bdd.new_man () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 and z = Bdd.var m 2 in
+  let f = Bdd.ite m x y z in
+  Alcotest.(check bool) "restrict x=1 gives y" true
+    (Bdd.equal y (Bdd.restrict m f 0 true));
+  Alcotest.(check bool) "restrict x=0 gives z" true
+    (Bdd.equal z (Bdd.restrict m f 0 false));
+  let g = Bdd.restrict_many m f [ (0, true); (1, false) ] in
+  Alcotest.(check bool) "restrict many" true (Bdd.is_false m g)
+
+let test_compose () =
+  let m = Bdd.new_man () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 and z = Bdd.var m 2 in
+  (* f = x AND y; compose y := (y OR z) *)
+  let f = Bdd.and_ m x y in
+  let g = Bdd.compose m f 1 (Bdd.or_ m y z) in
+  let expect = Bdd.and_ m x (Bdd.or_ m y z) in
+  Alcotest.(check bool) "compose" true (Bdd.equal g expect);
+  (* composing a variable below the substituted one *)
+  let h = Bdd.and_ m y z in
+  let h' = Bdd.compose m h 2 x in
+  Alcotest.(check bool) "compose lower var" true
+    (Bdd.equal h' (Bdd.and_ m y x))
+
+let test_support () =
+  let m = Bdd.new_man () in
+  let f =
+    Bdd.or_ m
+      (Bdd.and_ m (Bdd.var m 1) (Bdd.var m 4))
+      (Bdd.and_ m (Bdd.var m 1) (Bdd.neg m (Bdd.var m 4)))
+  in
+  (* f collapses to var 1 *)
+  Alcotest.(check (list int)) "support collapses" [ 1 ] (Bdd.support m f);
+  let g = Bdd.xor m (Bdd.var m 0) (Bdd.var m 5) in
+  Alcotest.(check (list int)) "xor support" [ 0; 5 ] (Bdd.support m g)
+
+let test_sat_count () =
+  let m = Bdd.new_man () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  Alcotest.(check int) "and" 1 (Bdd.sat_count m (Bdd.and_ m x y) 2);
+  Alcotest.(check int) "or" 3 (Bdd.sat_count m (Bdd.or_ m x y) 2);
+  Alcotest.(check int) "xor over 3 vars" 4 (Bdd.sat_count m (Bdd.xor m x y) 3);
+  Alcotest.(check int) "true" 8 (Bdd.sat_count m (Bdd.bdd_true m) 3);
+  Alcotest.(check int) "false" 0 (Bdd.sat_count m (Bdd.bdd_false m) 3)
+
+let test_apply_truthtable () =
+  let rng = Prelude.Rng.create 31 in
+  let m = Bdd.new_man () in
+  let vars = [| 0; 1; 2; 3 |] in
+  for _ = 1 to 30 do
+    (* random 2-level structure: top gate over three leaf functions *)
+    let top = Truthtable.random rng 3 in
+    let leaves = Array.init 3 (fun _ -> Truthtable.random rng 4) in
+    let leaf_bdds = Array.map (fun t -> Bdd.of_truthtable m t vars) leaves in
+    let composed = Bdd.apply_truthtable m top leaf_bdds in
+    (* check by evaluation on all 16 assignments *)
+    for a = 0 to 15 do
+      let env i = a land (1 lsl i) <> 0 in
+      let leaf_vals = Array.map (fun t -> Truthtable.eval_bits t a) leaves in
+      let expect = Truthtable.eval top leaf_vals in
+      Alcotest.(check bool) "apply_truthtable" expect (Bdd.eval m composed env)
+    done
+  done
+
+let test_size () =
+  let m = Bdd.new_man () in
+  Alcotest.(check int) "terminal size" 1 (Bdd.size m (Bdd.bdd_true m));
+  let x = Bdd.var m 0 in
+  Alcotest.(check int) "var size" 3 (Bdd.size m x)
+
+let test_large_xor_is_compact () =
+  (* xor of n variables has exactly 2n+2 nodes: BDDs stay polynomial where
+     truth tables would explode *)
+  let m = Bdd.new_man () in
+  let n = 40 in
+  let f = ref (Bdd.bdd_false m) in
+  for i = 0 to n - 1 do
+    f := Bdd.xor m !f (Bdd.var m i)
+  done;
+  Alcotest.(check int) "xor40 compact" ((2 * n) + 1) (Bdd.size m !f)
+
+let qcheck_props =
+  let open QCheck in
+  let gen_tt k =
+    make ~print:Truthtable.to_string
+      (Gen.map (fun b -> Truthtable.create k b) Gen.int64)
+  in
+  [
+    Test.make ~name:"bdd equality is functional equality" ~count:200
+      (pair (gen_tt 4) (gen_tt 4)) (fun (a, b) ->
+        let m = Bdd.new_man () in
+        let vars = [| 0; 1; 2; 3 |] in
+        let fa = Bdd.of_truthtable m a vars in
+        let fb = Bdd.of_truthtable m b vars in
+        Bdd.equal fa fb = Truthtable.equal a b);
+    Test.make ~name:"sat_count matches count_ones" ~count:200 (gen_tt 5)
+      (fun t ->
+        let m = Bdd.new_man () in
+        let f = Bdd.of_truthtable m t [| 0; 1; 2; 3; 4 |] in
+        Bdd.sat_count m f 5 = Truthtable.count_ones t);
+    Test.make ~name:"shannon via restrict" ~count:200 (gen_tt 4) (fun t ->
+        let m = Bdd.new_man () in
+        let f = Bdd.of_truthtable m t [| 0; 1; 2; 3 |] in
+        let x = Bdd.var m 2 in
+        let hi = Bdd.restrict m f 2 true and lo = Bdd.restrict m f 2 false in
+        Bdd.equal f (Bdd.ite m x hi lo));
+    Test.make ~name:"support matches truthtable" ~count:200 (gen_tt 5)
+      (fun t ->
+        let m = Bdd.new_man () in
+        let f = Bdd.of_truthtable m t [| 0; 1; 2; 3; 4 |] in
+        Bdd.support m f = Truthtable.support t);
+  ]
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ( "bdd",
+        [
+          Alcotest.test_case "terminals" `Quick test_terminals;
+          Alcotest.test_case "variables" `Quick test_var_eval;
+          Alcotest.test_case "hash consing" `Quick test_hash_consing;
+          Alcotest.test_case "ops vs truthtable" `Quick test_ops_vs_truthtable;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "roundtrip scrambled" `Quick
+            test_roundtrip_scrambled_vars;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "compose" `Quick test_compose;
+          Alcotest.test_case "support" `Quick test_support;
+          Alcotest.test_case "sat count" `Quick test_sat_count;
+          Alcotest.test_case "apply truthtable" `Quick test_apply_truthtable;
+          Alcotest.test_case "size" `Quick test_size;
+          Alcotest.test_case "xor40 compact" `Quick test_large_xor_is_compact;
+        ] );
+      ("bdd-props", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]

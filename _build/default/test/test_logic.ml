@@ -1,0 +1,210 @@
+(* Tests for the logic library: truth tables. *)
+
+open Logic
+
+let tt = Alcotest.testable Truthtable.pp Truthtable.equal
+
+let t_and = Truthtable.and_all 2
+let t_or = Truthtable.or_all 2
+let t_xor = Truthtable.xor_all 2
+
+let test_consts () =
+  Alcotest.(check int) "const0 ones" 0 (Truthtable.count_ones (Truthtable.const0 3));
+  Alcotest.(check int) "const1 ones" 8 (Truthtable.count_ones (Truthtable.const1 3));
+  Alcotest.(check (option bool)) "is_const 0" (Some false)
+    (Truthtable.is_const (Truthtable.const0 4));
+  Alcotest.(check (option bool)) "is_const 1" (Some true)
+    (Truthtable.is_const (Truthtable.const1 6));
+  Alcotest.(check (option bool)) "var not const" None
+    (Truthtable.is_const (Truthtable.var 2 0))
+
+let test_var_eval () =
+  for arity = 1 to 6 do
+    for j = 0 to arity - 1 do
+      let v = Truthtable.var arity j in
+      for m = 0 to (1 lsl arity) - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "var %d/%d on %d" j arity m)
+          (m land (1 lsl j) <> 0)
+          (Truthtable.eval_bits v m)
+      done
+    done
+  done
+
+let test_gates () =
+  let check name f a b expect =
+    let inp = [| a; b |] in
+    Alcotest.(check bool) name expect (Truthtable.eval f inp)
+  in
+  check "and 11" t_and true true true;
+  check "and 10" t_and true false false;
+  check "or 00" t_or false false false;
+  check "or 01" t_or false true true;
+  check "xor 11" t_xor true true false;
+  check "xor 01" t_xor false true true;
+  check "nand 11" (Truthtable.nand (Truthtable.var 2 0) (Truthtable.var 2 1))
+    true true false;
+  check "nor 00" (Truthtable.nor (Truthtable.var 2 0) (Truthtable.var 2 1))
+    false false true;
+  check "xnor 11" (Truthtable.xnor (Truthtable.var 2 0) (Truthtable.var 2 1))
+    true true true
+
+let test_ite () =
+  let c = Truthtable.var 3 0
+  and a = Truthtable.var 3 1
+  and b = Truthtable.var 3 2 in
+  let f = Truthtable.ite c a b in
+  for m = 0 to 7 do
+    let cv = m land 1 <> 0 and av = m land 2 <> 0 and bv = m land 4 <> 0 in
+    Alcotest.(check bool) "ite" (if cv then av else bv) (Truthtable.eval_bits f m)
+  done
+
+let test_cofactor () =
+  let f = Truthtable.xor_all 3 in
+  let f1 = Truthtable.cofactor f 1 true in
+  for m = 0 to 7 do
+    let m' = m lor 2 in
+    Alcotest.(check bool) "cofactor fixes var"
+      (Truthtable.eval_bits f m')
+      (Truthtable.eval_bits f1 m)
+  done;
+  Alcotest.(check bool) "no longer depends" false (Truthtable.depends_on f1 1)
+
+let test_support () =
+  let f = Truthtable.and_ (Truthtable.var 4 1) (Truthtable.var 4 3) in
+  Alcotest.(check (list int)) "support" [ 1; 3 ] (Truthtable.support f);
+  let g, vars = Truthtable.shrink_support f in
+  Alcotest.(check (list int)) "shrink vars" [ 1; 3 ] vars;
+  Alcotest.(check int) "shrunk arity" 2 (Truthtable.arity g);
+  Alcotest.check tt "shrunk is and2" t_and g
+
+let test_shrink_semantics () =
+  let rng = Prelude.Rng.create 11 in
+  for _ = 1 to 50 do
+    let f = Truthtable.random rng 5 in
+    let g, vars = Truthtable.shrink_support f in
+    let vars = Array.of_list vars in
+    for m = 0 to 31 do
+      let compact = ref 0 in
+      Array.iteri
+        (fun pos v -> if m land (1 lsl v) <> 0 then compact := !compact lor (1 lsl pos))
+        vars;
+      Alcotest.(check bool) "shrink preserves value"
+        (Truthtable.eval_bits f m)
+        (Truthtable.eval_bits g !compact)
+    done
+  done
+
+let test_permute () =
+  (* f(x0,x1) = x0 AND NOT x1; permuting swaps roles *)
+  let f = Truthtable.and_ (Truthtable.var 2 0) (Truthtable.not_ (Truthtable.var 2 1)) in
+  let g = Truthtable.permute f [| 1; 0 |] in
+  for m = 0 to 3 do
+    let swapped = ((m land 1) lsl 1) lor ((m land 2) lsr 1) in
+    Alcotest.(check bool) "permute" (Truthtable.eval_bits f swapped)
+      (Truthtable.eval_bits g m)
+  done
+
+let test_lift () =
+  let f = Truthtable.xor_all 2 in
+  let g = Truthtable.lift f 4 in
+  Alcotest.(check int) "lift arity" 4 (Truthtable.arity g);
+  for m = 0 to 15 do
+    Alcotest.(check bool) "lift semantics"
+      (Truthtable.eval_bits f (m land 3))
+      (Truthtable.eval_bits g m)
+  done;
+  Alcotest.(check (list int)) "lift support" [ 0; 1 ] (Truthtable.support g)
+
+let test_random_nondegenerate () =
+  let rng = Prelude.Rng.create 5 in
+  for k = 1 to 6 do
+    for _ = 1 to 20 do
+      let f = Truthtable.random_nondegenerate rng k in
+      Alcotest.(check int) (Printf.sprintf "full support k=%d" k) k
+        (List.length (Truthtable.support f))
+    done
+  done
+
+let test_xor_and_or_all () =
+  Alcotest.(check int) "xor3 ones" 4 (Truthtable.count_ones (Truthtable.xor_all 3));
+  Alcotest.(check int) "and4 ones" 1 (Truthtable.count_ones (Truthtable.and_all 4));
+  Alcotest.(check int) "or4 ones" 15 (Truthtable.count_ones (Truthtable.or_all 4))
+
+let test_create_bounds () =
+  Alcotest.check_raises "arity 7" (Invalid_argument "Truthtable.create: arity")
+    (fun () -> ignore (Truthtable.create 7 0L));
+  Alcotest.check_raises "negative" (Invalid_argument "Truthtable.create: arity")
+    (fun () -> ignore (Truthtable.create (-1) 0L));
+  (* canonical masking *)
+  let f = Truthtable.create 1 0xFFL in
+  Alcotest.(check int64) "masked" 3L (Truthtable.bits f)
+
+let qcheck_props =
+  let open QCheck in
+  let gen_tt k =
+    make
+      ~print:Truthtable.to_string
+      (Gen.map (fun b -> Truthtable.create k b) Gen.int64)
+  in
+  [
+    Test.make ~name:"demorgan" ~count:300 (pair (gen_tt 4) (gen_tt 4))
+      (fun (a, b) ->
+        Truthtable.equal
+          (Truthtable.not_ (Truthtable.and_ a b))
+          (Truthtable.or_ (Truthtable.not_ a) (Truthtable.not_ b)));
+    Test.make ~name:"double negation" ~count:300 (gen_tt 5) (fun a ->
+        Truthtable.equal a (Truthtable.not_ (Truthtable.not_ a)));
+    Test.make ~name:"xor self is zero" ~count:300 (gen_tt 5) (fun a ->
+        Truthtable.equal (Truthtable.const0 5) (Truthtable.xor a a));
+    Test.make ~name:"shannon expansion" ~count:300 (gen_tt 4) (fun f ->
+        let v = Truthtable.var 4 2 in
+        let lo = Truthtable.cofactor f 2 false
+        and hi = Truthtable.cofactor f 2 true in
+        Truthtable.equal f (Truthtable.ite v hi lo));
+    Test.make ~name:"count_ones via eval" ~count:100 (gen_tt 4) (fun f ->
+        let n = ref 0 in
+        for m = 0 to 15 do
+          if Truthtable.eval_bits f m then incr n
+        done;
+        !n = Truthtable.count_ones f);
+    Test.make ~name:"permute by inverse is identity" ~count:300 (gen_tt 4)
+      (fun f ->
+        let p = [| 2; 0; 3; 1 |] in
+        (* inverse of p *)
+        let q = Array.make 4 0 in
+        Array.iteri (fun i v -> q.(v) <- i) p;
+        Truthtable.equal f (Truthtable.permute (Truthtable.permute f p) q));
+    Test.make ~name:"lift then shrink is identity on full support" ~count:300
+      (gen_tt 3) (fun f ->
+        QCheck.assume (List.length (Truthtable.support f) = 3);
+        let g = Truthtable.lift f 5 in
+        let h, vars = Truthtable.shrink_support g in
+        vars = [ 0; 1; 2 ] && Truthtable.equal h f);
+    Test.make ~name:"cofactor idempotent" ~count:300 (gen_tt 4) (fun f ->
+        let g = Truthtable.cofactor f 1 true in
+        Truthtable.equal g (Truthtable.cofactor g 1 true)
+        && Truthtable.equal g (Truthtable.cofactor g 1 false));
+  ]
+
+let () =
+  Alcotest.run "logic"
+    [
+      ( "truthtable",
+        [
+          Alcotest.test_case "constants" `Quick test_consts;
+          Alcotest.test_case "variables" `Quick test_var_eval;
+          Alcotest.test_case "gates" `Quick test_gates;
+          Alcotest.test_case "ite" `Quick test_ite;
+          Alcotest.test_case "cofactor" `Quick test_cofactor;
+          Alcotest.test_case "support/shrink" `Quick test_support;
+          Alcotest.test_case "shrink semantics" `Quick test_shrink_semantics;
+          Alcotest.test_case "permute" `Quick test_permute;
+          Alcotest.test_case "lift" `Quick test_lift;
+          Alcotest.test_case "random nondegenerate" `Quick
+            test_random_nondegenerate;
+          Alcotest.test_case "xor/and/or all" `Quick test_xor_and_or_all;
+          Alcotest.test_case "create bounds" `Quick test_create_bounds;
+        ] );
+      ("truthtable-props", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]

@@ -1,0 +1,367 @@
+(* Tests for the sequential mapping core: expanded circuits, label
+   computation, PLD, minimum-ratio search, and mapping generation.
+
+   The strongest checks: (1) the generated LUT network's MDR ratio never
+   exceeds the phi returned by the search (achievability), and (2) the
+   mapped circuit is sequentially equivalent to the source from consistent
+   initial states (Equiv.mapped_equal). *)
+
+open Prelude
+open Logic
+open Circuit
+open Seqmap
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+(* v = xor(x, v@1): one-gate accumulator *)
+let accumulator () =
+  let nl = Netlist.create ~name:"acc" () in
+  let x = Netlist.add_pi ~name:"x" nl in
+  let v = Netlist.reserve_gate ~name:"v" nl in
+  Netlist.define_gate nl v (Truthtable.xor_all 2) [| (x, 0); (v, 1) |];
+  ignore (Netlist.add_po ~name:"y" nl ~driver:v ~weight:0);
+  nl
+
+(* loop of [g] xor gates each also fed by its own PI, [f] FFs on the loop *)
+let pi_loop g f =
+  let nl = Netlist.create ~name:(Printf.sprintf "loop%d_%d" g f) () in
+  let pis = Array.init g (fun i -> Netlist.add_pi ~name:(Printf.sprintf "x%d" i) nl) in
+  let gates = Array.init g (fun i -> Netlist.reserve_gate ~name:(Printf.sprintf "g%d" i) nl) in
+  for i = 0 to g - 1 do
+    let prev = gates.((i + g - 1) mod g) in
+    let w = if i < f then 1 else 0 in
+    Netlist.define_gate nl gates.(i) (Truthtable.xor_all 2)
+      [| (pis.(i), 0); (prev, w) |]
+  done;
+  ignore (Netlist.add_po ~name:"y" nl ~driver:gates.(g - 1) ~weight:0);
+  nl
+
+let test_expanded_basic () =
+  let nl = accumulator () in
+  let v = Option.get (Netlist.find_by_name nl "v") in
+  let labels = Array.make (Netlist.n nl) Rat.zero in
+  labels.(v) <- Rat.one;
+  let ex =
+    Expanded.build nl ~root:v ~labels ~phi:Rat.one ~threshold:Rat.zero
+      ~extra_depth:2 ~max_nodes:100
+  in
+  Alcotest.(check bool) "root internal" true ex.Expanded.internal.(0);
+  Alcotest.(check bool) "root is v^0" true
+    (ex.Expanded.nodes.(0) = { Expanded.u = v; w = 0 });
+  Alcotest.(check bool) "no overflow" false ex.Expanded.overflow;
+  (* x^0 has height 1 > 0 -> internal; v^1 height 1 - 1 + 1 = 1 > 0 internal;
+     expansion continues: x^1, v^2 ... *)
+  Alcotest.(check bool) "several nodes" true (Array.length ex.Expanded.nodes >= 4)
+
+let test_expanded_overflow () =
+  let nl = pi_loop 4 1 in
+  let labels = Array.make (Netlist.n nl) Rat.one in
+  List.iter (fun p -> labels.(p) <- Rat.zero) (Netlist.pis nl);
+  let v = Option.get (Netlist.find_by_name nl "g0") in
+  let ex =
+    (* impossible threshold forces unbounded internal expansion into the
+       node budget *)
+    Expanded.build nl ~root:v ~labels ~phi:(Rat.make 1 100)
+      ~threshold:(Rat.of_int (-100)) ~extra_depth:0 ~max_nodes:16
+  in
+  Alcotest.(check bool) "overflow reported" true ex.Expanded.overflow
+
+let test_expanded_cone () =
+  let nl = accumulator () in
+  let v = Option.get (Netlist.find_by_name nl "v") in
+  (* cut {x^0, v^1}: function must be xor *)
+  let tt = Mapgen.cut_function nl ~root:v ~cut:[| (0, 0); (v, 1) |] in
+  Alcotest.(check bool) "xor recovered" true
+    (Truthtable.equal tt (Truthtable.xor_all 2));
+  (* deeper cut through the loop: v = xor(x^0, xor(x^1, v^2)) *)
+  let x = Option.get (Netlist.find_by_name nl "x") in
+  let tt2 = Mapgen.cut_function nl ~root:v ~cut:[| (x, 0); (x, 1); (v, 2) |] in
+  Alcotest.(check bool) "unrolled xor3" true
+    (Truthtable.equal tt2 (Truthtable.xor_all 3));
+  (* invalid cut raises *)
+  Alcotest.check_raises "uncovered"
+    (Invalid_argument "Mapgen.cut_function: cut does not cover a path")
+    (fun () -> ignore (Mapgen.cut_function nl ~root:v ~cut:[| (x, 0) |]))
+
+let test_frontier_cut () =
+  let nl = accumulator () in
+  let v = Option.get (Netlist.find_by_name nl "v") in
+  let labels = Array.make (Netlist.n nl) Rat.zero in
+  labels.(v) <- Rat.one;
+  (* threshold 0: x^0 (height 1) is internal but is a PI -> no frontier *)
+  let ex =
+    Expanded.build nl ~root:v ~labels ~phi:Rat.one ~threshold:Rat.zero
+      ~extra_depth:2 ~max_nodes:100
+  in
+  Alcotest.(check (list int)) "no frontier below PIs" []
+    (Expanded.frontier_cut ex);
+  (* threshold 1: x^0 and v^1 are cut candidates; frontier = both *)
+  let ex1 =
+    Expanded.build nl ~root:v ~labels ~phi:Rat.one ~threshold:Rat.one
+      ~extra_depth:2 ~max_nodes:100
+  in
+  let cut = Expanded.frontier_cut ex1 in
+  Alcotest.(check bool) "frontier nonempty" true (cut <> []);
+  (* the frontier cut must be a valid cover: the cone function evaluates *)
+  let pairs =
+    List.map
+      (fun i ->
+        let nd = ex1.Expanded.nodes.(i) in
+        (nd.Expanded.u, nd.Expanded.w))
+      cut
+  in
+  let tt = Mapgen.cut_function nl ~root:v ~cut:(Array.of_list pairs) in
+  Alcotest.(check bool) "xor recovered" true
+    (Truthtable.equal tt (Truthtable.xor_all (List.length cut)))
+
+let test_labels_accumulator () =
+  let nl = accumulator () in
+  let opts = Label_engine.default_options ~k:4 in
+  (match fst (Label_engine.run opts nl ~phi:Rat.one) with
+  | Label_engine.Feasible { labels; impls } ->
+      let v = Option.get (Netlist.find_by_name nl "v") in
+      Alcotest.check rat "label 1" Rat.one labels.(v);
+      Alcotest.(check bool) "impl present" true (impls.(v) <> None)
+  | Label_engine.Infeasible -> Alcotest.fail "phi=1 must be feasible");
+  (* phi=1/2 is feasible with K=4: the LUT can unroll the loop and read
+     v@3 (cut {x, x@1, x@2, v@3}), giving a self-loop of ratio 1/3 *)
+  (match fst (Label_engine.run opts nl ~phi:(Rat.make 1 2)) with
+  | Label_engine.Feasible _ -> ()
+  | Label_engine.Infeasible -> Alcotest.fail "phi=1/2 must be feasible at K=4");
+  (* with K=2 no such unrolling fits: infeasible *)
+  let opts2 = Label_engine.default_options ~k:2 in
+  match fst (Label_engine.run opts2 nl ~phi:(Rat.make 1 2)) with
+  | Label_engine.Infeasible -> ()
+  | Label_engine.Feasible _ -> Alcotest.fail "phi=1/2 must be infeasible at K=2"
+
+let test_minimum_ratio_accumulator () =
+  let nl = accumulator () in
+  let opts = Label_engine.default_options ~k:4 in
+  let phi, probes, _ = Turbomap.minimum_ratio opts nl in
+  (* ratios below 1 are feasible for the engine (loop unrolling), but the
+     search floors at 1 as in the paper: the clock period cannot drop
+     below one LUT delay *)
+  Alcotest.check rat "phi* = 1" Rat.one phi;
+  Alcotest.(check bool) "few probes" true (probes < 64);
+  (* K=2 cannot unroll: phi* = 1 *)
+  let phi2, _, _ = Turbomap.minimum_ratio (Label_engine.default_options ~k:2) nl in
+  Alcotest.check rat "k=2 phi* = 1" Rat.one phi2
+
+let test_minimum_ratio_collapsible_loop () =
+  (* 3-gate loop with 1 FF and per-gate PIs: with K=5 the whole loop fits
+     in one LUT (4 inputs) -> phi* = 1; with K=2 it cannot *)
+  let nl = pi_loop 3 1 in
+  let opts5 = Label_engine.default_options ~k:5 in
+  let phi5, _, _ = Turbomap.minimum_ratio opts5 nl in
+  Alcotest.check rat "k=5 collapses to 1" Rat.one phi5;
+  let opts2 = Label_engine.default_options ~k:2 in
+  let phi2, _, _ = Turbomap.minimum_ratio opts2 nl in
+  Alcotest.(check bool) "k=2 worse" true Rat.(phi2 > phi5);
+  (* trivial mapping gives MDR 3; TurboMap must not exceed it *)
+  (match Netlist.mdr_ratio nl with
+  | Graphs.Cycle_ratio.Ratio ub -> Alcotest.(check bool) "<= UB" true Rat.(phi2 <= ub)
+  | _ -> Alcotest.fail "expected ratio")
+
+let test_acyclic_zero () =
+  let nl = Netlist.create () in
+  let x = Netlist.add_pi nl in
+  let a = Build.not_ nl x in
+  let b = Build.buf ~w:1 nl a in
+  ignore (Netlist.add_po nl ~driver:b ~weight:0);
+  let opts = Label_engine.default_options ~k:4 in
+  let phi, _, _ = Turbomap.minimum_ratio opts nl in
+  Alcotest.check rat "acyclic -> 0" Rat.zero phi
+
+(* random K-bounded sequential circuits without combinational loops *)
+let random_seq rng ~pis ~gates ~max_arity =
+  let nl = Netlist.create ~name:"rand" () in
+  let pi_ids = Array.init pis (fun i -> Netlist.add_pi ~name:(Printf.sprintf "x%d" i) nl) in
+  let gate_ids = Array.init gates (fun i -> Netlist.reserve_gate ~name:(Printf.sprintf "g%d" i) nl) in
+  for i = 0 to gates - 1 do
+    let arity = 1 + Rng.int rng max_arity in
+    let fanins =
+      Array.init arity (fun _ ->
+          if Rng.int rng 3 = 0 then
+            (* registered edge to anywhere, including feedback *)
+            (Rng.pick rng (Array.append pi_ids gate_ids), 1 + Rng.int rng 2)
+          else begin
+            (* combinational edge to an earlier node only *)
+            let pool =
+              Array.append pi_ids (Array.sub gate_ids 0 i)
+            in
+            (Rng.pick rng pool, 0)
+          end)
+    in
+    Netlist.define_gate nl gate_ids.(i)
+      (Truthtable.random_nondegenerate rng arity)
+      fanins
+  done;
+  for j = 0 to 1 do
+    ignore
+      (Netlist.add_po ~name:(Printf.sprintf "y%d" j) nl
+         ~driver:(Rng.pick rng gate_ids) ~weight:(Rng.int rng 2))
+  done;
+  nl
+
+let check_mapped_against nl k ~resynthesize rng =
+  let opts =
+    { (Label_engine.default_options ~k) with Label_engine.resynthesize }
+  in
+  let mapped, report = Turbomap.map ~options:opts nl ~k in
+  (* structure *)
+  Alcotest.(check (list string)) "valid" []
+    (List.map (Format.asprintf "%a" Netlist.pp_error) (Netlist.validate ~k mapped));
+  (* achievability: the mapped circuit's MDR never exceeds phi* *)
+  (match report.Turbomap.mapped_mdr with
+  | Graphs.Cycle_ratio.Ratio m ->
+      Alcotest.(check bool)
+        (Format.asprintf "mdr %a <= phi %a" Rat.pp m Rat.pp report.Turbomap.phi)
+        true
+        Rat.(m <= report.Turbomap.phi)
+  | Graphs.Cycle_ratio.No_cycle -> ()
+  | Graphs.Cycle_ratio.Infinite -> Alcotest.fail "mapped comb loop");
+  (* sequential equivalence from consistent initial states *)
+  Alcotest.(check bool) "mapped_equal" true
+    (Sim.Equiv.mapped_equal ~runs:3 ~cycles:32 ~warmup:32 rng nl mapped);
+  report
+
+let test_map_random_turbomap () =
+  let rng = Rng.create 111 in
+  for iter = 1 to 10 do
+    let nl = random_seq rng ~pis:3 ~gates:10 ~max_arity:3 in
+    let _ = check_mapped_against nl 4 ~resynthesize:false rng in
+    ignore iter
+  done
+
+let test_map_random_turbosyn () =
+  let rng = Rng.create 222 in
+  for iter = 1 to 8 do
+    let nl = random_seq rng ~pis:3 ~gates:10 ~max_arity:3 in
+    let _ = check_mapped_against nl 4 ~resynthesize:true rng in
+    ignore iter
+  done
+
+let test_turbosyn_no_worse () =
+  let rng = Rng.create 333 in
+  for _ = 1 to 8 do
+    let nl = random_seq rng ~pis:3 ~gates:12 ~max_arity:3 in
+    let tm = Label_engine.default_options ~k:4 in
+    let ts = { tm with Label_engine.resynthesize = true } in
+    let phi_tm, _, _ = Turbomap.minimum_ratio tm nl in
+    let phi_ts, _, _ = Turbomap.minimum_ratio ts nl in
+    Alcotest.(check bool)
+      (Format.asprintf "turbosyn %a <= turbomap %a" Rat.pp phi_ts Rat.pp phi_tm)
+      true
+      Rat.(phi_ts <= phi_tm)
+  done
+
+let test_pld_equivalence () =
+  (* PLD on/off must agree on the minimum ratio *)
+  let rng = Rng.create 444 in
+  for _ = 1 to 8 do
+    let nl = random_seq rng ~pis:2 ~gates:8 ~max_arity:2 in
+    let on = Label_engine.default_options ~k:3 in
+    let off = { on with Label_engine.pld = false } in
+    let phi_on, _, s_on = Turbomap.minimum_ratio on nl in
+    let phi_off, _, _ = Turbomap.minimum_ratio off nl in
+    Alcotest.check rat "same phi" phi_off phi_on;
+    ignore s_on
+  done
+
+let test_pld_triggers_and_saves_iterations () =
+  (* an infeasible probe just below the optimum ratio: labels rise slowly,
+     so without PLD the quadratic iteration cap is the only stop; PLD's
+     6n-iteration isolation test (Theorem 2) exits much earlier *)
+  let nl = pi_loop 8 4 in
+  let on = Label_engine.default_options ~k:2 in
+  let off = { on with Label_engine.pld = false } in
+  (* optimum ratio is 2; probe just below it so labels rise very slowly *)
+  let phi = Rat.make 119 60 in
+  let out_on, s_on = Label_engine.run on nl ~phi in
+  let out_off, s_off = Label_engine.run off nl ~phi in
+  Alcotest.(check bool) "both infeasible" true
+    (out_on = Label_engine.Infeasible && out_off = Label_engine.Infeasible);
+  Alcotest.(check bool)
+    (Printf.sprintf "pld faster: %d < %d" s_on.Label_engine.iterations
+       s_off.Label_engine.iterations)
+    true
+    (s_on.Label_engine.iterations < s_off.Label_engine.iterations);
+  Alcotest.(check bool) "pld hit recorded" true (s_on.Label_engine.pld_hits > 0)
+
+let test_full_expansion_agrees () =
+  (* the SeqMapII-style construction must agree on feasibility; it only
+     costs more *)
+  let nl = pi_loop 4 2 in
+  let partial = Label_engine.default_options ~k:3 in
+  let full = { partial with Label_engine.full_expansion = true; max_expansion = 20000 } in
+  List.iter
+    (fun phi ->
+      let a = fst (Label_engine.run partial nl ~phi) in
+      let b = fst (Label_engine.run full nl ~phi) in
+      let feas = function Label_engine.Feasible _ -> true | _ -> false in
+      Alcotest.(check bool)
+        (Format.asprintf "agree at %a" Rat.pp phi)
+        (feas a) (feas b))
+    [ Rat.one; Rat.make 3 2; Rat.of_int 2; Rat.make 1 2 ]
+
+let test_realize () =
+  let nl = pi_loop 3 1 in
+  let mapped, report = Turbomap.map nl ~k:5 in
+  match Turbomap.realize mapped with
+  | None -> Alcotest.fail "no comb loop expected"
+  | Some (final, period, _latency) ->
+      Alcotest.(check int) "period is ceil(mdr)"
+        (match report.Turbomap.mapped_mdr with
+        | Graphs.Cycle_ratio.Ratio r -> max 1 (Rat.ceil r)
+        | _ -> 1)
+        period;
+      Alcotest.(check int) "achieved" period (Retime.Retiming.clock_period final)
+
+let test_map_preserves_interface () =
+  let rng = Rng.create 555 in
+  let nl = random_seq rng ~pis:4 ~gates:8 ~max_arity:3 in
+  let mapped, _ = Turbomap.map nl ~k:4 in
+  Alcotest.(check (list string)) "pi names"
+    (List.map (Netlist.node_name nl) (Netlist.pis nl))
+    (List.map (Netlist.node_name mapped) (Netlist.pis mapped));
+  Alcotest.(check (list string)) "po names"
+    (List.map (Netlist.node_name nl) (Netlist.pos nl))
+    (List.map (Netlist.node_name mapped) (Netlist.pos mapped))
+
+let () =
+  Alcotest.run "seqmap"
+    [
+      ( "expanded",
+        [
+          Alcotest.test_case "basic" `Quick test_expanded_basic;
+          Alcotest.test_case "overflow" `Quick test_expanded_overflow;
+          Alcotest.test_case "cone function" `Quick test_expanded_cone;
+          Alcotest.test_case "frontier cut" `Quick test_frontier_cut;
+        ] );
+      ( "labels",
+        [
+          Alcotest.test_case "accumulator" `Quick test_labels_accumulator;
+          Alcotest.test_case "minimum ratio accumulator" `Quick
+            test_minimum_ratio_accumulator;
+          Alcotest.test_case "collapsible loop" `Quick
+            test_minimum_ratio_collapsible_loop;
+          Alcotest.test_case "acyclic" `Quick test_acyclic_zero;
+        ] );
+      ( "mapping",
+        [
+          Alcotest.test_case "random turbomap" `Slow test_map_random_turbomap;
+          Alcotest.test_case "random turbosyn" `Slow test_map_random_turbosyn;
+          Alcotest.test_case "turbosyn no worse" `Slow test_turbosyn_no_worse;
+          Alcotest.test_case "interface preserved" `Quick
+            test_map_preserves_interface;
+          Alcotest.test_case "realize" `Quick test_realize;
+          Alcotest.test_case "full expansion agrees" `Quick
+            test_full_expansion_agrees;
+        ] );
+      ( "pld",
+        [
+          Alcotest.test_case "on/off equivalence" `Slow test_pld_equivalence;
+          Alcotest.test_case "saves iterations" `Quick
+            test_pld_triggers_and_saves_iterations;
+        ] );
+    ]

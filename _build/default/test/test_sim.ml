@@ -1,0 +1,220 @@
+(* Tests for the simulator and equivalence checks. *)
+
+open Circuit
+open Logic
+
+let test_comb_xor () =
+  let nl = Netlist.create () in
+  let a = Netlist.add_pi nl and b = Netlist.add_pi nl in
+  let g = Build.xor2 nl a b in
+  ignore (Netlist.add_po nl ~driver:g ~weight:0);
+  let outs =
+    Sim.Simulator.run nl
+      [| [| false; false |]; [| true; false |]; [| true; true |] |]
+  in
+  Alcotest.(check (array (array bool))) "xor outputs"
+    [| [| false |]; [| true |]; [| false |] |]
+    outs
+
+let test_register_delay () =
+  let nl = Netlist.create () in
+  let a = Netlist.add_pi nl in
+  let g = Build.buf ~w:2 nl a in
+  ignore (Netlist.add_po nl ~driver:g ~weight:0);
+  let inputs = [| [| true |]; [| false |]; [| true |]; [| true |] |] in
+  let outs = Sim.Simulator.run nl inputs in
+  (* two-cycle delay, initial zeros *)
+  Alcotest.(check (array (array bool))) "delayed"
+    [| [| false |]; [| false |]; [| true |]; [| false |] |]
+    outs
+
+let test_po_weight () =
+  let nl = Netlist.create () in
+  let a = Netlist.add_pi nl in
+  let g = Build.buf nl a in
+  ignore (Netlist.add_po nl ~driver:g ~weight:1);
+  let outs = Sim.Simulator.run nl [| [| true |]; [| false |] |] in
+  Alcotest.(check (array (array bool))) "po register"
+    [| [| false |]; [| true |] |]
+    outs
+
+let test_toggle_counter () =
+  (* t = t xor 1 delayed: alternates 0,1,0,1... *)
+  let nl = Netlist.create () in
+  let _pi = Netlist.add_pi nl in
+  let g = Netlist.reserve_gate nl in
+  Netlist.define_gate nl g (Truthtable.not_ (Truthtable.var 1 0)) [| (g, 1) |];
+  ignore (Netlist.add_po nl ~driver:g ~weight:0);
+  let outs = Sim.Simulator.run nl (Array.make 4 [| false |]) in
+  Alcotest.(check (array (array bool))) "toggle"
+    [| [| true |]; [| false |]; [| true |]; [| false |] |]
+    outs
+
+let test_lfsr_period () =
+  (* 3-bit LFSR x3 = x1 xor x2 (fibonacci), nonzero seeding is impossible
+     from reset, so drive it with an enable that injects a 1 *)
+  let nl = Netlist.create () in
+  let inj = Netlist.add_pi nl in
+  let b0 = Netlist.reserve_gate nl in
+  let b1 = Build.buf ~w:1 nl b0 in
+  let b2 = Build.buf ~w:1 nl b1 in
+  (* feedback: b0 = (b1 xor b2 delayed 1) xor inj *)
+  let fb = Build.xor2 ~wa:1 ~wb:1 nl b1 b2 in
+  Netlist.define_gate nl b0 (Truthtable.xor_all 2) [| (fb, 0); (inj, 0) |];
+  ignore (Netlist.add_po nl ~driver:b2 ~weight:0);
+  let inputs =
+    Array.init 20 (fun i -> [| i = 0 |])
+  in
+  let outs = Sim.Simulator.run nl inputs in
+  (* the stream must be eventually periodic and non-constant *)
+  let tail = Array.to_list (Array.sub outs 5 15) in
+  Alcotest.(check bool) "nonconstant" true
+    (List.exists (fun o -> o.(0)) tail && List.exists (fun o -> not o.(0)) tail)
+
+let test_node_value () =
+  let nl = Netlist.create () in
+  let a = Netlist.add_pi nl in
+  let g = Build.not_ nl a in
+  ignore (Netlist.add_po nl ~driver:g ~weight:0);
+  let sim = Sim.Simulator.create nl in
+  ignore (Sim.Simulator.step sim [| false |]);
+  Alcotest.(check bool) "not gate" true (Sim.Simulator.node_value sim g);
+  Sim.Simulator.reset sim;
+  Alcotest.check_raises "no step" (Invalid_argument "Simulator.node_value: no step taken")
+    (fun () -> ignore (Sim.Simulator.node_value sim g))
+
+let test_width_mismatch () =
+  let nl = Netlist.create () in
+  let _ = Netlist.add_pi nl in
+  let sim = Sim.Simulator.create nl in
+  Alcotest.check_raises "width" (Invalid_argument "Simulator.step: PI width mismatch")
+    (fun () -> ignore (Sim.Simulator.step sim [| true; false |]))
+
+let test_prehistory () =
+  (* a 2-deep delay line reading pre-reset values from the prehistory *)
+  let nl = Netlist.create () in
+  let a = Netlist.add_pi nl in
+  let g = Build.buf ~w:2 nl a in
+  ignore (Netlist.add_po nl ~driver:g ~weight:0);
+  let prehistory v t =
+    (* PI held 1 at t=-1, 0 at t=-2 *)
+    v = a && t = -1
+  in
+  let sim = Sim.Simulator.create ~prehistory nl in
+  let o1 = Sim.Simulator.step sim [| false |] in
+  let o2 = Sim.Simulator.step sim [| false |] in
+  let o3 = Sim.Simulator.step sim [| false |] in
+  Alcotest.(check bool) "t=0 reads a(-2)=0" false o1.(0);
+  Alcotest.(check bool) "t=1 reads a(-1)=1" true o2.(0);
+  Alcotest.(check bool) "t=2 reads a(0)=0" false o3.(0)
+
+(* --- equivalence --- *)
+
+let adder_accumulator () =
+  (* running parity of the input: s = s xor in, output s *)
+  let nl = Netlist.create () in
+  let x = Netlist.add_pi nl in
+  let s = Netlist.reserve_gate nl in
+  Netlist.define_gate nl s (Truthtable.xor_all 2) [| (x, 0); (s, 1) |];
+  ignore (Netlist.add_po nl ~driver:s ~weight:0);
+  nl
+
+let test_io_equal_self () =
+  let rng = Prelude.Rng.create 5 in
+  let nl = adder_accumulator () in
+  Alcotest.(check bool) "self equal" true (Sim.Equiv.io_equal rng nl nl)
+
+let test_io_equal_detects_difference () =
+  let rng = Prelude.Rng.create 5 in
+  let a = adder_accumulator () in
+  let b = Netlist.create () in
+  let x = Netlist.add_pi b in
+  let s = Netlist.reserve_gate b in
+  (* or instead of xor *)
+  Netlist.define_gate b s (Truthtable.or_all 2) [| (x, 0); (s, 1) |];
+  ignore (Netlist.add_po b ~driver:s ~weight:0);
+  Alcotest.(check bool) "different" false (Sim.Equiv.io_equal rng a b)
+
+let test_io_equal_mapped_equivalent () =
+  (* two structurally different implementations of the same function:
+     (a and b) or (a and c)  vs  a and (b or c), both with a register on
+     the output *)
+  let mk variant =
+    let nl = Netlist.create () in
+    let a = Netlist.add_pi nl and b = Netlist.add_pi nl and c = Netlist.add_pi nl in
+    let out =
+      if variant then
+        Build.or2 nl (Build.and2 nl a b) (Build.and2 nl a c)
+      else Build.and2 nl a (Build.or2 nl b c)
+    in
+    ignore (Netlist.add_po nl ~driver:out ~weight:1);
+    nl
+  in
+  let rng = Prelude.Rng.create 17 in
+  Alcotest.(check bool) "equivalent" true (Sim.Equiv.io_equal rng (mk true) (mk false))
+
+let test_latency_equal_pipeline () =
+  (* comb chain vs the same chain pipelined by retiming lags *)
+  let chain () =
+    let nl = Netlist.create () in
+    let x = Netlist.add_pi nl in
+    let g1 = Build.not_ nl x in
+    let g2 = Build.not_ nl g1 in
+    let g3 = Build.not_ nl g2 in
+    ignore (Netlist.add_po nl ~driver:g3 ~weight:0);
+    nl
+  in
+  let a = chain () in
+  let b = chain () in
+  let p, r = Retime.Pipeline.min_period b in
+  Alcotest.(check int) "period 1" 1 p;
+  let b = Retime.Retiming.apply b ~r in
+  let lat = Retime.Pipeline.latency b ~r in
+  let rng = Prelude.Rng.create 23 in
+  Alcotest.(check bool) "latency equivalent" true
+    (Sim.Equiv.latency_equal ~warmup:0 ~latency:lat rng a b);
+  (* and with the wrong latency it fails *)
+  Alcotest.(check bool) "wrong latency detected" false
+    (Sim.Equiv.latency_equal ~warmup:0 ~latency:(lat + 1) rng a b)
+
+let test_find_mismatch () =
+  let rng = Prelude.Rng.create 9 in
+  let a = adder_accumulator () in
+  let b = Netlist.create () in
+  let x = Netlist.add_pi b in
+  let s = Netlist.reserve_gate b in
+  Netlist.define_gate b s (Truthtable.or_all 2) [| (x, 0); (s, 1) |];
+  ignore (Netlist.add_po b ~driver:s ~weight:0);
+  (match Sim.Equiv.find_io_mismatch rng a b with
+  | None -> Alcotest.fail "mismatch expected"
+  | Some (t, stream) ->
+      Alcotest.(check bool) "stream covers t" true (Array.length stream = t + 1));
+  let a2 = adder_accumulator () in
+  Alcotest.(check bool) "no mismatch on self" true
+    (Sim.Equiv.find_io_mismatch rng a a2 = None)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "simulator",
+        [
+          Alcotest.test_case "comb xor" `Quick test_comb_xor;
+          Alcotest.test_case "register delay" `Quick test_register_delay;
+          Alcotest.test_case "po weight" `Quick test_po_weight;
+          Alcotest.test_case "toggle" `Quick test_toggle_counter;
+          Alcotest.test_case "lfsr" `Quick test_lfsr_period;
+          Alcotest.test_case "node value" `Quick test_node_value;
+          Alcotest.test_case "width mismatch" `Quick test_width_mismatch;
+          Alcotest.test_case "prehistory" `Quick test_prehistory;
+        ] );
+      ( "equiv",
+        [
+          Alcotest.test_case "self" `Quick test_io_equal_self;
+          Alcotest.test_case "detects difference" `Quick
+            test_io_equal_detects_difference;
+          Alcotest.test_case "mapped equivalent" `Quick
+            test_io_equal_mapped_equivalent;
+          Alcotest.test_case "pipeline latency" `Quick test_latency_equal_pipeline;
+          Alcotest.test_case "find mismatch" `Quick test_find_mismatch;
+        ] );
+    ]
