@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- ablation-k  -- K sweep
      dune exec bench/main.exe -- ablation-cmax
      dune exec bench/main.exe -- micro       -- bechamel micro-benchmarks
+     dune exec bench/main.exe -- stats       -- per-run Obs counter/span dump
      dune exec bench/main.exe -- all         -- everything incl. micro
 
    Absolute numbers are machine-local; what must match the paper is the
@@ -59,7 +60,12 @@ let table1 () =
     Table.create
       ([ ("circuit", Table.Left); ("GATE", Table.Right); ("FF", Table.Right) ]
       @ List.concat_map
-          (fun (name, _) -> [ (name ^ " phi", Table.Right); ("CPU", Table.Right) ])
+          (fun (name, _) ->
+            [
+              (name ^ " phi", Table.Right);
+              ("CPU", Table.Right);
+              ("tests", Table.Right);
+            ])
           algos)
   in
   let ratios_fs = ref [] and ratios_tm = ref [] in
@@ -84,6 +90,10 @@ let table1 () =
             [
               Rat.to_string r.Turbosyn.Synth.phi;
               Printf.sprintf "%.2f" r.Turbosyn.Synth.cpu_seconds;
+              (* per-run stats: K-feasible-cut tests of the label engine *)
+              (match r.Turbosyn.Synth.label_stats with
+              | Some s -> string_of_int s.Seqmap.Label_engine.flow_tests
+              | None -> "-");
             ])
           results
       in
@@ -111,7 +121,9 @@ let table1 () =
       "";
       Printf.sprintf "%.2fx" (geomean !ratios_fs);
       "";
+      "";
       Printf.sprintf "%.2fx" (geomean !ratios_tm);
+      "";
       "";
       "1.00x";
     ];
@@ -179,6 +191,8 @@ let table3 () =
         ("speedup", Table.Right);
         ("PLD iters", Table.Right);
         ("noPLD iters", Table.Right);
+        ("PLD tests", Table.Right);
+        ("noPLD tests", Table.Right);
       ]
   in
   let speedups = ref [] in
@@ -196,11 +210,14 @@ let table3 () =
           Timer.time_cpu (fun () ->
               Seqmap.Turbomap.minimum_ratio ~phi_max_den:8 opts nl)
         in
-        (phi, dt, stats.Seqmap.Label_engine.iterations)
+        ( phi,
+          dt,
+          stats.Seqmap.Label_engine.iterations,
+          stats.Seqmap.Label_engine.flow_tests )
       in
       Format.eprintf "[table3] %s@." name;
-      let phi_on, cpu_on, it_on = run ~pld:true in
-      let phi_off, cpu_off, it_off = run ~pld:false in
+      let phi_on, cpu_on, it_on, ft_on = run ~pld:true in
+      let phi_off, cpu_off, it_off, ft_off = run ~pld:false in
       let agree = Rat.equal phi_on phi_off in
       let speedup = cpu_off /. Float.max 1e-6 cpu_on in
       speedups := speedup :: !speedups;
@@ -213,6 +230,8 @@ let table3 () =
           Printf.sprintf "%.1fx" speedup;
           string_of_int it_on;
           string_of_int it_off;
+          string_of_int ft_on;
+          string_of_int ft_off;
         ])
     pld_subset;
   Table.add_rule t;
@@ -434,6 +453,53 @@ let ablation_mdr () =
   Table.print t
 
 (* ------------------------------------------------------------------ *)
+(* Stats mode: per-run counter/span dump through the Obs layer         *)
+(* ------------------------------------------------------------------ *)
+
+let stats_subset = [ "bbara"; "cse"; "s298" ]
+
+let stats_mode () =
+  Format.printf
+    "@.== Per-run observability stats (TurboSYN, K=5; see \
+     doc/OBSERVABILITY.md) ==@.";
+  Obs.set_enabled true;
+  List.iter
+    (fun name ->
+      Obs.reset ();
+      let spec = Option.get (Workloads.Suite.find name) in
+      let nl = Workloads.Suite.build spec in
+      Format.eprintf "[stats] %s@." name;
+      let r =
+        Turbosyn.Synth.run
+          ~options:(Turbosyn.Synth.default_options ~k:5 ())
+          `Turbosyn nl
+      in
+      Format.printf "@.-- %s: phi=%s, %d LUTs, %.1fs CPU --@." name
+        (Rat.to_string r.Turbosyn.Synth.phi)
+        r.Turbosyn.Synth.luts r.Turbosyn.Synth.cpu_seconds;
+      let t = Table.create [ ("counter", Table.Left); ("value", Table.Right) ] in
+      List.iter
+        (fun (n, v) -> if v > 0 then Table.add_row t [ n; string_of_int v ])
+        (Obs.Counter.all ());
+      Table.print t;
+      let t =
+        Table.create
+          [
+            ("span", Table.Left);
+            ("seconds", Table.Right);
+            ("entries", Table.Right);
+          ]
+      in
+      List.iter
+        (fun (n, s, c) ->
+          if c > 0 then
+            Table.add_row t [ n; Printf.sprintf "%.3f" s; string_of_int c ])
+        (Obs.Span.all ());
+      Table.print t)
+    stats_subset;
+  Obs.set_enabled false
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table + core kernels   *)
 (* ------------------------------------------------------------------ *)
 
@@ -522,6 +588,7 @@ let () =
       | "ablation-cmax" -> ablation_cmax ()
       | "ablation-mdr" -> ablation_mdr ()
       | "ablation-seqmap2" -> ablation_seqmap2 ()
+      | "stats" -> stats_mode ()
       | "micro" -> micro ()
       | other -> Format.eprintf "unknown mode %s@." other)
     modes

@@ -67,6 +67,20 @@ let exact_arg =
   Arg.(value & flag & info [ "exact" ]
          ~doc:"Search clock-period ratios over every denominator up to the                register count (default caps at 24).")
 
+let stats_arg =
+  Arg.(value & opt ~vopt:(Some "-") (some string) None
+       & info [ "stats" ] ~docv:"FILE"
+           ~doc:"Collect algorithm counters and phase timings and write the \
+                 JSON report (schema: doc/OBSERVABILITY.md) to $(docv); with \
+                 no $(docv), print it to stdout and move the human-readable \
+                 summary to stderr.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record structured events (one ratio-search probe per line) \
+                 and write them as JSON lines to $(docv).")
+
 let exit_err msg =
   Format.eprintf "error: %s@." msg;
   exit 1
@@ -117,7 +131,8 @@ let stats_cmd =
     Term.(const run $ input_arg $ workload_arg)
 
 let map_cmd =
-  let run input workload algo k output verilog verify no_pld no_area multi exact =
+  let run input workload algo k output verilog verify no_pld no_area multi exact
+      stats trace =
     match load ~input ~workload with
     | Error e -> exit_err e
     | Ok nl -> (
@@ -130,37 +145,92 @@ let map_cmd =
             phi_max_den = (if exact then None else Some 24);
           }
         in
+        if stats <> None || trace <> None then begin
+          Obs.set_enabled true;
+          Obs.reset ()
+        end;
+        (* keep stdout parseable when the JSON report goes there *)
+        let out =
+          if stats = Some "-" then Format.err_formatter
+          else Format.std_formatter
+        in
         match Turbosyn.Synth.run ~options algo nl with
         | exception Invalid_argument msg -> exit_err msg
         | r ->
-            Format.printf "algorithm: %s@."
+            Format.fprintf out "algorithm: %s@."
               (match r.Turbosyn.Synth.algo with
               | `Turbosyn -> "TurboSYN"
               | `Turbomap -> "TurboMap"
               | `Flowsyn_s -> "FlowSYN-s");
-            Format.printf "phi (min MDR ratio): %s@."
+            Format.fprintf out "phi (min MDR ratio): %s@."
               (Prelude.Rat.to_string r.Turbosyn.Synth.phi);
-            Format.printf "clock period: %d   pipeline latency: %d@."
+            Format.fprintf out "clock period: %d   pipeline latency: %d@."
               r.Turbosyn.Synth.clock_period r.Turbosyn.Synth.latency;
-            Format.printf "LUTs: %d (before area recovery: %d)@."
+            Format.fprintf out "LUTs: %d (before area recovery: %d)@."
               r.Turbosyn.Synth.luts r.Turbosyn.Synth.luts_before_area;
-            Format.printf "CPU: %.2fs  probes: %d@." r.Turbosyn.Synth.cpu_seconds
-              r.Turbosyn.Synth.probes;
+            Format.fprintf out "CPU: %.2fs  probes: %d@."
+              r.Turbosyn.Synth.cpu_seconds r.Turbosyn.Synth.probes;
             if verify then begin
               let rng = Prelude.Rng.create 7 in
               let ok = Sim.Equiv.mapped_equal rng nl r.Turbosyn.Synth.mapped in
-              Format.printf "verification: %s@." (if ok then "PASS" else "FAIL");
+              Format.fprintf out "verification: %s@."
+                (if ok then "PASS" else "FAIL");
               if not ok then exit 2
             end;
+            let write path f =
+              match f () with
+              | () -> ()
+              | exception Sys_error msg -> exit_err msg
+              | exception _ -> exit_err (Printf.sprintf "cannot write %s" path)
+            in
             (match output with
             | Some path ->
-                Circuit.Blif.write_file r.Turbosyn.Synth.mapped path;
-                Format.printf "wrote %s@." path
+                write path (fun () ->
+                    Circuit.Blif.write_file r.Turbosyn.Synth.mapped path);
+                Format.fprintf out "wrote %s@." path
             | None -> ());
-            match verilog with
+            (match verilog with
             | Some path ->
-                Circuit.Verilog.write_file r.Turbosyn.Synth.mapped path;
-                Format.printf "wrote %s@." path
+                write path (fun () ->
+                    Circuit.Verilog.write_file r.Turbosyn.Synth.mapped path);
+                Format.fprintf out "wrote %s@." path
+            | None -> ());
+            (match trace with
+            | Some path ->
+                write path (fun () -> Obs.Trace.to_file path);
+                Format.fprintf out "wrote %s (%d events, %d dropped)@." path
+                  (Obs.Trace.length ()) (Obs.Trace.dropped ())
+            | None -> ());
+            match stats with
+            | Some dest ->
+                let extra =
+                  [
+                    ( "run",
+                      Obs.Json.Obj
+                        [
+                          ("circuit", Obs.Json.Str (Circuit.Netlist.name nl));
+                          ( "algo",
+                            Obs.Json.Str
+                              (match r.Turbosyn.Synth.algo with
+                              | `Turbosyn -> "turbosyn"
+                              | `Turbomap -> "turbomap"
+                              | `Flowsyn_s -> "flowsyn-s") );
+                          ("k", Obs.Json.Int k);
+                          ( "phi",
+                            Obs.Json.Str
+                              (Prelude.Rat.to_string r.Turbosyn.Synth.phi) );
+                          ( "clock_period",
+                            Obs.Json.Int r.Turbosyn.Synth.clock_period );
+                          ("latency", Obs.Json.Int r.Turbosyn.Synth.latency);
+                          ("luts", Obs.Json.Int r.Turbosyn.Synth.luts);
+                          ("probes", Obs.Json.Int r.Turbosyn.Synth.probes);
+                          ( "cpu_seconds",
+                            Obs.Json.Float r.Turbosyn.Synth.cpu_seconds );
+                        ] );
+                  ]
+                in
+                write dest (fun () -> Obs.Report.write_stats ~extra dest);
+                if dest <> "-" then Format.fprintf out "wrote %s@." dest
             | None -> ())
   in
   Cmd.v
@@ -170,7 +240,7 @@ let map_cmd =
     Term.(
       const run $ input_arg $ workload_arg $ algo_arg $ k_arg $ output_arg
       $ verilog_arg $ verify_arg $ no_pld_arg $ no_area_arg $ multi_arg
-      $ exact_arg)
+      $ exact_arg $ stats_arg $ trace_arg)
 
 let simulate_cmd =
   let run input workload cycles seed =

@@ -1,7 +1,19 @@
 open Prelude
 open Circuit
 
+(* observability (doc/OBSERVABILITY.md): top-level phase durations and the
+   per-run result trace event *)
+let s_total = Obs.Span.make "synth.total"
+let s_area = Obs.Span.make "synth.area"
+let s_relax = Obs.Span.make "synth.relax"
+let s_realize = Obs.Span.make "synth.realize"
+
 type algo = [ `Turbosyn | `Turbomap | `Flowsyn_s ]
+
+let algo_name = function
+  | `Turbosyn -> "turbosyn"
+  | `Turbomap -> "turbomap"
+  | `Flowsyn_s -> "flowsyn-s"
 
 type options = {
   k : int;
@@ -61,11 +73,16 @@ let engine_options o ~resynthesize =
 
 let finish algo o ~mapped ~phi ~resyn_nodes ~probes ~label_stats ~cpu_seconds =
   let luts_before_area = List.length (Netlist.gates mapped) in
-  let mapped = if o.area_recovery then Area.reduce mapped ~k:o.k else mapped in
+  let mapped =
+    if o.area_recovery then
+      Obs.Span.time s_area (fun () -> Area.reduce mapped ~k:o.k)
+    else mapped
+  in
   let realized, clock_period, latency =
-    match Seqmap.Turbomap.realize mapped with
-    | Some (r, p, l) -> (Some r, p, l)
-    | None -> (None, -1, 0)
+    Obs.Span.time s_realize (fun () ->
+        match Seqmap.Turbomap.realize mapped with
+        | Some (r, p, l) -> (Some r, p, l)
+        | None -> (None, -1, 0))
   in
   {
     algo;
@@ -92,7 +109,8 @@ let run_seq algo o nl ~resynthesize =
      increase does not create a positive loop (area recovery step 1) *)
   let mapped =
     if resynthesize && o.area_recovery then
-      fst (Relax.relax nl ~impls ~phi:report.Seqmap.Turbomap.phi)
+      Obs.Span.time s_relax (fun () ->
+          fst (Relax.relax nl ~impls ~phi:report.Seqmap.Turbomap.phi))
     else mapped
   in
   let cpu = Sys.time () -. t0 in
@@ -122,7 +140,23 @@ let run_flowsyn_s o nl =
 let run ?options algo nl =
   let o = match options with Some o -> o | None -> default_options () in
   Netlist.validate_exn ~k:o.k nl;
-  match algo with
-  | `Turbosyn -> run_seq `Turbosyn o nl ~resynthesize:true
-  | `Turbomap -> run_seq `Turbomap o nl ~resynthesize:false
-  | `Flowsyn_s -> run_flowsyn_s o nl
+  let r =
+    Obs.Span.time s_total (fun () ->
+        match algo with
+        | `Turbosyn -> run_seq `Turbosyn o nl ~resynthesize:true
+        | `Turbomap -> run_seq `Turbomap o nl ~resynthesize:false
+        | `Flowsyn_s -> run_flowsyn_s o nl)
+  in
+  if Obs.enabled () then
+    Obs.Trace.emit "synth.result"
+      [
+        ("algo", Obs.Json.Str (algo_name r.algo));
+        ("circuit", Obs.Json.Str (Netlist.name nl));
+        ("phi", Obs.Json.Str (Rat.to_string r.phi));
+        ("clock_period", Obs.Json.Int r.clock_period);
+        ("latency", Obs.Json.Int r.latency);
+        ("luts", Obs.Json.Int r.luts);
+        ("probes", Obs.Json.Int r.probes);
+        ("cpu_seconds", Obs.Json.Float r.cpu_seconds);
+      ];
+  r

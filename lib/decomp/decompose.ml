@@ -1,6 +1,14 @@
 open Prelude
 open Logic
 
+(* observability (doc/OBSERVABILITY.md): bound-set search effort and BDD
+   pressure of the functional-decomposition engine *)
+let c_calls = Obs.Counter.make "decomp.calls"
+let c_successes = Obs.Counter.make "decomp.successes"
+let c_trials = Obs.Counter.make "decomp.bound_set_trials"
+let c_two_wire = Obs.Counter.make "decomp.two_wire_extractions"
+let c_bdd_peak = Obs.Counter.make "decomp.bdd_peak_nodes"
+
 type tree = Input of int | Lut of Truthtable.t * tree array
 
 type result = { tree : tree; level : Rat.t; luts : int }
@@ -113,6 +121,7 @@ let decompose ?(exhaustive = false) ?(multi = false) man ~f ~vars ~arrivals ~k =
           List.filteri (fun i _ -> i < 64) subsets
       in
       let try_bound ~max_mu bset =
+        Obs.Counter.incr c_trials;
         let bound = Array.of_list (List.map (fun l -> l.var) bset) in
         let cls = Classes.compute man fn ~bound in
         if Array.length cls.Classes.representatives <= max_mu then
@@ -162,6 +171,7 @@ let decompose ?(exhaustive = false) ?(multi = false) man ~f ~vars ~arrivals ~k =
             in
             (* one encoding wire per class-index bit *)
             let nwires = if nclasses <= 2 then 1 else 2 in
+            if nwires = 2 then Obs.Counter.incr c_two_wire;
             let wire bit =
               let bits = ref 0L in
               Array.iteri
@@ -200,7 +210,11 @@ let decompose ?(exhaustive = false) ?(multi = false) man ~f ~vars ~arrivals ~k =
           end
     end
   in
-  match loop f initial with
+  Obs.Counter.incr c_calls;
+  let result = loop f initial in
+  Obs.Counter.record_max c_bdd_peak (Bdd.num_nodes man);
+  match result with
   | None -> None
   | Some tree ->
+      Obs.Counter.incr c_successes;
       Some { tree; level = tree_level ~arrivals tree; luts = tree_luts tree }

@@ -1,3 +1,10 @@
+(* observability (doc/OBSERVABILITY.md): flow-network construction volume
+   and augmentation work *)
+let c_networks = Obs.Counter.make "maxflow.networks"
+let c_nodes = Obs.Counter.make "maxflow.nodes"
+let c_edges = Obs.Counter.make "maxflow.edges"
+let c_aug = Obs.Counter.make "maxflow.augmenting_paths"
+
 type t = {
   n : int;
   (* arcs stored flat; arc i and its reverse i lxor 1 are adjacent *)
@@ -11,6 +18,8 @@ type t = {
 let infinity = max_int / 4
 
 let create n =
+  Obs.Counter.incr c_networks;
+  Obs.Counter.add c_nodes (max n 0);
   {
     n;
     head = Array.make 16 0;
@@ -31,6 +40,7 @@ let add_edge t ~src ~dst ~cap =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
     invalid_arg "Maxflow.add_edge: node out of range";
   if cap < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  Obs.Counter.incr c_edges;
   while t.narcs + 2 > Array.length t.head do
     grow_arcs t
   done;
@@ -78,6 +88,7 @@ let max_flow t ~s ~t:tnode ~limit =
     match bfs t ~s ~t:tnode with
     | None -> continue := false
     | Some parent ->
+        Obs.Counter.incr c_aug;
         (* the source of arc a is the head of its reverse arc (a lxor 1) *)
         let arc_src a = t.head.(a lxor 1) in
         let rec bottleneck v acc =

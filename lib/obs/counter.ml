@@ -1,0 +1,28 @@
+type t = { name : string; mutable n : int }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+let make name =
+  match Hashtbl.find_opt registry name with
+  | Some c -> c
+  | None ->
+      let c = { name; n = 0 } in
+      Hashtbl.replace registry name c;
+      c
+
+let name c = c.name
+let value c = c.n
+let incr c = if State.on () then c.n <- c.n + 1
+
+let add c k =
+  if k < 0 then invalid_arg "Obs.Counter.add: negative increment";
+  if State.on () then c.n <- c.n + k
+
+let record_max c v = if State.on () && v > c.n then c.n <- v
+let find key = Option.map value (Hashtbl.find_opt registry key)
+
+let all () =
+  Hashtbl.fold (fun _ c acc -> (c.name, c.n) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset_all () = Hashtbl.iter (fun _ c -> c.n <- 0) registry

@@ -1,0 +1,13 @@
+module Json = Json
+module Counter = Counter
+module Span = Span
+module Trace = Trace
+module Report = Report
+
+let set_enabled = State.set_enabled
+let enabled = State.enabled
+
+let reset () =
+  Counter.reset_all ();
+  Span.reset_all ();
+  Trace.clear ()

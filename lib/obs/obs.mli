@@ -1,0 +1,44 @@
+(** Observability: counters, phase timers and event tracing for the
+    synthesis pipeline.
+
+    The paper's evaluation is about {e internal} algorithm behavior —
+    how many flow tests PLD avoids, how often decomposition rescues a
+    label the cut test rejects, how large expanded circuits get.  This
+    module makes those quantities measurable: hot paths bump
+    {!Counter}s, phases run inside {!Span}s, and notable occurrences
+    (each ratio-search probe, each synthesis result) are {!Trace}d.
+    {!Report.stats_json} assembles everything into the versioned JSON
+    document described in [doc/OBSERVABILITY.md].
+
+    Everything is disabled by default.  While disabled, every hook is a
+    single load-and-branch no-op, so instrumented code pays (well under
+    2% on the benchmark tables) for the hooks it does not use.  Enable
+    collection around the work you want measured:
+
+    {[
+      Obs.set_enabled true;
+      Obs.reset ();
+      let r = Turbosyn.Synth.run `Turbosyn nl in
+      Obs.Report.write_stats "-";
+      Obs.set_enabled false
+    ]}
+
+    State is process-global and not thread-safe (the pipeline is
+    single-threaded). *)
+
+module Json = Json
+module Counter = Counter
+module Span = Span
+module Trace = Trace
+module Report = Report
+
+val set_enabled : bool -> unit
+(** Master switch for all collection ({!Counter}, {!Span}, {!Trace}).
+    Off by default. *)
+
+val enabled : unit -> bool
+(** Current state of the master switch. *)
+
+val reset : unit -> unit
+(** Zero all counters and spans and clear the trace buffer.  Call
+    between measured runs; registration is preserved. *)

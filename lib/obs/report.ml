@@ -1,0 +1,36 @@
+let schema_version = "turbosyn-stats/1"
+
+let counters_json () =
+  Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) (Counter.all ()))
+
+let spans_json () =
+  Json.Obj
+    (List.map
+       (fun (name, seconds, entries) ->
+         ( name,
+           Json.Obj
+             [ ("seconds", Json.Float seconds); ("entries", Json.Int entries) ]
+         ))
+       (Span.all ()))
+
+let stats_json ?(extra = []) () =
+  Json.Obj
+    ([
+       ("schema", Json.Str schema_version);
+       ("enabled", Json.Bool (State.enabled ()));
+     ]
+    @ extra
+    @ [ ("counters", counters_json ()); ("spans", spans_json ()) ])
+
+let write_stats ?extra dest =
+  let json = stats_json ?extra () in
+  let s = Json.to_pretty_string json in
+  if dest = "-" then print_endline s
+  else begin
+    let oc = open_out dest in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc s;
+        output_char oc '\n')
+  end

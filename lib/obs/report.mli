@@ -1,0 +1,34 @@
+(** Assembly of the versioned stats report.
+
+    The report is a single JSON object; [doc/OBSERVABILITY.md] is the
+    normative description of the schema.  Version [turbosyn-stats/1]:
+
+    {v
+    {
+      "schema":   "turbosyn-stats/1",
+      "enabled":  true,
+      ...caller-supplied extra members (e.g. "run")...,
+      "counters": { "<name>": <int>, ... },
+      "spans":    { "<name>": { "seconds": <float>, "entries": <int> }, ... }
+    }
+    v} *)
+
+val schema_version : string
+(** ["turbosyn-stats/1"].  Bumped on any incompatible change to the
+    report layout or to the meaning of a documented counter/span. *)
+
+val counters_json : unit -> Json.t
+(** The [counters] object: every registered counter, sorted by name. *)
+
+val spans_json : unit -> Json.t
+(** The [spans] object: every registered span, sorted by name. *)
+
+val stats_json : ?extra:(string * Json.t) list -> unit -> Json.t
+(** The full report.  [extra] members (e.g. a [run] description) are
+    spliced between the schema header and the [counters]/[spans]
+    objects; their names must not collide with the reserved members
+    [schema], [enabled], [counters], [spans]. *)
+
+val write_stats : ?extra:(string * Json.t) list -> string -> unit
+(** [write_stats dest] pretty-prints {!stats_json} to the file [dest],
+    or to stdout when [dest] is ["-"]. *)

@@ -1,0 +1,56 @@
+type t = {
+  name : string;
+  mutable total : float; (* accumulated wall seconds, outermost entries *)
+  mutable entries : int; (* completed outermost entries *)
+  mutable depth : int; (* live nesting depth (recursive re-entry) *)
+  mutable started : float; (* wall clock of the outermost enter *)
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+let make name =
+  match Hashtbl.find_opt registry name with
+  | Some s -> s
+  | None ->
+      let s = { name; total = 0.; entries = 0; depth = 0; started = 0. } in
+      Hashtbl.replace registry name s;
+      s
+
+let name s = s.name
+let seconds s = s.total
+let count s = s.entries
+
+let enter s =
+  if State.on () then begin
+    if s.depth = 0 then s.started <- Prelude.Timer.wall ();
+    s.depth <- s.depth + 1
+  end
+
+let exit s =
+  if State.on () && s.depth > 0 then begin
+    s.depth <- s.depth - 1;
+    if s.depth = 0 then begin
+      s.total <- s.total +. (Prelude.Timer.wall () -. s.started);
+      s.entries <- s.entries + 1
+    end
+  end
+
+let time s f =
+  if not (State.on ()) then f ()
+  else begin
+    enter s;
+    Fun.protect ~finally:(fun () -> exit s) f
+  end
+
+let all () =
+  Hashtbl.fold (fun _ s acc -> (s.name, s.total, s.entries) :: acc) registry []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let reset_all () =
+  Hashtbl.iter
+    (fun _ s ->
+      s.total <- 0.;
+      s.entries <- 0;
+      s.depth <- 0;
+      s.started <- 0.)
+    registry

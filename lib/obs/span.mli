@@ -1,0 +1,52 @@
+(** Nestable phase timers with a process-global registry.
+
+    A span accumulates wall-clock time over every [enter]/[exit] pair.
+    Distinct spans nest freely (a ratio-search probe contains SCC
+    rounds, which contain flow tests and decompositions); a span that
+    re-enters {e itself} recursively accounts only its outermost
+    activation, so recursion never double-counts.
+
+    As with counters, all mutation is gated on {!Obs.set_enabled}:
+    disabled spans cost one load and one branch, and [time] calls the
+    thunk directly without installing an exception handler.
+
+    Toggling the global switch while a span is open loses that
+    activation (the [exit] guard keeps the depth consistent); enable
+    observability before the phase you want timed.
+
+    The registered names form the [spans] object of the stats schema;
+    [doc/OBSERVABILITY.md] documents each one. *)
+
+type t
+(** A registered span.  Physically equal for equal names. *)
+
+val make : string -> t
+(** [make name] returns the span registered under [name], creating it on
+    first use.  Dotted lower-case names ([subsystem.phase]) by
+    convention. *)
+
+val name : t -> string
+
+val seconds : t -> float
+(** Total wall seconds accumulated over completed outermost entries. *)
+
+val count : t -> int
+(** Number of completed outermost entries. *)
+
+val enter : t -> unit
+(** Start (or nest into) the span.  No-op while observability is
+    disabled. *)
+
+val exit : t -> unit
+(** Leave the span; the outermost exit accumulates the elapsed time.
+    A spurious exit (depth already zero) is ignored. *)
+
+val time : t -> (unit -> 'a) -> 'a
+(** [time s f] runs [f ()] inside the span, exception-safely. *)
+
+val all : unit -> (string * float * int) list
+(** Every registered span as [(name, seconds, entries)], sorted by
+    name. *)
+
+val reset_all : unit -> unit
+(** Zero every registered span (registration survives). *)

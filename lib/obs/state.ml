@@ -1,0 +1,10 @@
+(* Global observability switch.  Kept in its own (unexported) module so the
+   hot-path hooks in Counter/Span/Trace can read one ref without a module
+   cycle through Obs. *)
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+(* the hot-path spelling: a single load + branch *)
+let on () = !enabled_flag

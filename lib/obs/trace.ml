@@ -1,0 +1,56 @@
+type event = {
+  seq : int;
+  at : float;
+  name : string;
+  fields : (string * Json.t) list;
+}
+
+let default_capacity = 4096
+let capacity = ref default_capacity
+let buffer : event Queue.t = Queue.create ()
+let next_seq = ref 0
+let dropped_count = ref 0
+
+let clear () =
+  Queue.clear buffer;
+  next_seq := 0;
+  dropped_count := 0
+
+let set_capacity n =
+  if n < 0 then invalid_arg "Obs.Trace.set_capacity: negative";
+  capacity := n;
+  while Queue.length buffer > n do
+    ignore (Queue.pop buffer);
+    incr dropped_count
+  done
+
+let emit name fields =
+  if State.on () && !capacity > 0 then begin
+    let e = { seq = !next_seq; at = Prelude.Timer.wall (); name; fields } in
+    incr next_seq;
+    if Queue.length buffer >= !capacity then begin
+      ignore (Queue.pop buffer);
+      incr dropped_count
+    end;
+    Queue.add e buffer
+  end
+
+let events () = List.rev (Queue.fold (fun acc e -> e :: acc) [] buffer)
+let length () = Queue.length buffer
+let dropped () = !dropped_count
+
+let event_json e =
+  Json.Obj
+    ([ ("seq", Json.Int e.seq); ("t", Json.Float e.at); ("event", Json.Str e.name) ]
+    @ e.fields)
+
+let write_jsonl oc =
+  Queue.iter
+    (fun e ->
+      output_string oc (Json.to_string (event_json e));
+      output_char oc '\n')
+    buffer
+
+let to_file path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_jsonl oc)

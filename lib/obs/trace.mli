@@ -1,0 +1,52 @@
+(** Bounded ring buffer of structured events with a JSON-lines sink.
+
+    Tracing records {e individual} occurrences (one ratio-search probe,
+    one synthesis result) where counters only keep totals.  The buffer
+    keeps the most recent {!set_capacity} events; older events are
+    dropped and counted in {!dropped}, so a runaway phase cannot exhaust
+    memory.
+
+    [emit] is gated on {!Obs.set_enabled} like every other hook.  Note
+    that the caller constructs the field list before the gate is
+    checked, so keep [emit] out of per-edge hot loops — per-probe and
+    per-phase events are the intended granularity. *)
+
+type event = {
+  seq : int;  (** global emission index, 0-based, monotonic *)
+  at : float;  (** wall-clock seconds (Unix epoch) at emission *)
+  name : string;  (** event kind, e.g. ["search.probe"] *)
+  fields : (string * Json.t) list;  (** event payload *)
+}
+
+val set_capacity : int -> unit
+(** Resize the ring (default 4096).  Shrinking drops the oldest events;
+    capacity 0 disables tracing entirely.
+    @raise Invalid_argument on a negative capacity. *)
+
+val emit : string -> (string * Json.t) list -> unit
+(** [emit name fields] appends one event.  No-op while observability is
+    disabled or the capacity is 0.  Field names should avoid the
+    reserved keys [seq], [t] and [event] (see {!event_json}). *)
+
+val events : unit -> event list
+(** Buffered events, oldest first. *)
+
+val length : unit -> int
+(** Number of buffered events. *)
+
+val dropped : unit -> int
+(** Events lost to the capacity bound since the last {!clear}. *)
+
+val clear : unit -> unit
+(** Drop all events and reset the sequence and drop counters. *)
+
+val event_json : event -> Json.t
+(** One event as a flat JSON object: the reserved members [seq], [t]
+    and [event] followed by the payload fields. *)
+
+val write_jsonl : out_channel -> unit
+(** Write the buffered events as JSON lines (one {!event_json} object
+    per line), oldest first. *)
+
+val to_file : string -> unit
+(** [to_file path] truncates [path] and writes {!write_jsonl} output. *)

@@ -1,6 +1,13 @@
 open Prelude
 open Circuit
 
+(* observability (doc/OBSERVABILITY.md): expansion volume and budget
+   overflows — the quantity the partial-network construction keeps small *)
+let c_builds = Obs.Counter.make "expand.builds"
+let c_nodes = Obs.Counter.make "expand.nodes"
+let c_peak = Obs.Counter.make "expand.peak_nodes"
+let c_overflows = Obs.Counter.make "expand.overflows"
+
 type node = { u : int; w : int }
 
 type t = {
@@ -96,6 +103,10 @@ let build nl ~root ~labels ~phi ~threshold ~extra_depth ~max_nodes =
     end
   done;
   let n = vec.len in
+  Obs.Counter.incr c_builds;
+  Obs.Counter.add c_nodes n;
+  Obs.Counter.record_max c_peak n;
+  if !overflow then Obs.Counter.incr c_overflows;
   let nodes = Array.init n (fun i -> vec.node.(i)) in
   let internal = Array.init n (fun i -> vec.internal_.(i)) in
   let sources =

@@ -1,6 +1,21 @@
 open Prelude
 open Circuit
 
+(* observability (doc/OBSERVABILITY.md): the label-computation inner loop —
+   what each probe spends its time on and why labels move *)
+let c_iterations = Obs.Counter.make "label.iterations"
+let c_cut_tests = Obs.Counter.make "label.cut_tests"
+let c_cut_pass = Obs.Counter.make "label.cut_test_passes"
+let c_cut_fail = Obs.Counter.make "label.cut_test_fails"
+let c_decomp_attempts = Obs.Counter.make "label.decomp_attempts"
+let c_decomp_rescues = Obs.Counter.make "label.decomp_rescues"
+let c_cache_hits = Obs.Counter.make "label.resyn_cache_hits"
+let c_divergences = Obs.Counter.make "label.divergences"
+let c_cap_exits = Obs.Counter.make "label.cap_exits"
+let s_flow_test = Obs.Span.make "label.flow_test"
+let s_decomp = Obs.Span.make "label.decomp"
+let s_scc = Obs.Span.make "label.scc"
+
 type impl =
   | Cut of (int * int) array
   | Resyn of Decomp.Decompose.tree * (int * int) array
@@ -65,15 +80,21 @@ let effective_depth opts =
 (* Decide whether a K-cut of height <= threshold exists; return it. *)
 let kcut_test opts stats nl labels phi v ~threshold =
   stats.flow_tests <- stats.flow_tests + 1;
-  let ex =
-    Expanded.build nl ~root:v ~labels ~phi ~threshold
-      ~extra_depth:(effective_depth opts) ~max_nodes:opts.max_expansion
+  Obs.Counter.incr c_cut_tests;
+  let result =
+    Obs.Span.time s_flow_test (fun () ->
+        let ex =
+          Expanded.build nl ~root:v ~labels ~phi ~threshold
+            ~extra_depth:(effective_depth opts) ~max_nodes:opts.max_expansion
+        in
+        if ex.Expanded.overflow then None
+        else
+          match Flow.Kcut.find (Expanded.kcut_spec ex) ~k:opts.k with
+          | Flow.Kcut.Cut c -> Some (ex, c)
+          | Flow.Kcut.Exceeds -> None)
   in
-  if ex.Expanded.overflow then None
-  else
-    match Flow.Kcut.find (Expanded.kcut_spec ex) ~k:opts.k with
-    | Flow.Kcut.Cut c -> Some (ex, c)
-    | Flow.Kcut.Exceeds -> None
+  Obs.Counter.incr (match result with Some _ -> c_cut_pass | None -> c_cut_fail);
+  result
 
 (* The decomposition tree is fully determined by the cut (which fixes the
    cone function) and the ORDER of the input arrivals (the bound-set
@@ -144,7 +165,9 @@ let resyn_test ?(cache : resyn_cache option) opts stats nl labels phi v ~target 
                 | Some tbl -> Hashtbl.find_opt tbl key
                 | None -> None
               with
-              | Some cached -> cached
+              | Some cached ->
+                  Obs.Counter.incr c_cache_hits;
+                  cached
               | None ->
                   stats.decompositions <- stats.decompositions + 1;
                   let man = Bdd.new_man () in
@@ -171,7 +194,10 @@ let resyn_test ?(cache : resyn_cache option) opts stats nl labels phi v ~target 
             in
             try_cuts candidates
   in
-  attempt 0
+  Obs.Counter.incr c_decomp_attempts;
+  let result = Obs.Span.time s_decomp (fun () -> attempt 0) in
+  (match result with Some _ -> Obs.Counter.incr c_decomp_rescues | None -> ());
+  result
 
 (* One label update; returns true if the label changed. *)
 let update ?cache opts stats nl labels phi bound v =
@@ -271,9 +297,10 @@ let run ?cache opts nl ~phi =
            if m > 0 then
              if Graphs.Scc.is_trivial scc ~succ c then begin
                stats.iterations <- stats.iterations + 1;
+               Obs.Counter.incr c_iterations;
                ignore (update ?cache opts stats nl labels phi bound members.(0))
              end
-             else begin
+             else Obs.Span.time s_scc @@ fun () ->
                Array.sort Int.compare members;
                let in_scc v = scc.Graphs.Scc.comp.(v) = c in
                (* Theorem 2 of the paper: a positive loop exists iff after
@@ -290,6 +317,7 @@ let run ?cache opts nl ~phi =
                while (not !converged) && !feasible do
                  incr iter;
                  stats.iterations <- stats.iterations + 1;
+                 Obs.Counter.incr c_iterations;
                  let changed = ref false in
                  Array.iter
                    (fun v ->
@@ -305,13 +333,17 @@ let run ?cache opts nl ~phi =
                      stats.pld_hits <- stats.pld_hits + 1;
                      feasible := false
                    end;
-                   if !iter > hard_cap then feasible := false
+                   if !iter > hard_cap then begin
+                     Obs.Counter.incr c_cap_exits;
+                     feasible := false
+                   end
                  end
                done
-             end
          end)
        order
-   with Diverged -> feasible := false);
+   with Diverged ->
+     Obs.Counter.incr c_divergences;
+     feasible := false);
   if not !feasible then (Infeasible, stats)
   else
     match harvest ?cache opts stats nl labels phi with

@@ -1,7 +1,15 @@
 open Prelude
 open Circuit
 
+(* observability (doc/OBSERVABILITY.md): how often the isolation test runs
+   and how often it prunes a probe as infeasible *)
+let c_checks = Obs.Counter.make "pld.checks"
+let c_prunes = Obs.Counter.make "pld.prunes"
+let s_check = Obs.Span.make "pld.check"
+
 let all_isolated nl ~labels ~phi ~members ~in_scc =
+  Obs.Counter.incr c_checks;
+  Obs.Span.time s_check @@ fun () ->
   (* supporters of v: fanins u with l(u) - phi*w + 1 >= l(v) *)
   let supporters v =
     if Rat.( <= ) labels.(v) Rat.one then []
@@ -38,4 +46,6 @@ let all_isolated nl ~labels ~phi ~members ~in_scc =
           end)
       members
   done;
-  Array.for_all (fun v -> not (Hashtbl.mem supported v)) members
+  let isolated = Array.for_all (fun v -> not (Hashtbl.mem supported v)) members in
+  if isolated then Obs.Counter.incr c_prunes;
+  isolated

@@ -1,6 +1,17 @@
 open Prelude
 open Circuit
 
+(* observability (doc/OBSERVABILITY.md): the ratio search — one trace event
+   and one span entry per probe, phase spans around the search itself, the
+   final label run and mapping generation *)
+let c_probes = Obs.Counter.make "search.probes"
+let c_feasible = Obs.Counter.make "search.feasible_probes"
+let c_infeasible = Obs.Counter.make "search.infeasible_probes"
+let s_probe = Obs.Span.make "search.probe"
+let s_search = Obs.Span.make "synth.search"
+let s_final = Obs.Span.make "synth.final_labels"
+let s_mapgen = Obs.Span.make "synth.mapgen"
+
 type report = {
   phi : Rat.t;
   luts : int;
@@ -29,11 +40,26 @@ let minimum_ratio ?cache ?phi_max_den opts nl =
   let probes = ref 0 in
   let feasible phi =
     incr probes;
-    let outcome, s = Label_engine.run ?cache opts nl ~phi in
+    Obs.Counter.incr c_probes;
+    let outcome, s =
+      Obs.Span.time s_probe (fun () -> Label_engine.run ?cache opts nl ~phi)
+    in
     add_stats acc s;
-    match outcome with
-    | Label_engine.Feasible _ -> true
-    | Label_engine.Infeasible -> false
+    let ok =
+      match outcome with
+      | Label_engine.Feasible _ -> true
+      | Label_engine.Infeasible -> false
+    in
+    Obs.Counter.incr (if ok then c_feasible else c_infeasible);
+    if Obs.enabled () then
+      Obs.Trace.emit "search.probe"
+        [
+          ("phi", Obs.Json.Str (Rat.to_string phi));
+          ("feasible", Obs.Json.Bool ok);
+          ("iterations", Obs.Json.Int s.Label_engine.iterations);
+          ("cut_tests", Obs.Json.Int s.Label_engine.flow_tests);
+        ];
+    ok
   in
   match Netlist.mdr_ratio nl with
   | Graphs.Cycle_ratio.Infinite ->
@@ -91,16 +117,25 @@ let map_full ?options ?phi_max_den nl ~k =
     match options with Some o -> o | None -> Label_engine.default_options ~k
   in
   let cache = Label_engine.new_cache () in
-  let phi, probes, stats = minimum_ratio ~cache ?phi_max_den opts nl in
-  let outcome, s = Label_engine.run ~cache opts nl ~phi in
+  let phi, probes, stats =
+    Obs.Span.time s_search (fun () ->
+        minimum_ratio ~cache ?phi_max_den opts nl)
+  in
+  let outcome, s =
+    Obs.Span.time s_final (fun () -> Label_engine.run ~cache opts nl ~phi)
+  in
   add_stats stats s;
   match outcome with
   | Label_engine.Infeasible ->
       (* cannot happen: phi came back feasible from the search *)
       assert false
   | Label_engine.Feasible { impls; labels = _ } ->
-      let mapped = Mapgen.generate nl ~impls in
-      Netlist.validate_exn ~k mapped;
+      let mapped =
+        Obs.Span.time s_mapgen (fun () ->
+            let mapped = Mapgen.generate nl ~impls in
+            Netlist.validate_exn ~k mapped;
+            mapped)
+      in
       let mapped_mdr = Netlist.mdr_ratio mapped in
       let clock_period =
         match Retime.Pipeline.period_lower_bound mapped with

@@ -1,0 +1,229 @@
+(* Tests for the observability layer: counter registry semantics, span
+   nesting, disabled-mode no-ops, trace ring-buffer bounds, and the
+   stats-report JSON schema (including a parse/print round trip). *)
+
+let with_obs f =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset ();
+      Obs.set_enabled false)
+    f
+
+(* ---------------------------------------------------------------- *)
+(* Counters                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let test_counter_registry () =
+  with_obs (fun () ->
+      let a = Obs.Counter.make "test.alpha" in
+      let a' = Obs.Counter.make "test.alpha" in
+      Alcotest.(check bool) "idempotent make" true (a == a');
+      Obs.Counter.incr a;
+      Obs.Counter.add a' 4;
+      Alcotest.(check int) "shared state" 5 (Obs.Counter.value a);
+      Alcotest.(check (option int)) "find" (Some 5) (Obs.Counter.find "test.alpha");
+      Alcotest.(check (option int)) "find missing" None
+        (Obs.Counter.find "test.never-registered");
+      Alcotest.(check bool) "listed" true
+        (List.mem_assoc "test.alpha" (Obs.Counter.all ()));
+      Obs.Counter.reset_all ();
+      Alcotest.(check int) "reset" 0 (Obs.Counter.value a))
+
+let test_counter_record_max () =
+  with_obs (fun () ->
+      let c = Obs.Counter.make "test.peak" in
+      Obs.Counter.record_max c 7;
+      Obs.Counter.record_max c 3;
+      Alcotest.(check int) "high water" 7 (Obs.Counter.value c);
+      Obs.Counter.record_max c 11;
+      Alcotest.(check int) "raised" 11 (Obs.Counter.value c))
+
+let test_counter_negative_add () =
+  with_obs (fun () ->
+      let c = Obs.Counter.make "test.neg" in
+      Alcotest.check_raises "negative add"
+        (Invalid_argument "Obs.Counter.add: negative increment") (fun () ->
+          Obs.Counter.add c (-1)))
+
+(* ---------------------------------------------------------------- *)
+(* Disabled mode                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let test_disabled_no_ops () =
+  Obs.set_enabled false;
+  Obs.reset ();
+  let c = Obs.Counter.make "test.disabled" in
+  Obs.Counter.incr c;
+  Obs.Counter.add c 10;
+  Obs.Counter.record_max c 42;
+  Alcotest.(check int) "counter untouched" 0 (Obs.Counter.value c);
+  let s = Obs.Span.make "test.disabled-span" in
+  let r = Obs.Span.time s (fun () -> 17) in
+  Alcotest.(check int) "span passes value through" 17 r;
+  Alcotest.(check int) "span not entered" 0 (Obs.Span.count s);
+  Obs.Trace.emit "test.event" [ ("x", Obs.Json.Int 1) ];
+  Alcotest.(check int) "trace empty" 0 (Obs.Trace.length ())
+
+(* ---------------------------------------------------------------- *)
+(* Spans                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  with_obs (fun () ->
+      let outer = Obs.Span.make "test.outer" in
+      let inner = Obs.Span.make "test.inner" in
+      Obs.Span.time outer (fun () ->
+          Obs.Span.time inner (fun () -> Unix.sleepf 0.005);
+          Obs.Span.time inner (fun () -> ()));
+      Alcotest.(check int) "outer entries" 1 (Obs.Span.count outer);
+      Alcotest.(check int) "inner entries" 2 (Obs.Span.count inner);
+      Alcotest.(check bool) "outer covers inner" true
+        (Obs.Span.seconds outer >= Obs.Span.seconds inner);
+      Alcotest.(check bool) "inner nonzero" true (Obs.Span.seconds inner > 0.))
+
+let test_span_recursion () =
+  with_obs (fun () ->
+      let s = Obs.Span.make "test.recursive" in
+      let rec go n = Obs.Span.time s (fun () -> if n > 0 then go (n - 1)) in
+      go 5;
+      (* only the outermost activation completes an entry *)
+      Alcotest.(check int) "one outermost entry" 1 (Obs.Span.count s))
+
+let test_span_exception_safety () =
+  with_obs (fun () ->
+      let s = Obs.Span.make "test.raises" in
+      (try Obs.Span.time s (fun () -> failwith "boom") with Failure _ -> ());
+      Alcotest.(check int) "entry recorded despite raise" 1 (Obs.Span.count s);
+      (* the span is closed: a new timing still works *)
+      Obs.Span.time s (fun () -> ());
+      Alcotest.(check int) "reusable" 2 (Obs.Span.count s);
+      (* spurious exit is ignored *)
+      Obs.Span.exit s;
+      Alcotest.(check int) "spurious exit ignored" 2 (Obs.Span.count s))
+
+(* ---------------------------------------------------------------- *)
+(* Trace ring buffer                                                *)
+(* ---------------------------------------------------------------- *)
+
+let test_trace_ring () =
+  with_obs (fun () ->
+      Obs.Trace.set_capacity 4;
+      Fun.protect
+        ~finally:(fun () -> Obs.Trace.set_capacity 4096)
+        (fun () ->
+          for i = 0 to 5 do
+            Obs.Trace.emit "tick" [ ("i", Obs.Json.Int i) ]
+          done;
+          Alcotest.(check int) "bounded" 4 (Obs.Trace.length ());
+          Alcotest.(check int) "dropped" 2 (Obs.Trace.dropped ());
+          let evs = Obs.Trace.events () in
+          Alcotest.(check int) "oldest surviving seq" 2
+            (List.hd evs).Obs.Trace.seq;
+          Alcotest.(check int) "newest seq" 5
+            (List.nth evs 3).Obs.Trace.seq;
+          (* every line of the JSON-lines sink parses *)
+          List.iter
+            (fun e ->
+              match
+                Obs.Json.of_string
+                  (Obs.Json.to_string (Obs.Trace.event_json e))
+              with
+              | Ok _ -> ()
+              | Error m -> Alcotest.failf "unparseable event: %s" m)
+            evs))
+
+(* ---------------------------------------------------------------- *)
+(* JSON round trip and the stats schema                             *)
+(* ---------------------------------------------------------------- *)
+
+let test_json_round_trip () =
+  let v =
+    Obs.Json.(
+      Obj
+        [
+          ("null", Null);
+          ("bools", List [ Bool true; Bool false ]);
+          ("ints", List [ Int 0; Int (-42); Int max_int ]);
+          ("floats", List [ Float 0.5; Float 1e-3; Float 1234.0 ]);
+          ("string", Str "quote \" backslash \\ newline \n tab \t");
+          ("nested", Obj [ ("empty_list", List []); ("empty_obj", Obj []) ]);
+        ])
+  in
+  (match Obs.Json.of_string (Obs.Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "compact round trip" true (Obs.Json.equal v v')
+  | Error m -> Alcotest.failf "parse failed: %s" m);
+  (match Obs.Json.of_string (Obs.Json.to_pretty_string v) with
+  | Ok v' -> Alcotest.(check bool) "pretty round trip" true (Obs.Json.equal v v')
+  | Error m -> Alcotest.failf "pretty parse failed: %s" m);
+  List.iter
+    (fun bad ->
+      match Obs.Json.of_string bad with
+      | Ok _ -> Alcotest.failf "accepted invalid JSON: %s" bad
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "{\"a\" 1}"; "tru"; "1 2"; "\"unterminated" ]
+
+let test_stats_schema () =
+  with_obs (fun () ->
+      let c = Obs.Counter.make "test.schema-counter" in
+      Obs.Counter.add c 3;
+      Obs.Span.time (Obs.Span.make "test.schema-span") (fun () -> ());
+      let extra = [ ("run", Obs.Json.Obj [ ("k", Obs.Json.Int 5) ]) ] in
+      let report = Obs.Report.stats_json ~extra () in
+      (* the document round-trips through the printer and parser *)
+      (match Obs.Json.of_string (Obs.Json.to_string report) with
+      | Ok v ->
+          Alcotest.(check bool) "schema round trip" true
+            (Obs.Json.equal report v)
+      | Error m -> Alcotest.failf "report does not parse: %s" m);
+      (* versioned header *)
+      Alcotest.(check bool) "schema tag" true
+        (Obs.Json.member "schema" report
+        = Some (Obs.Json.Str Obs.Report.schema_version));
+      Alcotest.(check bool) "enabled flag" true
+        (Obs.Json.member "enabled" report = Some (Obs.Json.Bool true));
+      (* extra members are spliced in *)
+      Alcotest.(check bool) "run member" true
+        (Obs.Json.member "run" report <> None);
+      (* counters and spans land under their sections *)
+      (match Obs.Json.member "counters" report with
+      | Some counters ->
+          Alcotest.(check bool) "counter value" true
+            (Obs.Json.member "test.schema-counter" counters
+            = Some (Obs.Json.Int 3))
+      | None -> Alcotest.fail "no counters object");
+      match Obs.Json.member "spans" report with
+      | Some spans -> (
+          match Obs.Json.member "test.schema-span" spans with
+          | Some span ->
+              Alcotest.(check bool) "span entries" true
+                (Obs.Json.member "entries" span = Some (Obs.Json.Int 1))
+          | None -> Alcotest.fail "span missing")
+      | None -> Alcotest.fail "no spans object")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "registry" `Quick test_counter_registry;
+          Alcotest.test_case "record max" `Quick test_counter_record_max;
+          Alcotest.test_case "negative add" `Quick test_counter_negative_add;
+        ] );
+      ( "disabled",
+        [ Alcotest.test_case "all hooks no-op" `Quick test_disabled_no_ops ] );
+      ( "span",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "recursion" `Quick test_span_recursion;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safety;
+        ] );
+      ("trace", [ Alcotest.test_case "ring buffer" `Quick test_trace_ring ]);
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "stats schema" `Quick test_stats_schema;
+        ] );
+    ]

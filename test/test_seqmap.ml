@@ -317,6 +317,42 @@ let test_realize () =
         period;
       Alcotest.(check int) "achieved" period (Retime.Retiming.clock_period final)
 
+let test_obs_counters_on_suite () =
+  (* a TurboSYN search over a real suite workload must exercise the
+     instrumented hot paths: flow-based cut tests, decomposition
+     attempts, and max-flow augmentation all leave nonzero counters *)
+  let spec = Option.get (Workloads.Suite.find "bbara") in
+  let nl = Workloads.Suite.build spec in
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset ();
+      Obs.set_enabled false)
+    (fun () ->
+      let opts =
+        { (Label_engine.default_options ~k:5) with
+          Label_engine.resynthesize = true }
+      in
+      let _phi, _, _ = Turbomap.minimum_ratio opts nl in
+      let nonzero name =
+        match Obs.Counter.find name with
+        | Some v when v > 0 -> ()
+        | Some v -> Alcotest.failf "%s = %d, expected nonzero" name v
+        | None -> Alcotest.failf "counter %s never registered" name
+      in
+      List.iter nonzero
+        [
+          "label.iterations";
+          "label.cut_tests";
+          "label.decomp_attempts";
+          "maxflow.augmenting_paths";
+          "expand.builds";
+        ];
+      match Obs.Span.all () |> List.filter (fun (_, _, n) -> n > 0) with
+      | [] -> Alcotest.fail "no span recorded any entries"
+      | _ -> ())
+
 let test_map_preserves_interface () =
   let rng = Rng.create 555 in
   let nl = random_seq rng ~pis:4 ~gates:8 ~max_arity:3 in
@@ -357,6 +393,8 @@ let () =
           Alcotest.test_case "realize" `Quick test_realize;
           Alcotest.test_case "full expansion agrees" `Quick
             test_full_expansion_agrees;
+          Alcotest.test_case "obs counters on suite workload" `Slow
+            test_obs_counters_on_suite;
         ] );
       ( "pld",
         [
