@@ -500,6 +500,152 @@ let stats_mode () =
   Obs.set_enabled false
 
 (* ------------------------------------------------------------------ *)
+(* Perf mode: the worklist+arena label engine vs the seed sweep engine *)
+(* on the default TurboSYN flow.  Emits BENCH_perf.json (schema        *)
+(* turbosyn-perf/1, see doc/PERF.md) and exits nonzero when the new    *)
+(* engine regresses past 1.2x or disagrees on phi or labels.           *)
+(* ------------------------------------------------------------------ *)
+
+let perf_quick_set = [ "bbara"; "s298" ]
+
+let perf_set =
+  [ "bbara"; "bbsse"; "cse"; "donfile"; "keyb"; "s1"; "s298"; "s526" ]
+
+let perf ~quick ~jobs ~out () =
+  Format.printf
+    "@.== Perf: worklist+arena engine vs seed sweep engine (TurboSYN, K=5, \
+     jobs=%d) ==@."
+    jobs;
+  let names = if quick then perf_quick_set else perf_set in
+  let base = Turbosyn.Synth.default_options ~k:5 () in
+  let t =
+    Table.create
+      [
+        ("circuit", Table.Left);
+        ("phi", Table.Right);
+        ("sweep s", Table.Right);
+        ("worklist s", Table.Right);
+        ("speedup", Table.Right);
+        ("sweep tests", Table.Right);
+        ("worklist tests", Table.Right);
+        ("labels", Table.Right);
+      ]
+  in
+  let speedups = ref [] in
+  let all_ok = ref true in
+  let rows =
+    List.map
+      (fun name ->
+        let spec = Option.get (Workloads.Suite.find name) in
+        let nl = Workloads.Suite.build spec in
+        let run engine jobs =
+          let options =
+            { base with Turbosyn.Synth.engine; jobs = max 1 jobs }
+          in
+          let r, dt =
+            Timer.time (fun () -> Turbosyn.Synth.run ~options `Turbosyn nl)
+          in
+          let cuts =
+            match r.Turbosyn.Synth.label_stats with
+            | Some s -> s.Seqmap.Label_engine.flow_tests
+            | None -> 0
+          in
+          (r, dt, cuts)
+        in
+        Format.eprintf "[perf] %s sweep@." name;
+        let r_old, t_old, c_old = run Seqmap.Label_engine.Sweep 1 in
+        Format.eprintf "[perf] %s worklist@." name;
+        let r_new, t_new, c_new = run Seqmap.Label_engine.Worklist jobs in
+        let phi = r_new.Turbosyn.Synth.phi in
+        let phi_equal = Rat.equal r_old.Turbosyn.Synth.phi phi in
+        (* label-for-label equivalence at phi*: one extra label run per
+           engine (Rat.t is a plain record, structural equality applies) *)
+        let labels_of engine =
+          let opts =
+            {
+              (Turbosyn.Synth.engine_options base ~resynthesize:true) with
+              Seqmap.Label_engine.engine;
+            }
+          in
+          match Seqmap.Label_engine.run opts nl ~phi with
+          | Seqmap.Label_engine.Feasible { labels; _ }, _ -> Some labels
+          | Seqmap.Label_engine.Infeasible, _ -> None
+        in
+        let labels_equal =
+          match
+            (labels_of Seqmap.Label_engine.Sweep,
+             labels_of Seqmap.Label_engine.Worklist)
+          with
+          | Some a, Some b -> a = b
+          | None, None -> true
+          | _ -> false
+        in
+        if not (phi_equal && labels_equal) then all_ok := false;
+        let speedup = t_old /. Float.max 1e-9 t_new in
+        speedups := speedup :: !speedups;
+        Table.add_row t
+          [
+            name;
+            Rat.to_string phi;
+            Printf.sprintf "%.2f" t_old;
+            Printf.sprintf "%.2f" t_new;
+            Printf.sprintf "%.2fx" speedup;
+            string_of_int c_old;
+            string_of_int c_new;
+            (if phi_equal && labels_equal then "same" else "DIFFER");
+          ];
+        Obs.Json.Obj
+          [
+            ("circuit", Obs.Json.Str name);
+            ("phi", Obs.Json.Str (Rat.to_string phi));
+            ("phi_equal", Obs.Json.Bool phi_equal);
+            ("labels_equal", Obs.Json.Bool labels_equal);
+            ( "sweep",
+              Obs.Json.Obj
+                [
+                  ("seconds", Obs.Json.Float t_old);
+                  ("cut_tests", Obs.Json.Int c_old);
+                ] );
+            ( "worklist",
+              Obs.Json.Obj
+                [
+                  ("seconds", Obs.Json.Float t_new);
+                  ("cut_tests", Obs.Json.Int c_new);
+                ] );
+            ("speedup", Obs.Json.Float speedup);
+          ])
+      names
+  in
+  let g = geomean !speedups in
+  Table.add_rule t;
+  Table.add_row t [ "geomean"; ""; ""; ""; Printf.sprintf "%.2fx" g ];
+  Table.print t;
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "turbosyn-perf/1");
+        ("k", Obs.Json.Int 5);
+        ("jobs", Obs.Json.Int jobs);
+        ("quick", Obs.Json.Bool quick);
+        ("geomean_speedup", Obs.Json.Float g);
+        ("circuits", Obs.Json.List rows);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Obs.Json.to_pretty_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "wrote %s (geomean speedup %.2fx)@." out g;
+  if not !all_ok then begin
+    Format.eprintf "perf: phi/label disagreement between engines@.";
+    exit 1
+  end;
+  if g < 1.0 /. 1.2 then begin
+    Format.eprintf "perf: worklist engine more than 1.2x slower than sweep@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table + core kernels   *)
 (* ------------------------------------------------------------------ *)
 
@@ -568,8 +714,23 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  (* flags (consumed by the perf mode): --quick, --jobs N, --out FILE *)
+  let quick = ref false and jobs = ref 1 and out = ref "BENCH_perf.json" in
+  let rec strip = function
+    | [] -> []
+    | "--quick" :: rest ->
+        quick := true;
+        strip rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with Some j -> jobs := j | None -> ());
+        strip rest
+    | "--out" :: f :: rest ->
+        out := f;
+        strip rest
+    | a :: rest -> a :: strip rest
+  in
   let modes =
-    match List.tl (Array.to_list Sys.argv) with
+    match strip (List.tl (Array.to_list Sys.argv)) with
     | [] ->
         [ "table1"; "table2"; "table3"; "ablation-k"; "ablation-cmax";
           "ablation-mdr"; "ablation-seqmap2"; "micro" ]
@@ -589,6 +750,7 @@ let () =
       | "ablation-mdr" -> ablation_mdr ()
       | "ablation-seqmap2" -> ablation_seqmap2 ()
       | "stats" -> stats_mode ()
+      | "perf" -> perf ~quick:!quick ~jobs:!jobs ~out:!out ()
       | "micro" -> micro ()
       | other -> Format.eprintf "unknown mode %s@." other)
     modes

@@ -67,6 +67,16 @@ let exact_arg =
   Arg.(value & flag & info [ "exact" ]
          ~doc:"Search clock-period ratios over every denominator up to the                register count (default caps at 24).")
 
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Run up to $(docv) speculative ratio-search probes in parallel \
+               (same result for every N; N=1 is the sequential search).")
+
+let sweep_arg =
+  Arg.(value & flag & info [ "sweep-engine" ]
+         ~doc:"Use the all-members-per-iteration label engine instead of the \
+               worklist scheduler (same labels and mapping; for comparison).")
+
 let stats_arg =
   Arg.(value & opt ~vopt:(Some "-") (some string) None
        & info [ "stats" ] ~docv:"FILE"
@@ -132,7 +142,7 @@ let stats_cmd =
 
 let map_cmd =
   let run input workload algo k output verilog verify no_pld no_area multi exact
-      stats trace =
+      jobs sweep stats trace =
     match load ~input ~workload with
     | Error e -> exit_err e
     | Ok nl -> (
@@ -143,6 +153,10 @@ let map_cmd =
             area_recovery = not no_area;
             multi_output = multi;
             phi_max_den = (if exact then None else Some 24);
+            jobs = max 1 jobs;
+            engine =
+              (if sweep then Seqmap.Label_engine.Sweep
+               else Seqmap.Label_engine.Worklist);
           }
         in
         if stats <> None || trace <> None then begin
@@ -240,7 +254,7 @@ let map_cmd =
     Term.(
       const run $ input_arg $ workload_arg $ algo_arg $ k_arg $ output_arg
       $ verilog_arg $ verify_arg $ no_pld_arg $ no_area_arg $ multi_arg
-      $ exact_arg $ stats_arg $ trace_arg)
+      $ exact_arg $ jobs_arg $ sweep_arg $ stats_arg $ trace_arg)
 
 let simulate_cmd =
   let run input workload cycles seed =

@@ -26,6 +26,8 @@ type options = {
   resyn_depth : int;
   phi_max_den : int option;
   multi_output : bool;
+  engine : Seqmap.Label_engine.engine;
+  jobs : int;
 }
 
 let default_options ?(k = 5) () =
@@ -40,6 +42,8 @@ let default_options ?(k = 5) () =
     resyn_depth = 2;
     phi_max_den = Some 24;
     multi_output = false;
+    engine = Seqmap.Label_engine.Worklist;
+    jobs = 1;
   }
 
 type result = {
@@ -69,6 +73,7 @@ let engine_options o ~resynthesize =
     resyn_depth = o.resyn_depth;
     multi_output = o.multi_output;
     full_expansion = false;
+    engine = o.engine;
   }
 
 let finish algo o ~mapped ~phi ~resyn_nodes ~probes ~label_stats ~cpu_seconds =
@@ -103,7 +108,8 @@ let run_seq algo o nl ~resynthesize =
   let t0 = Sys.time () in
   let opts = engine_options o ~resynthesize in
   let mapped, report, impls =
-    Seqmap.Turbomap.map_full ~options:opts ?phi_max_den:o.phi_max_den nl ~k:o.k
+    Seqmap.Turbomap.map_full ~options:opts ?phi_max_den:o.phi_max_den
+      ~jobs:o.jobs nl ~k:o.k
   in
   (* the paper's label relaxation: drop decomposition trees whose label
      increase does not create a positive loop (area recovery step 1) *)

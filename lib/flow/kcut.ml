@@ -7,6 +7,24 @@ type spec = {
 
 type result = Cut of int list | Exceeds
 
+(* A reusable flow network: cleared and re-filled per cut test instead of
+   allocated, so the max-flow decisions of one label engine share one set
+   of arrays. *)
+type arena = { mutable net : Maxflow.t option }
+
+let new_arena () = { net = None }
+
+let arena_net arena n =
+  match arena with
+  | None -> Maxflow.create n
+  | Some a -> (
+      match a.net with
+      | Some net -> Maxflow.clear net n
+      | None ->
+          let net = Maxflow.create n in
+          a.net <- Some net;
+          net)
+
 let validate spec =
   if Array.length spec.sink_side <> spec.n then
     invalid_arg "Kcut: sink_side length mismatch";
@@ -22,12 +40,12 @@ let validate spec =
       if s < 0 || s >= spec.n then invalid_arg "Kcut: source out of range")
     spec.sources
 
-let solve spec ~k =
+let solve ?arena spec ~k =
   validate spec;
   if List.exists (fun s -> spec.sink_side.(s)) spec.sources then Exceeds
   else begin
     (* v_in = 2v, v_out = 2v+1, super-source = 2n, sink = 2n+1 *)
-    let net = Maxflow.create ((2 * spec.n) + 2) in
+    let net = arena_net arena ((2 * spec.n) + 2) in
     let s' = 2 * spec.n and t' = (2 * spec.n) + 1 in
     for v = 0 to spec.n - 1 do
       if not spec.sink_side.(v) then
@@ -58,9 +76,9 @@ let solve spec ~k =
     end
   end
 
-let find spec ~k = solve spec ~k
+let find ?arena spec ~k = solve ?arena spec ~k
 
-let min_cut spec =
-  match solve spec ~k:(2 * spec.n) with
+let min_cut ?arena spec =
+  match solve ?arena spec ~k:(2 * spec.n) with
   | Cut c -> Some c
   | Exceeds -> None

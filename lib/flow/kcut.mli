@@ -23,9 +23,17 @@ type result =
   | Cut of int list  (** a node cut-set of size [<= k], ascending ids *)
   | Exceeds  (** every cut separating the sources from the root is larger than [k] *)
 
-val find : spec -> k:int -> result
+type arena
+(** A reusable flow network.  Passing the same arena to successive calls
+    re-fills one [Maxflow.t] (cleared between decisions) instead of
+    allocating a network per cut test.  An arena must not be shared
+    between concurrent callers (one per label engine / domain). *)
+
+val new_arena : unit -> arena
+
+val find : ?arena:arena -> spec -> k:int -> result
 (** @raise Invalid_argument on malformed specs (bad ids, empty sink side). *)
 
-val min_cut : spec -> int list option
+val min_cut : ?arena:arena -> spec -> int list option
 (** The minimum node cut with no size bound ([None] when no finite cut
     exists, i.e. a source is on the sink side). *)

@@ -4,37 +4,80 @@ let c_networks = Obs.Counter.make "maxflow.networks"
 let c_nodes = Obs.Counter.make "maxflow.nodes"
 let c_edges = Obs.Counter.make "maxflow.edges"
 let c_aug = Obs.Counter.make "maxflow.augmenting_paths"
+let c_arena = Obs.Counter.make "maxflow.arena_reuses"
 
 type t = {
-  n : int;
+  mutable n : int;
   (* arcs stored flat; arc i and its reverse i lxor 1 are adjacent *)
   mutable head : int array; (* arc -> destination node *)
   mutable cap : int array; (* arc -> remaining capacity *)
-  mutable adj : int list array; (* node -> arcs out of it *)
   mutable narcs : int;
   mutable orig_cap : int array;
+  (* adjacency as an intrusive list over arcs: node -> first arc, arc ->
+     next arc from the same source (most-recent-first, like the list
+     version this replaced) *)
+  mutable first_arc : int array; (* node -> first outgoing arc or -1 *)
+  mutable next_arc : int array; (* arc -> next arc of the same node or -1 *)
+  (* BFS scratch, reused across searches and cleared by generation stamps
+     instead of re-allocation (the augmenting-path hot loop) *)
+  mutable parent_arc : int array;
+  mutable visit : int array; (* visit.(v) = gen means visited *)
+  mutable gen : int;
+  mutable queue : int array; (* ring-free: BFS pushes at most n nodes *)
 }
 
 let infinity = max_int / 4
 
+let alloc_nodes t n =
+  if n > Array.length t.first_arc then begin
+    let cap = max n (2 * Array.length t.first_arc) in
+    t.first_arc <- Array.make cap (-1);
+    t.parent_arc <- Array.make cap (-1);
+    t.visit <- Array.make cap 0;
+    t.queue <- Array.make cap 0;
+    t.gen <- 0
+  end
+  else Array.fill t.first_arc 0 n (-1)
+
 let create n =
   Obs.Counter.incr c_networks;
   Obs.Counter.add c_nodes (max n 0);
+  let m = max n 1 in
   {
     n;
     head = Array.make 16 0;
     cap = Array.make 16 0;
-    adj = Array.make (max n 1) [];
     narcs = 0;
     orig_cap = Array.make 16 0;
+    first_arc = Array.make m (-1);
+    next_arc = Array.make 16 (-1);
+    parent_arc = Array.make m (-1);
+    visit = Array.make m 0;
+    gen = 0;
+    queue = Array.make m 0;
   }
+
+let clear t n =
+  if n < 0 then invalid_arg "Maxflow.clear: negative node count";
+  Obs.Counter.incr c_networks;
+  Obs.Counter.add c_nodes n;
+  Obs.Counter.incr c_arena;
+  t.n <- n;
+  t.narcs <- 0;
+  alloc_nodes t n;
+  t
 
 let grow_arcs t =
   let len = Array.length t.head in
-  let extend a = let b = Array.make (2 * len) 0 in Array.blit a 0 b 0 len; b in
-  t.head <- extend t.head;
-  t.cap <- extend t.cap;
-  t.orig_cap <- extend t.orig_cap
+  let extend init a =
+    let b = Array.make (2 * len) init in
+    Array.blit a 0 b 0 len;
+    b
+  in
+  t.head <- extend 0 t.head;
+  t.cap <- extend 0 t.cap;
+  t.orig_cap <- extend 0 t.orig_cap;
+  t.next_arc <- extend (-1) t.next_arc
 
 let add_edge t ~src ~dst ~cap =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
@@ -52,79 +95,96 @@ let add_edge t ~src ~dst ~cap =
   t.head.(a + 1) <- src;
   t.cap.(a + 1) <- 0;
   t.orig_cap.(a + 1) <- 0;
-  t.adj.(src) <- a :: t.adj.(src);
-  t.adj.(dst) <- (a + 1) :: t.adj.(dst)
+  t.next_arc.(a) <- t.first_arc.(src);
+  t.first_arc.(src) <- a;
+  t.next_arc.(a + 1) <- t.first_arc.(dst);
+  t.first_arc.(dst) <- a + 1
 
 let reset t = Array.blit t.orig_cap 0 t.cap 0 t.narcs
 
-(* BFS for an augmenting path; returns parent arc per node or [||] if t
-   unreachable. *)
+(* BFS for an augmenting path over the scratch buffers; true iff t is
+   reachable, with parent arcs recorded in t.parent_arc for the stamped
+   nodes. *)
 let bfs t ~s ~t:tnode =
-  let parent_arc = Array.make t.n (-1) in
-  let visited = Array.make t.n false in
-  visited.(s) <- true;
-  let q = Queue.create () in
-  Queue.add s q;
+  t.gen <- t.gen + 1;
+  let gen = t.gen in
+  t.visit.(s) <- gen;
+  let q = t.queue in
+  q.(0) <- s;
+  let qlen = ref 1 and qhead = ref 0 in
   let found = ref false in
-  while (not !found) && not (Queue.is_empty q) do
-    let v = Queue.pop q in
-    List.iter
-      (fun a ->
-        let w = t.head.(a) in
-        if (not visited.(w)) && t.cap.(a) > 0 then begin
-          visited.(w) <- true;
-          parent_arc.(w) <- a;
-          if w = tnode then found := true else Queue.add w q
-        end)
-      t.adj.(v)
+  while (not !found) && !qhead < !qlen do
+    let v = q.(!qhead) in
+    incr qhead;
+    let a = ref t.first_arc.(v) in
+    while (not !found) && !a >= 0 do
+      let arc = !a in
+      let w = t.head.(arc) in
+      if t.visit.(w) <> gen && t.cap.(arc) > 0 then begin
+        t.visit.(w) <- gen;
+        t.parent_arc.(w) <- arc;
+        if w = tnode then found := true
+        else begin
+          q.(!qlen) <- w;
+          incr qlen
+        end
+      end;
+      a := t.next_arc.(arc)
+    done
   done;
-  if !found then Some parent_arc else None
+  !found
 
 let max_flow t ~s ~t:tnode ~limit =
   if s = tnode then invalid_arg "Maxflow.max_flow: s = t";
   let flow = ref 0 in
   let continue = ref true in
   while !continue && !flow <= limit do
-    match bfs t ~s ~t:tnode with
-    | None -> continue := false
-    | Some parent ->
-        Obs.Counter.incr c_aug;
-        (* the source of arc a is the head of its reverse arc (a lxor 1) *)
-        let arc_src a = t.head.(a lxor 1) in
-        let rec bottleneck v acc =
-          if v = s then acc
-          else
-            let a = parent.(v) in
-            bottleneck (arc_src a) (min acc t.cap.(a))
-        in
-        let b = bottleneck tnode max_int in
-        let rec push v =
-          if v <> s then begin
-            let a = parent.(v) in
-            t.cap.(a) <- t.cap.(a) - b;
-            t.cap.(a lxor 1) <- t.cap.(a lxor 1) + b;
-            push (arc_src a)
-          end
-        in
-        push tnode;
-        flow := !flow + b
+    if not (bfs t ~s ~t:tnode) then continue := false
+    else begin
+      Obs.Counter.incr c_aug;
+      let parent = t.parent_arc in
+      (* the source of arc a is the head of its reverse arc (a lxor 1) *)
+      let arc_src a = t.head.(a lxor 1) in
+      let rec bottleneck v acc =
+        if v = s then acc
+        else
+          let a = parent.(v) in
+          bottleneck (arc_src a) (min acc t.cap.(a))
+      in
+      let b = bottleneck tnode max_int in
+      let rec push v =
+        if v <> s then begin
+          let a = parent.(v) in
+          t.cap.(a) <- t.cap.(a) - b;
+          t.cap.(a lxor 1) <- t.cap.(a lxor 1) + b;
+          push (arc_src a)
+        end
+      in
+      push tnode;
+      flow := !flow + b
+    end
   done;
   !flow
 
 let residual_reachable t ~s =
   let visited = Array.make t.n false in
   visited.(s) <- true;
-  let q = Queue.create () in
-  Queue.add s q;
-  while not (Queue.is_empty q) do
-    let v = Queue.pop q in
-    List.iter
-      (fun a ->
-        let w = t.head.(a) in
-        if (not visited.(w)) && t.cap.(a) > 0 then begin
-          visited.(w) <- true;
-          Queue.add w q
-        end)
-      t.adj.(v)
+  let q = t.queue in
+  q.(0) <- s;
+  let qlen = ref 1 and qhead = ref 0 in
+  while !qhead < !qlen do
+    let v = q.(!qhead) in
+    incr qhead;
+    let a = ref t.first_arc.(v) in
+    while !a >= 0 do
+      let arc = !a in
+      let w = t.head.(arc) in
+      if (not visited.(w)) && t.cap.(arc) > 0 then begin
+        visited.(w) <- true;
+        q.(!qlen) <- w;
+        incr qlen
+      end;
+      a := t.next_arc.(arc)
+    done
   done;
   visited

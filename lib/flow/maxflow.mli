@@ -10,6 +10,12 @@ type t
 val create : int -> t
 (** [create n] makes an empty network on nodes [0 .. n-1]. *)
 
+val clear : t -> int -> t
+(** [clear t n] re-initializes [t] as an empty network on nodes
+    [0 .. n-1], reusing its arc and scratch allocations (the per-cut-test
+    arena: one network per label engine is [clear]ed and re-filled instead
+    of [create]d per decision).  Returns [t] for convenience. *)
+
 val add_edge : t -> src:int -> dst:int -> cap:int -> unit
 (** Adds a directed edge (and its residual reverse edge of capacity 0). *)
 

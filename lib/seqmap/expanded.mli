@@ -31,7 +31,18 @@ type t = {
   overflow : bool;
 }
 
+type arena
+(** Reusable build scratch: the growable node/edge vectors, the open
+    addressing [(u, w)] index and the BFS queue, reset per build instead of
+    re-allocated.  One arena per label engine (never shared between
+    concurrent callers); the returned [t] copies out of the arena, so it
+    stays valid across later builds. *)
+
+val new_arena : unit -> arena
+
 val build :
+  ?arena:arena ->
+  ?internal_of:(int -> int -> bool) ->
   Circuit.Netlist.t ->
   root:int ->
   labels:Rat.t array ->
@@ -41,7 +52,10 @@ val build :
   max_nodes:int ->
   t
 (** [labels.(u)] must hold the current lower bound for every PI/gate [u]
-    (PIs have label 0). *)
+    (PIs have label 0).  [internal_of u w], when given, replaces the
+    rational internality test [height labels phi u w > threshold] on the
+    hottest path of the build — the caller promises it decides exactly
+    that predicate (e.g. in scaled-integer arithmetic). *)
 
 val kcut_spec : t -> Flow.Kcut.spec
 (** The node-cut problem: separate the sources from the internal region. *)
@@ -53,6 +67,12 @@ val frontier_cut : t -> int list
     for functional decomposition (FlowSYN's block boundary corresponds to
     this cut).  Empty when no such cut exists (the internal region reaches
     a PI or the expansion budget). *)
+
+val frontier_witness : t -> k:int -> int list option
+(** [frontier_cut] restricted to valid nonempty frontiers of width at most
+    [k], without materializing anything on the failing side.  A witness
+    makes the flow-based K-cut decision a foregone pass: the frontier is a
+    cut of the expansion, so the max flow is bounded by its width. *)
 
 val cone_bdd :
   Bdd.man -> Circuit.Netlist.t -> t -> cut:int list -> vars:int array ->

@@ -12,6 +12,10 @@ let c_decomp_rescues = Obs.Counter.make "label.decomp_rescues"
 let c_cache_hits = Obs.Counter.make "label.resyn_cache_hits"
 let c_divergences = Obs.Counter.make "label.divergences"
 let c_cap_exits = Obs.Counter.make "label.cap_exits"
+let c_wpushes = Obs.Counter.make "label.worklist_pushes"
+let c_wskips = Obs.Counter.make "label.worklist_skips"
+let c_harvest_reuse = Obs.Counter.make "label.harvest_cut_reuses"
+let c_snap_reuse = Obs.Counter.make "label.snapshot_reuses"
 let s_flow_test = Obs.Span.make "label.flow_test"
 let s_decomp = Obs.Span.make "label.decomp"
 let s_scc = Obs.Span.make "label.scc"
@@ -19,6 +23,8 @@ let s_scc = Obs.Span.make "label.scc"
 type impl =
   | Cut of (int * int) array
   | Resyn of Decomp.Decompose.tree * (int * int) array
+
+type engine = Sweep | Worklist
 
 type options = {
   k : int;
@@ -31,6 +37,7 @@ type options = {
   resyn_depth : int;
   multi_output : bool;
   full_expansion : bool;
+  engine : engine;
 }
 
 let default_options ~k =
@@ -45,6 +52,7 @@ let default_options ~k =
     resyn_depth = 2;
     multi_output = false;
     full_expansion = false;
+    engine = Worklist;
   }
 
 type stats = {
@@ -60,8 +68,96 @@ type outcome =
 
 exception Diverged
 
-let big_l nl labels phi v =
-  let fanins = Netlist.fanins nl v in
+(* The decomposition tree is fully determined by the cut (which fixes the
+   cone function) and the ORDER of the input arrivals (the bound-set
+   heuristic sorts by arrival): memoize the tree on (cut, arrival
+   permutation) and re-evaluate its level against the current arrivals on
+   every hit — labels drift a little each iteration but rarely change the
+   order, so this caches across iterations and probes. *)
+type resyn_cache = {
+  tbl :
+    (int * (int * int) array * int array, Decomp.Decompose.tree option)
+    Hashtbl.t;
+  lock : Mutex.t;
+      (* one cache is shared by every speculative probe domain of a
+         parallel ratio search; the values are pure functions of the key,
+         so concurrent recomputation is benign and only the table
+         structure needs guarding *)
+}
+
+let cache_find c key =
+  Mutex.lock c.lock;
+  let r = Hashtbl.find_opt c.tbl key in
+  Mutex.unlock c.lock;
+  r
+
+let cache_store c key v =
+  Mutex.lock c.lock;
+  Hashtbl.replace c.tbl key v;
+  Mutex.unlock c.lock
+
+(* Scaled-integer label view (Worklist engine): with [phi = p/q], every
+   label and threshold the engine manipulates has a denominator dividing
+   [q] (labels start integral and every update takes maxima, sums with
+   integers and subtractions of [phi * w]), so heights reduce to exact
+   integer arithmetic [slab.(u) - p*w] with [slab.(u) = q * label u] —
+   the expansion's internality test runs without rational
+   normalization. *)
+type scaled = { slab : int array; pnum : int; pden : int }
+
+let scaled_of_rat sc r = Rat.num r * (sc.pden / Rat.den r)
+
+(* Expansion snapshot (Worklist engine).  [Expanded.build] is a
+   deterministic BFS whose every branch depends on the labels only
+   through the per-node internality predicate, so the (u, w, internal)
+   trace of a past build determines it completely: if every trace entry
+   evaluates to the same flag under the current labels and threshold,
+   rebuilding would reproduce the expansion verbatim — and with it the
+   flow verdict, the passing or minimum cut (the flow is deterministic
+   on an identical network) and the resynthesis candidate cuts.
+   Validating a snapshot is O(trace) integer compares against the
+   scaled labels, replacing expansion + network + max-flow in the
+   steady state of infeasible probes, where labels rise in lock-step
+   with the threshold and the trace never changes. *)
+type snap = {
+  s_u : int array;  (* expansion trace: (u, w, internal) per local node *)
+  s_w : int array;
+  s_flag : bool array;
+  s_overflow : bool;
+  s_pass : (int * int) array option;  (* slot 0: the passing K-cut *)
+  mutable s_cands : (int * int) array list option;
+      (* resynthesis candidate cuts at this slot's threshold, widest
+         first, already filtered; [None] until that attempt level runs *)
+}
+
+(* Everything one label run reads and scribbles on.  The arenas make the
+   per-cut-test allocations (expansion vectors, flow network, BFS scratch)
+   a reuse instead of a churn; [note] is the worklist engine's read-set
+   probe (called once per distinct gate consulted by the current test). *)
+type ctx = {
+  opts : options;
+  stats : stats;
+  nl : Netlist.t;
+  labels : Rat.t array;
+  phi : Rat.t;
+  cache : resyn_cache option;
+  (* [None] under the [Sweep] engine: the baseline allocates per test, as
+     the pre-arena engine did, so benchmarks compare against it fairly *)
+  karena : Flow.Kcut.arena option;
+  earena : Expanded.arena option;
+  scaled : scaled option;
+  mutable note : (int -> unit) option;
+  (* last passing K-cut per gate, recorded during iteration so harvest can
+     reuse it instead of re-running a fresh flow test *)
+  recorded : (int * int) array option array;
+  (* per-gate expansion snapshots, slot [h] for resynthesis attempt
+     threshold [target - h]; slot 0 doubles as the K-cut test's *)
+  snaps : snap option array array;
+}
+
+let big_l ctx v =
+  let labels = ctx.labels and phi = ctx.phi in
+  let fanins = Netlist.fanins ctx.nl v in
   if Array.length fanins = 0 then Rat.zero (* constant gate *)
   else
     Array.fold_left
@@ -77,122 +173,300 @@ let big_l nl labels phi v =
 let effective_depth opts =
   if opts.full_expansion then max_int / 2 else opts.extra_depth
 
-(* Decide whether a K-cut of height <= threshold exists; return it. *)
-let kcut_test opts stats nl labels phi v ~threshold =
-  stats.flow_tests <- stats.flow_tests + 1;
-  Obs.Counter.incr c_cut_tests;
-  let result =
-    Obs.Span.time s_flow_test (fun () ->
-        let ex =
-          Expanded.build nl ~root:v ~labels ~phi ~threshold
-            ~extra_depth:(effective_depth opts) ~max_nodes:opts.max_expansion
-        in
-        if ex.Expanded.overflow then None
-        else
-          match Flow.Kcut.find (Expanded.kcut_spec ex) ~k:opts.k with
-          | Flow.Kcut.Cut c -> Some (ex, c)
-          | Flow.Kcut.Exceeds -> None)
-  in
-  Obs.Counter.incr (match result with Some _ -> c_cut_pass | None -> c_cut_fail);
-  result
+let note_expansion ctx (ex : Expanded.t) =
+  match ctx.note with
+  | None -> ()
+  | Some f -> Array.iter (fun nd -> f nd.Expanded.u) ex.Expanded.nodes
 
-(* The decomposition tree is fully determined by the cut (which fixes the
-   cone function) and the ORDER of the input arrivals (the bound-set
-   heuristic sorts by arrival): memoize the tree on (cut, arrival
-   permutation) and re-evaluate its level against the current arrivals on
-   every hit — labels drift a little each iteration but rarely change the
-   order, so this caches across iterations and probes. *)
-type resyn_cache =
-  (int * (int * int) array * int array, Decomp.Decompose.tree option) Hashtbl.t
+let build_expanded ctx v ~threshold =
+  let internal_of =
+    match ctx.scaled with
+    | None -> None
+    | Some sc ->
+        (* internal <=> l(u) - phi*w + 1 > threshold, all scaled by q *)
+        let st = scaled_of_rat sc threshold in
+        Some (fun u w -> sc.slab.(u) - (sc.pnum * w) + sc.pden > st)
+  in
+  let ex =
+    Expanded.build ?arena:ctx.earena ?internal_of ctx.nl ~root:v
+      ~labels:ctx.labels ~phi:ctx.phi ~threshold
+      ~extra_depth:(effective_depth ctx.opts)
+      ~max_nodes:ctx.opts.max_expansion
+  in
+  note_expansion ctx ex;
+  ex
+
+let cut_pairs (ex : Expanded.t) c =
+  Array.of_list
+    (List.map
+       (fun i ->
+         let nd = ex.Expanded.nodes.(i) in
+         (nd.Expanded.u, nd.Expanded.w))
+       c)
 
 let argsort (arrivals : Rat.t array) =
   let idx = Array.init (Array.length arrivals) Fun.id in
   Array.stable_sort (fun a b -> Rat.compare arrivals.(a) arrivals.(b)) idx;
   idx
 
-(* TurboSYN sequential functional decomposition at lowered thresholds. *)
-let resyn_test ?(cache : resyn_cache option) opts stats nl labels phi v ~target =
+let snap_of (ex : Expanded.t) ~pass =
+  let n = Array.length ex.Expanded.nodes in
+  let s_u = Array.make n 0 and s_w = Array.make n 0 in
+  Array.iteri
+    (fun i nd ->
+      s_u.(i) <- nd.Expanded.u;
+      s_w.(i) <- nd.Expanded.w)
+    ex.Expanded.nodes;
+  {
+    s_u;
+    s_w;
+    (* [build] returns a fresh flags array per expansion: share, don't copy *)
+    s_flag = ex.Expanded.internal;
+    s_overflow = ex.Expanded.overflow;
+    s_pass = pass;
+    s_cands = None;
+  }
+
+(* Validate [sn] at scaled threshold [st]; on success, register the trace
+   in the worklist read set (exactly the notes a rebuild would emit).
+   Index 0 is the root, internal by fiat — skipped. *)
+let snap_valid ctx sn ~st =
+  match ctx.scaled with
+  | None -> false
+  | Some sc ->
+      let n = Array.length sn.s_u in
+      let ok = ref true in
+      let i = ref 1 in
+      while !ok && !i < n do
+        let j = !i in
+        if
+          sc.slab.(sn.s_u.(j)) - (sc.pnum * sn.s_w.(j)) + sc.pden > st
+          <> sn.s_flag.(j)
+        then ok := false
+        else incr i
+      done;
+      if !ok then begin
+        Obs.Counter.incr c_snap_reuse;
+        match ctx.note with
+        | None -> ()
+        | Some f -> Array.iter f sn.s_u
+      end;
+      !ok
+
+let snap_slot ctx v h ~threshold =
+  match ctx.scaled with
+  | None -> None
+  | Some sc -> (
+      match ctx.snaps.(v).(h) with
+      | Some sn when snap_valid ctx sn ~st:(scaled_of_rat sc threshold) ->
+          Some sn
+      | _ -> None)
+
+(* Decide whether a K-cut of height <= threshold exists.  The built
+   expansion is returned either way: on failure the resynthesis fallback
+   starts at the same threshold and can reuse it.
+
+   Under the [Worklist] engine with resynthesis on, the flow runs with
+   the larger limit [max k cmax]: on the passing side this is
+   behavior-identical ([max_flow ~limit] only stops early once the flow
+   exceeds the limit, so a flow of at most [k] never sees the
+   difference), and on the failing side the continued run IS the
+   candidate min cut the resynthesis fallback would otherwise recompute
+   from scratch at the same threshold — returned as the third component
+   ([None] when not precomputed, [Some mc] when it is). *)
+let kcut_test ctx v ~threshold =
+  ctx.stats.flow_tests <- ctx.stats.flow_tests + 1;
+  Obs.Counter.incr c_cut_tests;
+  let k = ctx.opts.k in
+  let fast = ctx.opts.engine = Worklist in
+  let deep = fast && ctx.opts.resynthesize in
+  let kreq = if deep then max k ctx.opts.cmax else k in
+  let ex, pass, mc0 =
+    Obs.Span.time s_flow_test (fun () ->
+        let ex = build_expanded ctx v ~threshold in
+        if ex.Expanded.overflow then (ex, None, None)
+        else
+          (* a valid frontier of width <= K is itself a witness cut of the
+             expansion, so the max flow is at most K and the flow verdict
+             is a foregone pass — skip the network entirely *)
+          let witness = if fast then Expanded.frontier_witness ex ~k else None in
+          match witness with
+          | Some fr -> (ex, Some fr, None)
+          | None -> (
+              match
+                Flow.Kcut.find ?arena:ctx.karena (Expanded.kcut_spec ex)
+                  ~k:kreq
+              with
+              | Flow.Kcut.Cut c when List.length c <= k -> (ex, Some c, None)
+              | Flow.Kcut.Cut c -> (ex, None, Some (Some c))
+              | Flow.Kcut.Exceeds ->
+                  (ex, None, if deep then Some None else None)))
+  in
+  let pass_pairs = Option.map (cut_pairs ex) pass in
+  (match pass with
+  | Some _ -> Obs.Counter.incr c_cut_pass
+  | None -> Obs.Counter.incr c_cut_fail);
+  if fast then ctx.snaps.(v).(0) <- Some (snap_of ex ~pass:pass_pairs);
+  (ex, pass_pairs, mc0)
+
+(* TurboSYN sequential functional decomposition at lowered thresholds.
+   [ex0], when given, is the expansion the failed cut test just built at
+   [target] — the attempt-0 threshold — so the fast path starts from it
+   instead of rebuilding; [mc0] is that test's precomputed candidate min
+   cut of the same expansion; [snap0] is the validated slot-0 snapshot
+   when the cut test itself was answered from one (then no expansion
+   exists and attempt 0 evaluates the recorded candidate cuts).  The
+   fast paths are gated on the [Worklist] engine so the [Sweep]
+   baseline reproduces the original work. *)
+let resyn_test ?ex0 ?mc0 ?snap0 ctx v ~target =
+  let opts = ctx.opts and labels = ctx.labels and phi = ctx.phi in
+  let fast = opts.engine = Worklist in
+  (* Evaluate one candidate cut given as (u, w) pairs.  [cone], when
+     available, computes the cone's decomposition on a cache miss;
+     without it a miss answers [`Miss] and the caller falls back to the
+     full rebuild (rare: the cache hits on almost every evaluation). *)
+  let eval_candidate ~cone inputs =
+    let arrivals =
+      Array.map (fun (u, w) -> Rat.sub labels.(u) (Rat.mul_int phi w)) inputs
+    in
+    (* the root is part of the key: the same cut pairs under a different
+       root denote a different cone function *)
+    let key = (v, inputs, argsort arrivals) in
+    let tree =
+      match
+        match ctx.cache with
+        | Some c -> cache_find c key
+        | None -> None
+      with
+      | Some cached ->
+          Obs.Counter.incr c_cache_hits;
+          `Tree cached
+      | None -> (
+          match cone with
+          | None -> `Miss
+          | Some build_cone ->
+              ctx.stats.decompositions <- ctx.stats.decompositions + 1;
+              let computed = build_cone ~arrivals in
+              (match ctx.cache with
+              | Some c -> cache_store c key computed
+              | None -> ());
+              `Tree computed)
+    in
+    match tree with
+    | `Miss -> `Miss
+    | `Tree (Some t)
+      when Rat.( <= ) (Decomp.Decompose.tree_level ~arrivals t) target ->
+        `Impl (Resyn (t, inputs))
+    | `Tree _ -> `No
+  in
   let rec attempt h =
     if h > opts.resyn_depth then None
     else
       let threshold = Rat.sub target (Rat.of_int h) in
-      let ex =
-        Expanded.build nl ~root:v ~labels ~phi ~threshold
-          ~extra_depth:(effective_depth opts) ~max_nodes:opts.max_expansion
-      in
-      if ex.Expanded.overflow then attempt (h + 1)
-      else
-        (* candidate cuts, widest first: the frontier cut gives the
-           decomposition the most room (it is what FlowSYN sees at a block
-           boundary); the minimum cut keeps the function narrow *)
-        let candidates =
+      (* full evaluation: build (or adopt) the expansion at this level,
+         derive the candidate cuts, record them in the snapshot slot *)
+      let full () =
+        let ex =
+          match ex0 with
+          | Some ex when h = 0 && fast -> ex
+          | _ -> build_expanded ctx v ~threshold
+        in
+        if ex.Expanded.overflow then begin
+          if fast && h > 0 then
+            ctx.snaps.(v).(h) <- Some (snap_of ex ~pass:None);
+          attempt (h + 1)
+        end
+        else begin
+          (* candidate cuts, widest first: the frontier cut gives the
+             decomposition the most room (it is what FlowSYN sees at a
+             block boundary); the minimum cut keeps the function narrow *)
           let frontier = Expanded.frontier_cut ex in
           let min_c =
-            match Flow.Kcut.min_cut (Expanded.kcut_spec ex) with
-            | Some c when c <> frontier -> [ c ]
-            | _ -> []
+            let mc =
+              match mc0 with
+              | Some m when h = 0 && fast -> m
+              | _ ->
+                  (* cuts wider than cmax are discarded below, so capping
+                     the flow at cmax is behavior-identical and skips the
+                     expensive part of wide min-cut computations *)
+                  if fast then
+                    match
+                      Flow.Kcut.find ?arena:ctx.karena (Expanded.kcut_spec ex)
+                        ~k:opts.cmax
+                    with
+                    | Flow.Kcut.Cut c -> Some c
+                    | Flow.Kcut.Exceeds -> None
+                  else
+                    Flow.Kcut.min_cut ?arena:ctx.karena (Expanded.kcut_spec ex)
+            in
+            match mc with Some c when c <> frontier -> [ c ] | _ -> []
           in
-          List.filter
-            (fun c -> c <> [] && List.length c <= opts.cmax)
-            (frontier :: min_c)
-        in
-        match candidates with
-        | [] -> attempt (h + 1)
-        | _ ->
-            let rec try_cuts = function
-              | [] -> attempt (h + 1)
-              | c :: rest -> (
-                  match try_cut c with
-                  | Some impl -> Some impl
-                  | None -> try_cuts rest)
-            and try_cut c =
-              let cut_nodes = List.map (fun i -> ex.Expanded.nodes.(i)) c in
-            let inputs =
-              Array.of_list
-                (List.map (fun n -> (n.Expanded.u, n.Expanded.w)) cut_nodes)
-            in
-            let arrivals =
-              Array.map
-                (fun (u, w) -> Rat.sub labels.(u) (Rat.mul_int phi w))
-                inputs
-            in
-            (* the root is part of the key: the same cut pairs under a
-               different root denote a different cone function *)
-            let key = (v, inputs, argsort arrivals) in
-            let tree =
-              match
-                match cache with
-                | Some tbl -> Hashtbl.find_opt tbl key
-                | None -> None
-              with
-              | Some cached ->
-                  Obs.Counter.incr c_cache_hits;
-                  cached
-              | None ->
-                  stats.decompositions <- stats.decompositions + 1;
-                  let man = Bdd.new_man () in
-                  let vars = Array.init (Array.length inputs) Fun.id in
-                  let f = Expanded.cone_bdd man nl ex ~cut:c ~vars in
-                  let computed =
-                    Option.map
-                      (fun r -> r.Decomp.Decompose.tree)
-                      (Decomp.Decompose.decompose ~exhaustive:opts.exhaustive
-                         ~multi:opts.multi_output man ~f ~vars ~arrivals
-                         ~k:opts.k)
-                  in
-                  (match cache with
-                  | Some tbl -> Hashtbl.replace tbl key computed
-                  | None -> ());
-                  computed
-            in
-              match tree with
-              | Some t
-                when Rat.( <= ) (Decomp.Decompose.tree_level ~arrivals t) target
-                ->
-                  Some (Resyn (t, inputs))
-              | _ -> None
-            in
-            try_cuts candidates
+          let candidates =
+            List.filter_map
+              (fun c ->
+                if c <> [] && List.length c <= opts.cmax then
+                  Some (c, cut_pairs ex c)
+                else None)
+              (frontier :: min_c)
+          in
+          if fast then begin
+            let pairs = List.map snd candidates in
+            match ctx.snaps.(v).(h) with
+            | Some sn when h = 0 -> sn.s_cands <- Some pairs
+            | _ ->
+                let sn = snap_of ex ~pass:None in
+                sn.s_cands <- Some pairs;
+                ctx.snaps.(v).(h) <- Some sn
+          end;
+          let rec try_cuts = function
+            | [] -> attempt (h + 1)
+            | (c, inputs) :: rest -> (
+                match
+                  eval_candidate inputs
+                    ~cone:
+                      (Some
+                         (fun ~arrivals ->
+                           let man = Bdd.new_man () in
+                           let vars = Array.init (Array.length inputs) Fun.id in
+                           let f = Expanded.cone_bdd man ctx.nl ex ~cut:c ~vars in
+                           Option.map
+                             (fun r -> r.Decomp.Decompose.tree)
+                             (Decomp.Decompose.decompose
+                                ~exhaustive:opts.exhaustive
+                                ~multi:opts.multi_output man ~f ~vars ~arrivals
+                                ~k:opts.k)))
+                with
+                | `Impl impl -> Some impl
+                | _ -> try_cuts rest)
+          in
+          try_cuts candidates
+        end
+      in
+      let snapped =
+        if not fast then None
+        else if h = 0 then snap0
+        else snap_slot ctx v h ~threshold
+      in
+      match snapped with
+      | Some sn ->
+          if sn.s_overflow then attempt (h + 1)
+          else (
+            match sn.s_cands with
+            | None -> full ()
+            | Some pairs ->
+                let rec try_pairs = function
+                  | [] -> `No
+                  | inputs :: rest -> (
+                      match eval_candidate ~cone:None inputs with
+                      | `Impl impl -> `Impl impl
+                      | `No -> try_pairs rest
+                      | `Miss -> `Miss)
+                in
+                (match try_pairs pairs with
+                | `Impl impl -> Some impl
+                | `No -> attempt (h + 1)
+                | `Miss -> full ()))
+      | None -> full ()
   in
   Obs.Counter.incr c_decomp_attempts;
   let result = Obs.Span.time s_decomp (fun () -> attempt 0) in
@@ -200,21 +474,43 @@ let resyn_test ?(cache : resyn_cache option) opts stats nl labels phi v ~target 
   result
 
 (* One label update; returns true if the label changed. *)
-let update ?cache opts stats nl labels phi bound v =
+let update ctx bound v =
+  let labels = ctx.labels in
+  (match ctx.note with
+  | None -> ()
+  | Some f -> Array.iter (fun (u, _) -> f u) (Netlist.fanins ctx.nl v));
   let l_cur = labels.(v) in
-  let lv = big_l nl labels phi v in
+  let lv = big_l ctx v in
   if Rat.( <= ) (Rat.add lv Rat.one) l_cur then false
   else begin
     let decision =
-      match kcut_test opts stats nl labels phi v ~threshold:lv with
-      | Some _ -> lv
-      | None ->
-          let resyn =
-            if opts.resynthesize then
-              resyn_test ?cache opts stats nl labels phi v ~target:lv
-            else None
-          in
-          (match resyn with Some _ -> lv | None -> Rat.add lv Rat.one)
+      match snap_slot ctx v 0 ~threshold:lv with
+      | Some sn -> (
+          (* the last test's expansion would rebuild identically: its
+             verdict stands without building or flowing anything *)
+          match sn.s_pass with
+          | Some pairs ->
+              ctx.recorded.(v) <- Some pairs;
+              lv
+          | None ->
+              let resyn =
+                if ctx.opts.resynthesize then
+                  resyn_test ~snap0:sn ctx v ~target:lv
+                else None
+              in
+              (match resyn with Some _ -> lv | None -> Rat.add lv Rat.one))
+      | None -> (
+          match kcut_test ctx v ~threshold:lv with
+          | _, Some pairs, _ ->
+              if ctx.opts.engine = Worklist then ctx.recorded.(v) <- Some pairs;
+              lv
+          | ex, None, mc0 ->
+              let resyn =
+                if ctx.opts.resynthesize then
+                  resyn_test ~ex0:ex ?mc0 ctx v ~target:lv
+                else None
+              in
+              (match resyn with Some _ -> lv | None -> Rat.add lv Rat.one))
     in
     let l_new = Rat.max l_cur decision in
     (match bound with
@@ -222,56 +518,312 @@ let update ?cache opts stats nl labels phi bound v =
     | _ -> ());
     if Rat.( > ) l_new l_cur then begin
       labels.(v) <- l_new;
+      (match ctx.scaled with
+      | Some sc -> sc.slab.(v) <- scaled_of_rat sc l_new
+      | None -> ());
       true
     end
     else false
   end
 
-(* Post-convergence pass: record an implementation for every gate. *)
-let harvest ?cache opts stats nl labels phi =
+(* Post-convergence pass: record an implementation for every gate, reusing
+   the last passing cut found during iteration when it is still valid
+   under the converged labels (height within the label, width within K). *)
+let harvest ctx =
+  let { nl; labels; phi; opts; _ } = ctx in
   let n = Netlist.n nl in
   let impls = Array.make n None in
   let ok = ref true in
   for v = 0 to n - 1 do
     if !ok && Netlist.is_gate nl v then begin
       let target = labels.(v) in
-      match kcut_test opts stats nl labels phi v ~threshold:target with
-      | Some (ex, c) ->
-          let cut =
-            Array.of_list
-              (List.map
-                 (fun i ->
-                   let nd = ex.Expanded.nodes.(i) in
-                   (nd.Expanded.u, nd.Expanded.w))
-                 c)
-          in
-          impls.(v) <- Some (Cut cut)
+      let reused =
+        match ctx.recorded.(v) with
+        | Some cut
+          when Array.length cut <= opts.k
+               && Array.for_all
+                    (fun (u, w) ->
+                      Rat.( <= )
+                        (Rat.add
+                           (Rat.sub labels.(u) (Rat.mul_int phi w))
+                           Rat.one)
+                        target)
+                    cut ->
+            Obs.Counter.incr c_harvest_reuse;
+            Some cut
+        | _ -> None
+      in
+      match reused with
+      | Some cut -> impls.(v) <- Some (Cut cut)
       | None -> (
-          match
-            if opts.resynthesize then
-              resyn_test ?cache opts stats nl labels phi v ~target
-            else None
-          with
-          | Some impl -> impls.(v) <- Some impl
-          | None -> ok := false)
+          let fallback ?ex0 ?mc0 ?snap0 () =
+            match
+              if opts.resynthesize then resyn_test ?ex0 ?mc0 ?snap0 ctx v ~target
+              else None
+            with
+            | Some impl -> impls.(v) <- Some impl
+            | None -> ok := false
+          in
+          match snap_slot ctx v 0 ~threshold:target with
+          | Some sn -> (
+              match sn.s_pass with
+              | Some pairs -> impls.(v) <- Some (Cut pairs)
+              | None -> fallback ~snap0:sn ())
+          | None -> (
+              match kcut_test ctx v ~threshold:target with
+              | _, Some pairs, _ -> impls.(v) <- Some (Cut pairs)
+              | ex, None, mc0 -> fallback ~ex0:ex ?mc0 ()))
     end
   done;
   if !ok then Some impls else None
+
+(* ------------------------------------------------------------------ *)
+(* Worklist scheduling state: dirty flags for the current and the next  *)
+(* round, and per-gate dependents registered from the read set of each  *)
+(* test (every gate whose label the test consulted — the expansion      *)
+(* nodes, which include the direct fanins and, through loop unrolling,  *)
+(* the tested gate itself).  A node is re-tested only when a registered *)
+(* dependency's label actually changed, so the label trajectory is      *)
+(* identical to the sweep engine's round for round.                     *)
+(* ------------------------------------------------------------------ *)
+
+type worklist = {
+  pos : int array; (* node -> index in the current SCC's sorted members, -1 *)
+  in_round : bool array;
+  next_round : bool array;
+  test_gen : int array; (* node -> generation of its latest test *)
+  mutable dep_v : int array array; (* node -> dependents (gate ids) *)
+  mutable dep_g : int array array; (* node -> generation at registration *)
+  dep_len : int array;
+  note_stamp : int array; (* per-test dedup of read-set notes *)
+  mutable note_tick : int;
+}
+
+let new_worklist n =
+  {
+    pos = Array.make n (-1);
+    in_round = Array.make n false;
+    next_round = Array.make n false;
+    test_gen = Array.make n 0;
+    dep_v = Array.make n [||];
+    dep_g = Array.make n [||];
+    dep_len = Array.make n 0;
+    note_stamp = Array.make n 0;
+    note_tick = 0;
+  }
+
+let dep_append wl u v gen =
+  let len = wl.dep_len.(u) in
+  if len >= Array.length wl.dep_v.(u) then begin
+    let cap = max 8 (2 * len) in
+    let grow arr =
+      let b = Array.make cap 0 in
+      Array.blit arr 0 b 0 len;
+      b
+    in
+    wl.dep_v.(u) <- grow wl.dep_v.(u);
+    wl.dep_g.(u) <- grow wl.dep_g.(u)
+  end;
+  wl.dep_v.(u).(len) <- v;
+  wl.dep_g.(u).(len) <- gen;
+  wl.dep_len.(u) <- len + 1
+
+(* Mark every live dependent of [u] dirty: ahead of the cursor in this
+   round, or for the next round otherwise.  Entries whose generation is
+   stale (the dependent re-tested since) are compacted away in place. *)
+let dirty_dependents wl u ~cursor =
+  let dv = wl.dep_v.(u) and dg = wl.dep_g.(u) in
+  let len = ref wl.dep_len.(u) in
+  let i = ref 0 in
+  while !i < !len do
+    let v = dv.(!i) in
+    if dg.(!i) <> wl.test_gen.(v) then begin
+      (* stale registration: drop by swapping the last entry in *)
+      decr len;
+      dv.(!i) <- dv.(!len);
+      dg.(!i) <- dg.(!len)
+    end
+    else begin
+      let p = wl.pos.(v) in
+      if p >= 0 then
+        if p > cursor then begin
+          if not wl.in_round.(v) then begin
+            wl.in_round.(v) <- true;
+            Obs.Counter.incr c_wpushes
+          end
+        end
+        else if not wl.next_round.(v) then begin
+          wl.next_round.(v) <- true;
+          Obs.Counter.incr c_wpushes
+        end;
+      incr i
+    end
+  done;
+  wl.dep_len.(u) <- !len
+
+(* One nontrivial SCC, worklist scheduling.  Rounds correspond one-to-one
+   to the sweep engine's iterations: a round processes (in the same sorted
+   member order) exactly the members whose read set changed, mid-round
+   changes pull members at later positions into the same round, and the
+   PLD / cap checks run on the same round boundaries — so labels,
+   iteration counts and infeasibility verdicts match the sweep engine
+   exactly while skipping the no-op re-tests. *)
+let run_scc_worklist ctx wl bound members ~in_scc ~(feasible : bool ref) =
+  let stats = ctx.stats in
+  let m = Array.length members in
+  Array.iteri (fun i v -> wl.pos.(v) <- i) members;
+  Array.iter (fun v -> wl.in_round.(v) <- true) members;
+  let pld_gate = 6 * m in
+  let hard_cap = (m * m) + 64 in
+  let converged = ref false in
+  let iter = ref 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (* the pos/flag arrays are shared across SCCs: scrub our members *)
+      ctx.note <- None;
+      Array.iter
+        (fun v ->
+          wl.pos.(v) <- -1;
+          wl.in_round.(v) <- false;
+          wl.next_round.(v) <- false)
+        members)
+  @@ fun () ->
+  while (not !converged) && !feasible do
+    incr iter;
+    stats.iterations <- stats.iterations + 1;
+    Obs.Counter.incr c_iterations;
+    let changed = ref false in
+    let processed = ref 0 in
+    Array.iteri
+      (fun idx v ->
+        if wl.in_round.(v) then begin
+          wl.in_round.(v) <- false;
+          incr processed;
+          wl.test_gen.(v) <- wl.test_gen.(v) + 1;
+          wl.note_tick <- wl.note_tick + 1;
+          let tick = wl.note_tick in
+          let gen = wl.test_gen.(v) in
+          (* register [v] as a dependent of every distinct node its test
+             consults; nodes of earlier SCCs (pos < 0) are final, so only
+             current members matter *)
+          ctx.note <-
+            Some
+              (fun u ->
+                if wl.pos.(u) >= 0 && wl.note_stamp.(u) <> tick then begin
+                  wl.note_stamp.(u) <- tick;
+                  dep_append wl u v gen
+                end);
+          let did_change = update ctx bound v in
+          ctx.note <- None;
+          if did_change then begin
+            changed := true;
+            dirty_dependents wl v ~cursor:idx
+          end
+        end)
+      members;
+    Obs.Counter.add c_wskips (m - !processed);
+    if not !changed then converged := true
+    else begin
+      if
+        ctx.opts.pld && !iter >= pld_gate
+        && Pld.all_isolated ctx.nl ~labels:ctx.labels ~phi:ctx.phi ~members
+             ~in_scc
+      then begin
+        stats.pld_hits <- stats.pld_hits + 1;
+        feasible := false
+      end;
+      if !iter > hard_cap then begin
+        Obs.Counter.incr c_cap_exits;
+        feasible := false
+      end;
+      (* promote next-round marks *)
+      Array.iter
+        (fun v ->
+          if wl.next_round.(v) then begin
+            wl.next_round.(v) <- false;
+            wl.in_round.(v) <- true
+          end)
+        members
+    end
+  done
+
+(* One nontrivial SCC, all-members sweep (the pre-worklist engine, kept as
+   a baseline and for the equivalence tests). *)
+let run_scc_sweep ctx bound members ~in_scc ~(feasible : bool ref) =
+  let stats = ctx.stats in
+  let m = Array.length members in
+  let pld_gate = 6 * m in
+  let hard_cap = (m * m) + 64 in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !feasible do
+    incr iter;
+    stats.iterations <- stats.iterations + 1;
+    Obs.Counter.incr c_iterations;
+    let changed = ref false in
+    Array.iter
+      (fun v -> if update ctx bound v then changed := true)
+      members;
+    if not !changed then converged := true
+    else begin
+      if
+        ctx.opts.pld && !iter >= pld_gate
+        && Pld.all_isolated ctx.nl ~labels:ctx.labels ~phi:ctx.phi ~members
+             ~in_scc
+      then begin
+        stats.pld_hits <- stats.pld_hits + 1;
+        feasible := false
+      end;
+      if !iter > hard_cap then begin
+        Obs.Counter.incr c_cap_exits;
+        feasible := false
+      end
+    end
+  done
 
 let run ?cache opts nl ~phi =
   Netlist.validate_exn ~k:opts.k nl;
   let n = Netlist.n nl in
   let stats = { iterations = 0; flow_tests = 0; decompositions = 0; pld_hits = 0 } in
   let labels = Array.make n Rat.zero in
+  for v = 0 to n - 1 do
+    if Netlist.is_gate nl v then labels.(v) <- Rat.one
+  done;
+  let arenas = opts.engine = Worklist in
+  let ctx =
+    {
+      opts;
+      stats;
+      nl;
+      labels;
+      phi;
+      cache;
+      karena = (if arenas then Some (Flow.Kcut.new_arena ()) else None);
+      earena = (if arenas then Some (Expanded.new_arena ()) else None);
+      scaled =
+        (if arenas then
+           let pden = Rat.den phi in
+           Some
+             {
+               slab = Array.map (fun r -> Rat.num r * pden) labels;
+               pnum = Rat.num phi;
+               pden;
+             }
+         else None);
+      note = None;
+      recorded = Array.make n None;
+      snaps =
+        (if arenas then
+           Array.init n (fun _ -> Array.make (opts.resyn_depth + 1) None)
+         else [||]);
+    }
+  in
   let n_gates = List.length (Netlist.gates nl) in
   (* Labels of feasible targets are bounded by the mapping depth (at most
      the gate count); exceeding the bound proves infeasibility.  This
      shortcut is part of the PLD package — the no-PLD baseline reproduces
      the pre-TurboSYN stopping criterion (quadratic iteration cap only). *)
   let bound = if opts.pld then Some (Rat.of_int (n_gates + 1)) else None in
-  for v = 0 to n - 1 do
-    if Netlist.is_gate nl v then labels.(v) <- Rat.one
-  done;
   (* SCCs over the full graph *)
   let succ =
     let out = Array.make n [] in
@@ -283,6 +835,7 @@ let run ?cache opts nl ~phi =
   let scc = Graphs.Scc.compute ~n ~succ in
   let order = Graphs.Scc.topo_order scc in
   let feasible = ref true in
+  let wl = match opts.engine with Worklist -> Some (new_worklist n) | Sweep -> None in
   (try
      Array.iter
        (fun c ->
@@ -298,7 +851,7 @@ let run ?cache opts nl ~phi =
              if Graphs.Scc.is_trivial scc ~succ c then begin
                stats.iterations <- stats.iterations + 1;
                Obs.Counter.incr c_iterations;
-               ignore (update ?cache opts stats nl labels phi bound members.(0))
+               ignore (update ctx bound members.(0))
              end
              else Obs.Span.time s_scc @@ fun () ->
                Array.sort Int.compare members;
@@ -310,35 +863,10 @@ let run ?cache opts nl ~phi =
                   targets can look isolated); without PLD only the
                   conservative quadratic cap applies (the pre-TurboSYN
                   stopping criterion). *)
-               let pld_gate = 6 * m in
-               let hard_cap = (m * m) + 64 in
-               let converged = ref false in
-               let iter = ref 0 in
-               while (not !converged) && !feasible do
-                 incr iter;
-                 stats.iterations <- stats.iterations + 1;
-                 Obs.Counter.incr c_iterations;
-                 let changed = ref false in
-                 Array.iter
-                   (fun v ->
-                     if update ?cache opts stats nl labels phi bound v then
-                       changed := true)
-                   members;
-                 if not !changed then converged := true
-                 else begin
-                   if
-                     opts.pld && !iter >= pld_gate
-                     && Pld.all_isolated nl ~labels ~phi ~members ~in_scc
-                   then begin
-                     stats.pld_hits <- stats.pld_hits + 1;
-                     feasible := false
-                   end;
-                   if !iter > hard_cap then begin
-                     Obs.Counter.incr c_cap_exits;
-                     feasible := false
-                   end
-                 end
-               done
+               match wl with
+               | Some wl ->
+                   run_scc_worklist ctx wl bound members ~in_scc ~feasible
+               | None -> run_scc_sweep ctx bound members ~in_scc ~feasible
          end)
        order
    with Diverged ->
@@ -346,10 +874,11 @@ let run ?cache opts nl ~phi =
      feasible := false);
   if not !feasible then (Infeasible, stats)
   else
-    match harvest ?cache opts stats nl labels phi with
+    match harvest ctx with
     | Some impls -> (Feasible { labels; impls }, stats)
     | None ->
         (* should not happen: convergence guarantees an implementation *)
         (Infeasible, stats)
 
-let new_cache () : resyn_cache = Hashtbl.create 512
+let new_cache () : resyn_cache =
+  { tbl = Hashtbl.create 512; lock = Mutex.create () }

@@ -28,6 +28,18 @@ type impl =
   | Resyn of Decomp.Decompose.tree * (int * int) array
       (** decomposed LUT tree over the listed sequential inputs *)
 
+type engine =
+  | Sweep
+      (** re-test every SCC member each iteration (the original engine) *)
+  | Worklist
+      (** dirty-set scheduling: a member is re-tested only when the label
+          of a node its previous test consulted (its read set: direct
+          fanins plus every node of its expanded circuit) actually
+          changed.  Rounds replay the sweep's sorted member order, so the
+          label trajectory — labels, iteration counts, PLD / divergence /
+          cap verdicts — is identical to [Sweep]; only the provably no-op
+          re-tests are skipped. *)
+
 type options = {
   k : int;
   resynthesize : bool;  (** TurboSYN when true, TurboMap when false *)
@@ -45,12 +57,13 @@ type options = {
           the node budget instead of the partial-network frontier — the
           construction TurboMap's partial flow networks replaced; for the
           benchmark comparison *)
+  engine : engine;  (** iteration scheduling within nontrivial SCCs *)
 }
 
 val default_options : k:int -> options
 (** k, resynthesize=false, cmax=15, exhaustive=false, pld=true,
     extra_depth=3, max_expansion=4000, resyn_depth=2, multi_output=false,
-    full_expansion=false. *)
+    full_expansion=false, engine=Worklist. *)
 
 type stats = {
   mutable iterations : int;

@@ -7,6 +7,7 @@ open Circuit
 let c_probes = Obs.Counter.make "search.probes"
 let c_feasible = Obs.Counter.make "search.feasible_probes"
 let c_infeasible = Obs.Counter.make "search.infeasible_probes"
+let c_parallel = Obs.Counter.make "search.parallel_probes"
 let s_probe = Obs.Span.make "search.probe"
 let s_search = Obs.Span.make "synth.search"
 let s_final = Obs.Span.make "synth.final_labels"
@@ -28,7 +29,73 @@ let add_stats (acc : Label_engine.stats) (s : Label_engine.stats) =
     acc.Label_engine.decompositions + s.Label_engine.decompositions;
   acc.Label_engine.pld_hits <- acc.Label_engine.pld_hits + s.Label_engine.pld_hits
 
-let minimum_ratio ?cache ?phi_max_den opts nl =
+(* ------------------------------------------------------------------ *)
+(* Speculative parallel ratio search.                                  *)
+(*                                                                     *)
+(* The probe sequence of the search is a deterministic function of the *)
+(* oracle's answers, so it can be REPLAYED over a memo of known        *)
+(* (phi, feasible) pairs: the replay either terminates or stops at the *)
+(* first memo miss — the next probe the sequential search would run.   *)
+(* Expanding both possible answers of each pending miss (a BFS over    *)
+(* the search's decision tree) yields up to [jobs] distinct probe      *)
+(* points of which one is certainly needed and the rest are            *)
+(* speculative; all are evaluated concurrently (one [Domain] each),    *)
+(* their verdicts enter the memo, and the replay advances.  Since the  *)
+(* real answer path is followed verdict for verdict, the terminal phi  *)
+(* is exactly the sequential search's — speculation only changes how   *)
+(* many probes run, never which answer decides.                        *)
+(* ------------------------------------------------------------------ *)
+
+exception Probe_miss of Rat.t
+
+(* The pure decision procedure shared by the sequential and the parallel
+   drivers (the [ub <= 1] shortcut needs no probe and stays in the
+   caller).  Returns [None] only when the oracle calls [ub] infeasible —
+   impossible for the real oracle (the trivial mapping realizes UB) but
+   reachable under speculative assumptions. *)
+let search_decision ~ub ~max_den ~feasible =
+  if feasible Rat.one then Some Rat.one
+  else Rat.stern_brocot_min ~lo:Rat.one ~hi:ub ~max_den ~feasible
+
+let replay memo assumptions ~ub ~max_den =
+  let feasible phi =
+    match List.assoc_opt phi assumptions with
+    | Some b -> b
+    | None -> (
+        match Hashtbl.find_opt memo phi with
+        | Some b -> b
+        | None -> raise (Probe_miss phi))
+  in
+  try `Done (search_decision ~ub ~max_den ~feasible)
+  with Probe_miss phi -> `Miss phi
+
+(* Up to [jobs] distinct probe points the search may need next: the
+   certainly-needed one first, then the pending probes of the assumption
+   branches in BFS order over the decision tree. *)
+let speculative_frontier memo ~ub ~max_den ~jobs =
+  let picked = ref [] in
+  let npicked = ref 0 in
+  let seen = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  let budget = ref (64 * jobs) in
+  Queue.add [] queue;
+  while !npicked < jobs && !budget > 0 && not (Queue.is_empty queue) do
+    decr budget;
+    let asm = Queue.pop queue in
+    match replay memo asm ~ub ~max_den with
+    | `Done _ -> ()
+    | `Miss phi ->
+        if not (Hashtbl.mem seen phi) then begin
+          Hashtbl.replace seen phi ();
+          picked := phi :: !picked;
+          incr npicked
+        end;
+        Queue.add ((phi, true) :: asm) queue;
+        Queue.add ((phi, false) :: asm) queue
+  done;
+  List.rev !picked
+
+let minimum_ratio ?cache ?phi_max_den ?(jobs = 1) opts nl =
   let acc =
     {
       Label_engine.iterations = 0;
@@ -38,18 +105,10 @@ let minimum_ratio ?cache ?phi_max_den opts nl =
     }
   in
   let probes = ref 0 in
-  let feasible phi =
+  let record phi ok (s : Label_engine.stats) =
     incr probes;
     Obs.Counter.incr c_probes;
-    let outcome, s =
-      Obs.Span.time s_probe (fun () -> Label_engine.run ?cache opts nl ~phi)
-    in
     add_stats acc s;
-    let ok =
-      match outcome with
-      | Label_engine.Feasible _ -> true
-      | Label_engine.Infeasible -> false
-    in
     Obs.Counter.incr (if ok then c_feasible else c_infeasible);
     if Obs.enabled () then
       Obs.Trace.emit "search.probe"
@@ -58,7 +117,22 @@ let minimum_ratio ?cache ?phi_max_den opts nl =
           ("feasible", Obs.Json.Bool ok);
           ("iterations", Obs.Json.Int s.Label_engine.iterations);
           ("cut_tests", Obs.Json.Int s.Label_engine.flow_tests);
-        ];
+        ]
+  in
+  let run_probe cache phi =
+    let outcome, s =
+      Obs.Span.time s_probe (fun () -> Label_engine.run ?cache opts nl ~phi)
+    in
+    let ok =
+      match outcome with
+      | Label_engine.Feasible _ -> true
+      | Label_engine.Infeasible -> false
+    in
+    (ok, s)
+  in
+  let feasible phi =
+    let ok, s = run_probe cache phi in
+    record phi ok s;
     ok
   in
   match Netlist.mdr_ratio nl with
@@ -86,15 +160,60 @@ let minimum_ratio ?cache ?phi_max_den opts nl =
          is max(1, ceil phi), so refining below ratio 1 only costs LUTs
          (deeper loop unrolling) without speeding the clock *)
       if Rat.( <= ) ub Rat.one then (ub, !probes, acc)
-      else if feasible Rat.one then (Rat.one, !probes, acc)
-      else
-        match
-          Rat.stern_brocot_min ~lo:Rat.one ~hi:ub ~max_den ~feasible
-        with
-        | Some phi -> (phi, !probes, acc)
-        | None ->
+      else if jobs <= 1 then begin
+        (* sequential path: probe for probe the original search *)
+        if feasible Rat.one then (Rat.one, !probes, acc)
+        else
+          match
+            Rat.stern_brocot_min ~lo:Rat.one ~hi:ub ~max_den ~feasible
+          with
+          | Some phi -> (phi, !probes, acc)
+          | None ->
+              (* UB is feasible by construction (the trivial mapping) *)
+              assert false
+      end
+      else begin
+        let memo : (Rat.t, bool) Hashtbl.t = Hashtbl.create 32 in
+        (* the resyn memo table is mutex-guarded, so every speculative
+           domain shares the driver's cache: a decomposition computed by
+           any probe serves all later ones on any domain *)
+        let result = ref None in
+        while !result = None do
+          match replay memo [] ~ub ~max_den with
+          | `Done r -> result := Some r
+          | `Miss _ ->
+              let batch = speculative_frontier memo ~ub ~max_den ~jobs in
+              let spawned =
+                List.mapi
+                  (fun i phi ->
+                    if i = 0 then `Self phi
+                    else
+                      `Dom
+                        ( phi,
+                          Domain.spawn (fun () -> run_probe cache phi) ))
+                  batch
+              in
+              let evaluated =
+                List.map
+                  (function
+                    | `Self phi -> (phi, run_probe cache phi)
+                    | `Dom (phi, d) -> (phi, Domain.join d))
+                  spawned
+              in
+              List.iter
+                (fun (phi, (ok, s)) ->
+                  Hashtbl.replace memo phi ok;
+                  record phi ok s)
+                evaluated;
+              Obs.Counter.add c_parallel (List.length evaluated - 1)
+        done;
+        match !result with
+        | Some (Some phi) -> (phi, !probes, acc)
+        | Some None ->
             (* UB is feasible by construction (the trivial mapping) *)
             assert false
+        | None -> assert false
+      end
 
 let realize mapped =
   match Retime.Pipeline.period_lower_bound mapped with
@@ -112,14 +231,14 @@ let realize mapped =
       let out = Retime.Retiming.apply mapped ~r in
       Some (out, period, Retime.Pipeline.latency mapped ~r)
 
-let map_full ?options ?phi_max_den nl ~k =
+let map_full ?options ?phi_max_den ?jobs nl ~k =
   let opts =
     match options with Some o -> o | None -> Label_engine.default_options ~k
   in
   let cache = Label_engine.new_cache () in
   let phi, probes, stats =
     Obs.Span.time s_search (fun () ->
-        minimum_ratio ~cache ?phi_max_den opts nl)
+        minimum_ratio ~cache ?phi_max_den ?jobs opts nl)
   in
   let outcome, s =
     Obs.Span.time s_final (fun () -> Label_engine.run ~cache opts nl ~phi)
@@ -153,6 +272,6 @@ let map_full ?options ?phi_max_den nl ~k =
         },
         impls )
 
-let map ?options ?phi_max_den nl ~k =
-  let mapped, report, _ = map_full ?options ?phi_max_den nl ~k in
+let map ?options ?phi_max_den ?jobs nl ~k =
+  let mapped, report, _ = map_full ?options ?phi_max_den ?jobs nl ~k in
   (mapped, report)

@@ -24,6 +24,7 @@ type report = {
 val minimum_ratio :
   ?cache:Label_engine.resyn_cache ->
   ?phi_max_den:int ->
+  ?jobs:int ->
   Label_engine.options -> Circuit.Netlist.t -> Rat.t * int * Label_engine.stats
 (** [(phi, probes, stats)].  [phi = 0] for acyclic circuits (any clock
     period is reachable by pipelining alone).  As in the paper, targets are
@@ -34,11 +35,20 @@ val minimum_ratio :
     ratios have denominators equal to loop register counts, which are small
     in practice, and probes very close to the optimum are the slowest, so a
     modest cap — the top-level flow uses 24 — trades a sliver of exactness
-    for a large speedup). *)
+    for a large speedup).
+
+    [jobs > 1] evaluates feasibility probes speculatively on that many
+    domains: the next probe the search certainly needs runs together with
+    the pending probes of both possible verdicts (BFS over the search's
+    decision tree), and the decisive verdicts replay the sequential
+    descent — the returned [phi] is identical for every [jobs] value;
+    only [probes] (and wall-clock time) change.  [jobs <= 1] is the exact
+    sequential search. *)
 
 val map :
   ?options:Label_engine.options ->
   ?phi_max_den:int ->
+  ?jobs:int ->
   Circuit.Netlist.t ->
   k:int ->
   Circuit.Netlist.t * report
@@ -51,6 +61,7 @@ val map :
 val map_full :
   ?options:Label_engine.options ->
   ?phi_max_den:int ->
+  ?jobs:int ->
   Circuit.Netlist.t ->
   k:int ->
   Circuit.Netlist.t * report * Label_engine.impl option array

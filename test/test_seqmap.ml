@@ -255,6 +255,78 @@ let test_turbosyn_no_worse () =
       Rat.(phi_ts <= phi_tm)
   done
 
+(* The worklist engine — with its snapshot, arena and witness fast paths —
+   must be label-for-label identical to the sweep baseline: same
+   feasibility verdict, same labels (hence the same mapping depth), same
+   iteration count, with PLD on and off and resynthesis on and off. *)
+let test_engine_equivalence () =
+  let sweep o = { o with Label_engine.engine = Label_engine.Sweep } in
+  let check name opts nl phi =
+    let out_w, s_w = Label_engine.run opts nl ~phi in
+    let out_s, s_s = Label_engine.run (sweep opts) nl ~phi in
+    (match (out_w, out_s) with
+    | ( Label_engine.Feasible { labels = lw; _ },
+        Label_engine.Feasible { labels = ls; _ } ) ->
+        Alcotest.(check (array rat)) (name ^ " labels") ls lw;
+        let depth = Array.fold_left Rat.max Rat.zero in
+        Alcotest.check rat (name ^ " mapping depth") (depth ls) (depth lw)
+    | Label_engine.Infeasible, Label_engine.Infeasible -> ()
+    | _ -> Alcotest.fail (name ^ ": engines disagree on feasibility"));
+    Alcotest.(check int)
+      (name ^ " iterations")
+      s_s.Label_engine.iterations s_w.Label_engine.iterations
+  in
+  let rng = Rng.create 555 in
+  let circuits =
+    List.init 6 (fun i ->
+        ( Printf.sprintf "rand%d" i,
+          random_seq rng ~pis:3 ~gates:(10 + i) ~max_arity:3 ))
+    @ [ ("loop6_3", pi_loop 6 3); ("loop5_1", pi_loop 5 1) ]
+  in
+  List.iter
+    (fun (cname, nl) ->
+      List.iter
+        (fun (oname, opts) ->
+          let phi_star, _, _ = Turbomap.minimum_ratio opts nl in
+          List.iter
+            (fun phi ->
+              if Rat.( > ) phi Rat.zero then
+                check
+                  (Format.asprintf "%s/%s phi=%a" cname oname Rat.pp phi)
+                  opts nl phi)
+            [ phi_star; Rat.one; Rat.mul_int phi_star 2 ])
+        [
+          ("turbomap", Label_engine.default_options ~k:4);
+          ( "turbosyn",
+            {
+              (Label_engine.default_options ~k:4) with
+              Label_engine.resynthesize = true;
+            } );
+          ( "nopld",
+            { (Label_engine.default_options ~k:4) with Label_engine.pld = false }
+          );
+        ])
+    circuits
+
+(* Speculative parallel probing must not change the search result: the
+   decisive verdicts replay the sequential descent exactly. *)
+let test_jobs_determinism () =
+  let rng = Rng.create 777 in
+  for i = 1 to 5 do
+    let nl = random_seq rng ~pis:3 ~gates:(10 + i) ~max_arity:3 in
+    let opts =
+      {
+        (Label_engine.default_options ~k:4) with
+        Label_engine.resynthesize = true;
+      }
+    in
+    let phi1, _, _ = Turbomap.minimum_ratio ~jobs:1 opts nl in
+    let phi4, _, _ = Turbomap.minimum_ratio ~jobs:4 opts nl in
+    Alcotest.check rat
+      (Format.asprintf "jobs=4 phi %a = jobs=1 phi %a" Rat.pp phi4 Rat.pp phi1)
+      phi1 phi4
+  done
+
 let test_pld_equivalence () =
   (* PLD on/off must agree on the minimum ratio *)
   let rng = Rng.create 444 in
@@ -395,6 +467,13 @@ let () =
             test_full_expansion_agrees;
           Alcotest.test_case "obs counters on suite workload" `Slow
             test_obs_counters_on_suite;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "worklist/sweep equivalence" `Slow
+            test_engine_equivalence;
+          Alcotest.test_case "parallel jobs determinism" `Slow
+            test_jobs_determinism;
         ] );
       ( "pld",
         [
