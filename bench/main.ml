@@ -499,6 +499,71 @@ let stats_mode () =
     stats_subset;
   Obs.set_enabled false
 
+(* stats --json FILE [--circuit NAME]: one deterministic TurboSYN run,
+   emitted as a turbosyn-stats/1 document.  Counters and span entry
+   counts are exact functions of the circuit and the options (K=5,
+   worklist engine, sequential search), so the output is comparable
+   across machines — the committed BENCH_stats_baseline.json is produced
+   this way and CI gates on it with stats --diff. *)
+let stats_json ~circuit ~out () =
+  match Workloads.Suite.find circuit with
+  | None ->
+      Format.eprintf "unknown circuit %s@." circuit;
+      exit 2
+  | Some spec ->
+      let nl = Workloads.Suite.build spec in
+      Obs.set_enabled true;
+      Obs.reset ();
+      let r =
+        Turbosyn.Synth.run
+          ~options:(Turbosyn.Synth.default_options ~k:5 ())
+          `Turbosyn nl
+      in
+      let extra =
+        [
+          ( "run",
+            Obs.Json.Obj
+              [
+                ("circuit", Obs.Json.Str circuit);
+                ("algo", Obs.Json.Str "turbosyn");
+                ("k", Obs.Json.Int 5);
+                ("phi", Obs.Json.Str (Rat.to_string r.Turbosyn.Synth.phi));
+                ("luts", Obs.Json.Int r.Turbosyn.Synth.luts);
+              ] );
+        ]
+      in
+      (match Obs.Report.write_stats ~extra out with
+      | () -> if out <> "-" then Format.printf "wrote %s@." out
+      | exception Sys_error e ->
+          Format.eprintf "error: %s@." e;
+          exit 2);
+      Obs.set_enabled false
+
+(* stats --diff BASE.json CURRENT.json: regression gate over two stats
+   documents (see Audit.Diff); exit 3 on regression, 2 on bad input. *)
+let stats_diff base_file cur_file =
+  let read f =
+    match In_channel.with_open_bin f In_channel.input_all with
+    | s -> (
+        match Obs.Json.of_string s with
+        | Ok j -> j
+        | Error e ->
+            Format.eprintf "error: %s: %s@." f e;
+            exit 2)
+    | exception Sys_error e ->
+        Format.eprintf "error: %s@." e;
+        exit 2
+  in
+  let base = read base_file in
+  let cur = read cur_file in
+  match Audit.Diff.diff ~base ~cur () with
+  | Error e ->
+      Format.eprintf "error: %s@." e;
+      exit 2
+  | Ok t ->
+      print_string (Audit.Diff.render t);
+      if not t.Audit.Diff.ok then exit 3
+
 (* ------------------------------------------------------------------ *)
 (* Perf mode: the worklist+arena label engine vs the seed sweep engine *)
 (* on the default TurboSYN flow.  Emits BENCH_perf.json (schema        *)
@@ -714,8 +779,10 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  (* flags (consumed by the perf mode): --quick, --jobs N, --out FILE *)
+  (* flags: --quick, --jobs N, --out FILE (perf mode); --json FILE,
+     --circuit NAME, --diff A B (stats mode) *)
   let quick = ref false and jobs = ref 1 and out = ref "BENCH_perf.json" in
+  let json = ref None and circuit = ref "bbara" and diff = ref None in
   let rec strip = function
     | [] -> []
     | "--quick" :: rest ->
@@ -726,6 +793,15 @@ let () =
         strip rest
     | "--out" :: f :: rest ->
         out := f;
+        strip rest
+    | "--json" :: f :: rest ->
+        json := Some f;
+        strip rest
+    | "--circuit" :: c :: rest ->
+        circuit := c;
+        strip rest
+    | "--diff" :: a :: b :: rest ->
+        diff := Some (a, b);
         strip rest
     | a :: rest -> a :: strip rest
   in
@@ -749,7 +825,11 @@ let () =
       | "ablation-cmax" -> ablation_cmax ()
       | "ablation-mdr" -> ablation_mdr ()
       | "ablation-seqmap2" -> ablation_seqmap2 ()
-      | "stats" -> stats_mode ()
+      | "stats" -> (
+          match (!diff, !json) with
+          | Some (a, b), _ -> stats_diff a b
+          | None, Some f -> stats_json ~circuit:!circuit ~out:f ()
+          | None, None -> stats_mode ())
       | "perf" -> perf ~quick:!quick ~jobs:!jobs ~out:!out ()
       | "micro" -> micro ()
       | other -> Format.eprintf "unknown mode %s@." other)

@@ -91,6 +91,20 @@ let trace_arg =
            ~doc:"Record structured events (one ratio-search probe per line) \
                  and write them as JSON lines to $(docv).")
 
+let timeline_arg =
+  Arg.(value & opt (some string) None
+       & info [ "timeline" ] ~docv:"FILE"
+           ~doc:"Record per-phase activations and write them as a Chrome-trace \
+                 JSON document (loads in Perfetto / chrome://tracing) to \
+                 $(docv).")
+
+let audit_arg =
+  Arg.(value & opt (some string) None
+       & info [ "audit" ] ~docv:"FILE"
+           ~doc:"Write the turbosyn-audit/1 evidence document (critical-loop \
+                 certificate, retiming witness, label provenance; see \
+                 doc/AUDIT.md) to $(docv).")
+
 let exit_err msg =
   Format.eprintf "error: %s@." msg;
   exit 1
@@ -142,7 +156,7 @@ let stats_cmd =
 
 let map_cmd =
   let run input workload algo k output verilog verify no_pld no_area multi exact
-      jobs sweep stats trace =
+      jobs sweep stats trace timeline audit =
     match load ~input ~workload with
     | Error e -> exit_err e
     | Ok nl -> (
@@ -159,7 +173,8 @@ let map_cmd =
                else Seqmap.Label_engine.Worklist);
           }
         in
-        if stats <> None || trace <> None then begin
+        (* --trace and --timeline record even without --stats *)
+        if stats <> None || trace <> None || timeline <> None then begin
           Obs.set_enabled true;
           Obs.reset ()
         end;
@@ -215,6 +230,27 @@ let map_cmd =
                 Format.fprintf out "wrote %s (%d events, %d dropped)@." path
                   (Obs.Trace.length ()) (Obs.Trace.dropped ())
             | None -> ());
+            (match timeline with
+            | Some path ->
+                write path (fun () -> Obs.Report.write_timeline path);
+                if path <> "-" then
+                  Format.fprintf out "wrote %s (%d slices)@." path
+                    (Obs.Timeline.length ())
+            | None -> ());
+            (match audit with
+            | Some path -> (
+                match Audit.build ~source:nl ~options r with
+                | Error e -> exit_err (Printf.sprintf "audit: %s" e)
+                | Ok doc ->
+                    write path (fun () ->
+                        let oc = open_out path in
+                        Fun.protect
+                          ~finally:(fun () -> close_out oc)
+                          (fun () ->
+                            output_string oc (Obs.Json.to_pretty_string doc);
+                            output_char oc '\n'));
+                    Format.fprintf out "wrote %s@." path)
+            | None -> ());
             match stats with
             | Some dest ->
                 let extra =
@@ -254,7 +290,93 @@ let map_cmd =
     Term.(
       const run $ input_arg $ workload_arg $ algo_arg $ k_arg $ output_arg
       $ verilog_arg $ verify_arg $ no_pld_arg $ no_area_arg $ multi_arg
-      $ exact_arg $ jobs_arg $ sweep_arg $ stats_arg $ trace_arg)
+      $ exact_arg $ jobs_arg $ sweep_arg $ stats_arg $ trace_arg $ timeline_arg
+      $ audit_arg)
+
+let audit_cmd =
+  let run check input workload algo k sweep out seed =
+    let write path f =
+      match f () with
+      | () -> ()
+      | exception Sys_error msg -> exit_err msg
+      | exception _ -> exit_err (Printf.sprintf "cannot write %s" path)
+    in
+    let report_verdict v =
+      print_string (Audit.render_verdict v);
+      if not v.Audit.v_ok then exit 2
+    in
+    match check with
+    | Some path -> (
+        (* check mode: independently verify an existing document *)
+        match
+          try Ok (In_channel.with_open_bin path In_channel.input_all)
+          with Sys_error e -> Error e
+        with
+        | Error e -> exit_err e
+        | Ok text -> (
+            match Obs.Json.of_string text with
+            | Error e -> exit_err (Printf.sprintf "%s: %s" path e)
+            | Ok doc -> (
+                match Audit.verify ~seed doc with
+                | Error e ->
+                    exit_err
+                      (Printf.sprintf "%s: malformed audit document: %s" path e)
+                | Ok v -> report_verdict v)))
+    | None -> (
+        match load ~input ~workload with
+        | Error e -> exit_err e
+        | Ok nl -> (
+            let options =
+              {
+                (Turbosyn.Synth.default_options ~k ()) with
+                Turbosyn.Synth.engine =
+                  (if sweep then Seqmap.Label_engine.Sweep
+                   else Seqmap.Label_engine.Worklist);
+              }
+            in
+            match Turbosyn.Synth.run ~options algo nl with
+            | exception Invalid_argument msg -> exit_err msg
+            | r -> (
+                match Audit.build ~source:nl ~options r with
+                | Error e -> exit_err e
+                | Ok doc ->
+                    (match out with
+                    | Some path ->
+                        write path (fun () ->
+                            let oc = open_out path in
+                            Fun.protect
+                              ~finally:(fun () -> close_out oc)
+                              (fun () ->
+                                output_string oc
+                                  (Obs.Json.to_pretty_string doc);
+                                output_char oc '\n'));
+                        Format.printf "wrote %s@." path
+                    | None -> ());
+                    (match Audit.verify ~seed doc with
+                    | Error e -> exit_err e
+                    | Ok v -> report_verdict v))))
+  in
+  let check_arg =
+    Arg.(value & opt (some string) None & info [ "check" ] ~docv:"FILE"
+           ~doc:"Verify an existing audit document instead of generating one.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Write the generated audit document to $(docv).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Seed for the simulation-based equivalence check.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Generate (and independently verify) the turbosyn-audit/1 \
+             evidence document: critical-loop certificate, retiming witness \
+             and label provenance (doc/AUDIT.md).  With $(b,--check), verify \
+             an existing document instead.")
+    Term.(
+      const run $ check_arg $ input_arg $ workload_arg $ algo_arg $ k_arg
+      $ sweep_arg $ out_arg $ seed_arg)
 
 let simulate_cmd =
   let run input workload cycles seed =
@@ -315,6 +437,6 @@ let () =
   let doc = "TurboSYN: FPGA synthesis with retiming and pipelining (DAC'97)" in
   let main =
     Cmd.group (Cmd.info "turbosyn_cli" ~doc)
-      [ list_cmd; stats_cmd; map_cmd; simulate_cmd; equiv_cmd ]
+      [ list_cmd; stats_cmd; map_cmd; audit_cmd; simulate_cmd; equiv_cmd ]
   in
   exit (Cmd.eval main)

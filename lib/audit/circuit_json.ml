@@ -1,0 +1,131 @@
+open Circuit
+module J = Obs.Json
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let member name j =
+  match J.member name j with
+  | Some v -> v
+  | None -> fail "missing member %S" name
+
+let str name j =
+  match member name j with
+  | J.Str s -> s
+  | _ -> fail "member %S: expected a string" name
+
+let int name j =
+  match member name j with
+  | J.Int i -> i
+  | _ -> fail "member %S: expected an integer" name
+
+let rat_to_json r = J.Str (Prelude.Rat.to_string r)
+
+let rat_of_json = function
+  | J.Str s -> (
+      match String.index_opt s '/' with
+      | None -> (
+          match int_of_string_opt s with
+          | Some n -> Ok (Prelude.Rat.of_int n)
+          | None -> Error (Printf.sprintf "not a rational: %S" s))
+      | Some i -> (
+          let num = String.sub s 0 i in
+          let den = String.sub s (i + 1) (String.length s - i - 1) in
+          match (int_of_string_opt num, int_of_string_opt den) with
+          | Some n, Some d when d <> 0 -> Ok (Prelude.Rat.make n d)
+          | _ -> Error (Printf.sprintf "not a rational: %S" s)))
+  | _ -> Error "rational: expected a string"
+
+(* ------------------------------------------------------------------ *)
+(* Netlist codec.  Nodes are serialized in id order (ids are creation  *)
+(* order), so decoding replays the creation sequence; PO drivers and   *)
+(* gate fanins may point forward only to gates, which a first pass     *)
+(* reserves before a second pass defines their functions.             *)
+(* ------------------------------------------------------------------ *)
+
+let node_json nl v =
+  let name = Netlist.node_name nl v in
+  match Netlist.kind nl v with
+  | Netlist.Pi -> J.Obj [ ("kind", J.Str "pi"); ("name", J.Str name) ]
+  | Netlist.Po ->
+      let d, w = (Netlist.fanins nl v).(0) in
+      J.Obj
+        [
+          ("kind", J.Str "po");
+          ("name", J.Str name);
+          ("driver", J.Int d);
+          ("weight", J.Int w);
+        ]
+  | Netlist.Gate f ->
+      J.Obj
+        [
+          ("kind", J.Str "gate");
+          ("name", J.Str name);
+          ("arity", J.Int (Logic.Truthtable.arity f));
+          ("bits", J.Str (Printf.sprintf "0x%Lx" (Logic.Truthtable.bits f)));
+          ( "fanins",
+            J.List
+              (Array.to_list
+                 (Array.map
+                    (fun (u, w) -> J.List [ J.Int u; J.Int w ])
+                    (Netlist.fanins nl v))) );
+        ]
+
+let to_json nl =
+  J.Obj
+    [
+      ("name", J.Str (Netlist.name nl));
+      ("nodes", J.List (List.init (Netlist.n nl) (node_json nl)));
+    ]
+
+let pair_of_json i = function
+  | J.List [ J.Int u; J.Int w ] -> (u, w)
+  | _ -> fail "node %d: fanins must be [driver, weight] pairs" i
+
+let of_json j =
+  try
+    let name = str "name" j in
+    let nodes =
+      match member "nodes" j with
+      | J.List l -> l
+      | _ -> fail "member \"nodes\": expected a list"
+    in
+    let nl = Netlist.create ~name () in
+    let gate_defs = ref [] in
+    List.iteri
+      (fun i nj ->
+        let nm = str "name" nj in
+        let id =
+          match str "kind" nj with
+          | "pi" -> Netlist.add_pi ~name:nm nl
+          | "po" ->
+              Netlist.add_po ~name:nm nl ~driver:(int "driver" nj)
+                ~weight:(int "weight" nj)
+          | "gate" ->
+              let g = Netlist.reserve_gate ~name:nm nl in
+              gate_defs := (i, g, nj) :: !gate_defs;
+              g
+          | k -> fail "node %d: unknown kind %S" i k
+        in
+        if id <> i then fail "node %d: id mismatch" i)
+      nodes;
+    List.iter
+      (fun (i, g, nj) ->
+        let arity = int "arity" nj in
+        let bits =
+          match Int64.of_string_opt (str "bits" nj) with
+          | Some b -> b
+          | None -> fail "node %d: bad truth-table bits" i
+        in
+        let fanins =
+          match member "fanins" nj with
+          | J.List l -> Array.of_list (List.map (pair_of_json i) l)
+          | _ -> fail "node %d: expected a fanin list" i
+        in
+        Netlist.define_gate nl g (Logic.Truthtable.create arity bits) fanins)
+      (List.rev !gate_defs);
+    Ok nl
+  with
+  | Bad m -> Error m
+  | Invalid_argument m -> Error m

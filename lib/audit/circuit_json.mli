@@ -1,0 +1,20 @@
+(** JSON codec for netlists and exact rationals, used by the audit
+    document ([doc/AUDIT.md]).
+
+    Nodes are serialized in id order (node ids are creation order), so
+    decoding replays the creation sequence exactly: ids, kinds, names,
+    truth tables and fanin weights round-trip bit for bit.  Generated
+    names ([n<id>]) become explicit on decode, which is invisible to
+    every consumer (names are only used for display and signal
+    matching). *)
+
+val to_json : Circuit.Netlist.t -> Obs.Json.t
+val of_json : Obs.Json.t -> (Circuit.Netlist.t, string) result
+(** Structural errors (missing members, bad kinds, dangling drivers,
+    arity mismatches) are returned as [Error]; decoded circuits satisfy
+    the [Netlist] construction invariants by construction. *)
+
+val rat_to_json : Prelude.Rat.t -> Obs.Json.t
+(** ["p/q"], or ["p"] when the denominator is 1 — exact, never a float. *)
+
+val rat_of_json : Obs.Json.t -> (Prelude.Rat.t, string) result

@@ -1,0 +1,45 @@
+(** Regression gating over two [turbosyn-stats/1] documents.
+
+    Counters and span {e entry counts} are deterministic functions of the
+    input and the algorithm, so they gate: the current value fails when it
+    exceeds [base * ratio + slack].  Span {e seconds} are machine-dependent
+    wall-clock and never gate (they are simply not compared).  A counter
+    present in the baseline but absent from the current document also
+    fails — renames must update the committed baseline deliberately. *)
+
+type thresholds = { ratio : float; slack : int }
+
+val default_thresholds : thresholds
+(** [ratio = 1.25], [slack = 16]: a quarter more work plus a small
+    absolute allowance for tiny baselines. *)
+
+type item = {
+  name : string;
+  base : int;
+  cur : int;
+  limit : int;  (** [base * ratio + slack] under the item's thresholds *)
+  regressed : bool;  (** [cur > limit] *)
+}
+
+type t = {
+  counters : item list;  (** one per baseline counter *)
+  entries : item list;  (** one per baseline span, comparing entry counts *)
+  missing : string list;  (** in the baseline, absent from current *)
+  added : string list;  (** in current, absent from the baseline (no gate) *)
+  ok : bool;
+}
+
+val diff :
+  ?thresholds:thresholds ->
+  ?overrides:(string * thresholds) list ->
+  base:Obs.Json.t ->
+  cur:Obs.Json.t ->
+  unit ->
+  (t, string) result
+(** [overrides] maps counter/span names to their own thresholds (e.g. a
+    noisy counter can be given more headroom).  [Error] on documents that
+    are not both [turbosyn-stats/1]-shaped. *)
+
+val render : t -> string
+(** Human-readable summary: one line per changed or regressed item,
+    terminated by an OK/REGRESSED verdict line. *)

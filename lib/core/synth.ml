@@ -59,6 +59,11 @@ type result = {
   probes : int;
   label_stats : Seqmap.Label_engine.stats option;
   cpu_seconds : float;
+  (* audit evidence (doc/AUDIT.md); [None] for algorithms that do not run
+     the label engine (FlowSYN-s) or when realization fails *)
+  labels : Rat.t array option;
+  prov : Seqmap.Label_engine.prov option array option;
+  lags : int array option;
 }
 
 let engine_options o ~resynthesize =
@@ -76,18 +81,19 @@ let engine_options o ~resynthesize =
     engine = o.engine;
   }
 
-let finish algo o ~mapped ~phi ~resyn_nodes ~probes ~label_stats ~cpu_seconds =
+let finish ?labels ?prov algo o ~mapped ~phi ~resyn_nodes ~probes ~label_stats
+    ~cpu_seconds =
   let luts_before_area = List.length (Netlist.gates mapped) in
   let mapped =
     if o.area_recovery then
       Obs.Span.time s_area (fun () -> Area.reduce mapped ~k:o.k)
     else mapped
   in
-  let realized, clock_period, latency =
+  let realized, clock_period, latency, lags =
     Obs.Span.time s_realize (fun () ->
-        match Seqmap.Turbomap.realize mapped with
-        | Some (r, p, l) -> (Some r, p, l)
-        | None -> (None, -1, 0))
+        match Seqmap.Turbomap.realize_full mapped with
+        | Some (r, p, l, lag) -> (Some r, p, l, Some lag)
+        | None -> (None, -1, 0, None))
   in
   {
     algo;
@@ -102,6 +108,9 @@ let finish algo o ~mapped ~phi ~resyn_nodes ~probes ~label_stats ~cpu_seconds =
     probes;
     label_stats;
     cpu_seconds;
+    labels;
+    prov;
+    lags;
   }
 
 let run_seq algo o nl ~resynthesize =
@@ -121,6 +130,7 @@ let run_seq algo o nl ~resynthesize =
   in
   let cpu = Sys.time () -. t0 in
   finish algo o ~mapped ~phi:report.Seqmap.Turbomap.phi
+    ~labels:report.Seqmap.Turbomap.labels ~prov:report.Seqmap.Turbomap.prov
     ~resyn_nodes:report.Seqmap.Turbomap.stats.Seqmap.Label_engine.decompositions
     ~probes:report.Seqmap.Turbomap.probes
     ~label_stats:(Some report.Seqmap.Turbomap.stats)

@@ -65,6 +65,15 @@ type result = {
   probes : int;
   label_stats : Seqmap.Label_engine.stats option;  (** None for [`Flowsyn_s] *)
   cpu_seconds : float;
+  labels : Prelude.Rat.t array option;
+      (** converged labels of the final label run at [phi], indexed by
+          node of the {e source} netlist; [None] for [`Flowsyn_s] *)
+  prov : Seqmap.Label_engine.prov option array option;
+      (** per-gate implementation provenance of the final label run
+          (audit evidence, [doc/AUDIT.md]); [None] for [`Flowsyn_s] *)
+  lags : int array option;
+      (** the retiming lag vector achieving [clock_period], indexed by
+          node of [mapped]; [None] when realization failed *)
 }
 
 val run : ?options:options -> algo -> Circuit.Netlist.t -> result

@@ -167,6 +167,111 @@ let max_ratio ~n ~edges =
         | Ratio a, Ratio b -> Ratio (Rat.max a b))
       No_cycle subs
 
+(* ---------------------------------------------------------------- *)
+(* Critical-cycle extraction (the audit layer's lower-bound witness) *)
+(* ---------------------------------------------------------------- *)
+
+type cycle = {
+  c_nodes : int list;
+  c_edges : edge list;
+  c_delay : int;
+  c_weight : int;
+  c_ratio : Rat.t;
+}
+
+(* Longest-path potentials under lengths [q*delay - p*weight] from an
+   all-zero start.  Converges because no cycle is positive at the maximum
+   ratio; at the fixpoint every edge satisfies x(src) + len <= x(dst). *)
+let potentials n edges ~p ~q =
+  let len e = (q * e.delay) - (p * e.weight) in
+  let dist = Array.make n 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun e ->
+        if dist.(e.src) + len e > dist.(e.dst) then begin
+          dist.(e.dst) <- dist.(e.src) + len e;
+          changed := true
+        end)
+      edges
+  done;
+  dist
+
+let critical_cycle ~n ~edges =
+  match max_ratio ~n ~edges with
+  | No_cycle -> `No_cycle
+  | Infinite -> `Infinite
+  | Ratio r ->
+      let p = Rat.num r and q = Rat.den r in
+      let dist = potentials n edges ~p ~q in
+      (* Tight edges: x(src) + len = x(dst).  Any cycle of the tight
+         subgraph has total length 0, i.e. q*D = p*W, so its ratio is
+         exactly [r] whenever W > 0; the maximizing cycle is all-tight
+         (summing the fixpoint inequality around it gives equality
+         edge-wise), so such a cycle exists. *)
+      let tight =
+        Array.of_list
+          (List.filter
+             (fun e -> dist.(e.src) + (q * e.delay) - (p * e.weight) = dist.(e.dst))
+             (Array.to_list edges))
+      in
+      let succ = Array.make n [] in
+      Array.iter (fun e -> succ.(e.src) <- e :: succ.(e.src)) tight;
+      let scc = Scc.compute ~n ~succ:(fun v -> List.map (fun e -> e.dst) succ.(v)) in
+      let same_comp e = scc.Scc.comp.(e.src) = scc.Scc.comp.(e.dst) in
+      (* Prefer closing a cycle through a registered edge so the witness
+         has positive weight (always possible when r is finite: a
+         zero-weight tight cycle would be a combinational loop). *)
+      let seed =
+        match Array.to_list tight |> List.filter (fun e -> same_comp e && e.weight > 0) with
+        | e :: _ -> Some e
+        | [] -> (
+            match Array.to_list tight |> List.filter same_comp with
+            | e :: _ -> Some e
+            | [] -> None)
+      in
+      (match seed with
+      | None -> `No_cycle (* unreachable: r came from a real cycle *)
+      | Some e0 ->
+          (* BFS from e0.dst back to e0.src over tight edges of the same
+             SCC; the path plus e0 closes the critical cycle *)
+          let prev = Array.make n None in
+          let seen = Array.make n false in
+          let queue = Queue.create () in
+          seen.(e0.dst) <- true;
+          Queue.add e0.dst queue;
+          while not (Queue.is_empty queue) do
+            let v = Queue.pop queue in
+            List.iter
+              (fun e ->
+                if same_comp e && not seen.(e.dst) then begin
+                  seen.(e.dst) <- true;
+                  prev.(e.dst) <- Some e;
+                  Queue.add e.dst queue
+                end)
+              succ.(v)
+          done;
+          let rec walk v acc =
+            if v = e0.dst then acc
+            else
+              match prev.(v) with
+              | Some e -> walk e.src (e :: acc)
+              | None -> assert false (* SCC: e0.src reachable from e0.dst *)
+          in
+          let path = if e0.src = e0.dst then [] else walk e0.src [] in
+          let cyc = e0 :: path in
+          let d = List.fold_left (fun a e -> a + e.delay) 0 cyc in
+          let w = List.fold_left (fun a e -> a + e.weight) 0 cyc in
+          `Cycle
+            {
+              c_nodes = List.map (fun e -> e.src) cyc;
+              c_edges = cyc;
+              c_delay = d;
+              c_weight = w;
+              c_ratio = (if w > 0 then Rat.make d w else r);
+            })
+
 let max_ratio_float ~n ~edges ~epsilon =
   validate edges;
   let subs = scc_subproblems n edges in

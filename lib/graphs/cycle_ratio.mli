@@ -30,6 +30,24 @@ val exceeds : n:int -> edges:edge array -> Prelude.Rat.t -> bool
 (** [exceeds ~n ~edges phi] is true when some cycle has ratio strictly
     greater than [phi] (including zero-weight positive-delay cycles). *)
 
+type cycle = {
+  c_nodes : int list;  (** edge sources, in cycle order *)
+  c_edges : edge list;  (** consecutive ([dst] meets the next [src]) *)
+  c_delay : int;  (** total delay around the cycle *)
+  c_weight : int;  (** total register count around the cycle *)
+  c_ratio : Prelude.Rat.t;  (** [c_delay / c_weight], normalized *)
+}
+
+val critical_cycle :
+  n:int -> edges:edge array -> [ `No_cycle | `Infinite | `Cycle of cycle ]
+(** A concrete cycle achieving the maximum delay-to-register ratio — the
+    machine-checkable witness that no retiming of the graph can beat
+    [c_ratio] (the audit layer's lower-bound certificate).  Extraction is
+    independent of the search: longest-path potentials at the maximum
+    ratio expose the tight subgraph, and any registered cycle inside it is
+    critical.
+    @raise Invalid_argument if an edge has negative delay or weight. *)
+
 val max_ratio_float : n:int -> edges:edge array -> epsilon:float -> result
 (** Plain float binary search to precision [epsilon] — the baseline the
     benchmarks compare the exact search against.  Returns [Ratio] of a

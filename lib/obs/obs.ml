@@ -2,6 +2,7 @@ module Json = Json
 module Counter = Counter
 module Span = Span
 module Trace = Trace
+module Timeline = Timeline
 module Report = Report
 
 let set_enabled = State.set_enabled
@@ -10,4 +11,5 @@ let enabled = State.enabled
 let reset () =
   Counter.reset_all ();
   Span.reset_all ();
-  Trace.clear ()
+  Trace.clear ();
+  Timeline.clear ()

@@ -30,6 +30,7 @@ module Json = Json
 module Counter = Counter
 module Span = Span
 module Trace = Trace
+module Timeline = Timeline
 module Report = Report
 
 val set_enabled : bool -> unit
@@ -40,5 +41,10 @@ val enabled : unit -> bool
 (** Current state of the master switch. *)
 
 val reset : unit -> unit
-(** Zero all counters and spans and clear the trace buffer.  Call
-    between measured runs; registration is preserved. *)
+(** Zero all counters and spans and clear the trace and timeline buffers
+    (including their dropped-event counts and the trace sequence numbers).
+    Call between measured runs; registration is preserved.  Nothing in the
+    reset can fail, so the state is never partially cleared.  A span that
+    is {e entered} when reset runs loses its in-flight activation: its
+    pending [exit]s are ignored (depth was zeroed) and [entries] counts
+    only activations that both started and completed after the reset. *)

@@ -34,3 +34,77 @@ let write_stats ?extra dest =
         output_string oc s;
         output_char oc '\n')
   end
+
+(* Chrome-trace ("Trace Event Format") document over the timeline slices
+   and the event ring; loads in Perfetto and chrome://tracing.  One
+   process/track; "X" complete events for span activations (they nest in
+   time on the single thread), "i" instants for trace events.  Timestamps
+   are microseconds relative to the earliest recorded point. *)
+let timeline_json () =
+  let slices = Timeline.slices () in
+  let events = Trace.events () in
+  let t0 =
+    List.fold_left
+      (fun acc (s : Timeline.slice) -> Float.min acc s.start)
+      (List.fold_left
+         (fun acc (e : Trace.event) -> Float.min acc e.at)
+         infinity events)
+      slices
+  in
+  let t0 = if Float.is_finite t0 then t0 else 0. in
+  let us t = (t -. t0) *. 1e6 in
+  let common name ph =
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str ph);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+    ]
+  in
+  let meta =
+    Json.Obj
+      (common "process_name" "M"
+      @ [ ("args", Json.Obj [ ("name", Json.Str "turbosyn") ]) ])
+  in
+  let slice_events =
+    List.map
+      (fun (s : Timeline.slice) ->
+        Json.Obj
+          (common s.Timeline.name "X"
+          @ [
+              ("cat", Json.Str "span");
+              ("ts", Json.Float (us s.Timeline.start));
+              ("dur", Json.Float ((s.Timeline.stop -. s.Timeline.start) *. 1e6));
+            ]))
+      slices
+  in
+  let instant_events =
+    List.map
+      (fun (e : Trace.event) ->
+        Json.Obj
+          (common e.Trace.name "i"
+          @ [
+              ("cat", Json.Str "event");
+              ("ts", Json.Float (us e.Trace.at));
+              ("s", Json.Str "t");
+              ("args", Json.Obj (("seq", Json.Int e.Trace.seq) :: e.Trace.fields));
+            ]))
+      events
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List ((meta :: slice_events) @ instant_events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write_timeline dest =
+  let s = Json.to_string (timeline_json ()) in
+  if dest = "-" then print_endline s
+  else begin
+    let oc = open_out dest in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc s;
+        output_char oc '\n')
+  end

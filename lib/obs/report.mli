@@ -32,3 +32,15 @@ val stats_json : ?extra:(string * Json.t) list -> unit -> Json.t
 val write_stats : ?extra:(string * Json.t) list -> string -> unit
 (** [write_stats dest] pretty-prints {!stats_json} to the file [dest],
     or to stdout when [dest] is ["-"]. *)
+
+val timeline_json : unit -> Json.t
+(** Chrome-trace ("Trace Event Format") document over the {!Timeline}
+    slice ring and the {!Trace} event ring: an object with a
+    [traceEvents] array (one ["X"] complete event per recorded span
+    activation, one ["i"] instant per trace event, timestamps in
+    microseconds relative to the earliest record) that loads directly in
+    Perfetto or [chrome://tracing]. *)
+
+val write_timeline : string -> unit
+(** [write_timeline dest] writes {!timeline_json} (compact) to the file
+    [dest], or to stdout when [dest] is ["-"]. *)

@@ -30,8 +30,10 @@ let exit s =
   if State.on () && s.depth > 0 then begin
     s.depth <- s.depth - 1;
     if s.depth = 0 then begin
-      s.total <- s.total +. (Prelude.Timer.wall () -. s.started);
-      s.entries <- s.entries + 1
+      let now = Prelude.Timer.wall () in
+      s.total <- s.total +. (now -. s.started);
+      s.entries <- s.entries + 1;
+      Timeline.record s.name ~start:s.started ~stop:now
     end
   end
 

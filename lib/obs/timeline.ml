@@ -1,0 +1,39 @@
+(* Per-entry span slices for the Chrome-trace/Perfetto timeline export.
+
+   Spans only keep aggregates (total seconds, entry count); a timeline
+   needs every completed outermost activation as an interval.  Span.exit
+   records one slice here per outermost completion while the master
+   switch is on.  Bounded ring, same shape as Trace: oldest slices are
+   dropped and counted once the capacity is reached. *)
+
+type slice = { name : string; start : float; stop : float }
+
+let default_capacity = 65536
+let capacity = ref default_capacity
+let buffer : slice Queue.t = Queue.create ()
+let dropped_count = ref 0
+
+let clear () =
+  Queue.clear buffer;
+  dropped_count := 0
+
+let set_capacity n =
+  if n < 0 then invalid_arg "Obs.Timeline.set_capacity: negative";
+  capacity := n;
+  while Queue.length buffer > n do
+    ignore (Queue.pop buffer);
+    incr dropped_count
+  done
+
+let record name ~start ~stop =
+  if State.on () && !capacity > 0 then begin
+    if Queue.length buffer >= !capacity then begin
+      ignore (Queue.pop buffer);
+      incr dropped_count
+    end;
+    Queue.add { name; start; stop } buffer
+  end
+
+let slices () = List.rev (Queue.fold (fun acc s -> s :: acc) [] buffer)
+let length () = Queue.length buffer
+let dropped () = !dropped_count

@@ -1,0 +1,26 @@
+(** Completed span activations as timeline slices.
+
+    {!Span.exit} records one slice per completed {e outermost} span entry
+    while collection is enabled, into a bounded ring (default capacity
+    65536; oldest slices are dropped and counted).  {!Report.timeline_json}
+    merges these slices with the {!Trace} event ring into a Chrome-trace
+    document that loads in Perfetto / [chrome://tracing]. *)
+
+type slice = { name : string; start : float; stop : float }
+(** [start]/[stop] are {!Prelude.Timer.wall} seconds (monotonic clock,
+    arbitrary epoch — only differences are meaningful). *)
+
+val record : string -> start:float -> stop:float -> unit
+(** No-op while collection is disabled or the capacity is 0. *)
+
+val slices : unit -> slice list
+(** Oldest first. *)
+
+val length : unit -> int
+val dropped : unit -> int
+
+val set_capacity : int -> unit
+(** @raise Invalid_argument on a negative capacity. *)
+
+val clear : unit -> unit
+(** Drop all slices and zero the dropped counter (part of {!Obs.reset}). *)

@@ -62,8 +62,31 @@ type stats = {
   mutable pld_hits : int;
 }
 
+(* Label provenance (doc/AUDIT.md): which mechanism justified each gate's
+   final implementation at the converged labels, captured by the harvest
+   pass for the audit layer's certificate. *)
+type prov_source =
+  | From_cut_test  (* fresh K-feasible-cut flow test passed *)
+  | From_snapshot  (* snapshot revalidation answered the test (Worklist) *)
+  | From_recorded  (* iteration-recorded passing cut reused (Worklist) *)
+  | From_resyn of int  (* decomposition rescue at threshold l(v) - h *)
+
+type prov = {
+  p_source : prov_source;
+  p_engine : engine;
+  p_cut : (int * int) array;  (* implementation inputs: (driver, regs) *)
+  p_height : Rat.t;  (* realized arrival of the implementation root *)
+  p_label : Rat.t;  (* converged label l(v) the height stays within *)
+  p_iteration : int;  (* iteration index of the last label change; 0 if
+                         the initial label survived *)
+}
+
 type outcome =
-  | Feasible of { labels : Rat.t array; impls : impl option array }
+  | Feasible of {
+      labels : Rat.t array;
+      impls : impl option array;
+      prov : prov option array;
+    }
   | Infeasible
 
 exception Diverged
@@ -153,6 +176,9 @@ type ctx = {
   (* per-gate expansion snapshots, slot [h] for resynthesis attempt
      threshold [target - h]; slot 0 doubles as the K-cut test's *)
   snaps : snap option array array;
+  (* global iteration index of each gate's last label change (0 = the
+     initial label survived); reported as provenance *)
+  last_change : int array;
 }
 
 let big_l ctx v =
@@ -436,7 +462,7 @@ let resyn_test ?ex0 ?mc0 ?snap0 ctx v ~target =
                                 ~multi:opts.multi_output man ~f ~vars ~arrivals
                                 ~k:opts.k)))
                 with
-                | `Impl impl -> Some impl
+                | `Impl impl -> Some (impl, h)
                 | _ -> try_cuts rest)
           in
           try_cuts candidates
@@ -463,7 +489,7 @@ let resyn_test ?ex0 ?mc0 ?snap0 ctx v ~target =
                       | `Miss -> `Miss)
                 in
                 (match try_pairs pairs with
-                | `Impl impl -> Some impl
+                | `Impl impl -> Some (impl, h)
                 | `No -> attempt (h + 1)
                 | `Miss -> full ()))
       | None -> full ()
@@ -518,6 +544,7 @@ let update ctx bound v =
     | _ -> ());
     if Rat.( > ) l_new l_cur then begin
       labels.(v) <- l_new;
+      ctx.last_change.(v) <- ctx.stats.iterations;
       (match ctx.scaled with
       | Some sc -> sc.slab.(v) <- scaled_of_rat sc l_new
       | None -> ());
@@ -528,11 +555,39 @@ let update ctx bound v =
 
 (* Post-convergence pass: record an implementation for every gate, reusing
    the last passing cut found during iteration when it is still valid
-   under the converged labels (height within the label, width within K). *)
+   under the converged labels (height within the label, width within K).
+   Alongside each implementation it records its provenance — which
+   mechanism justified it — for the audit layer. *)
 let harvest ctx =
   let { nl; labels; phi; opts; _ } = ctx in
   let n = Netlist.n nl in
   let impls = Array.make n None in
+  let prov = Array.make n None in
+  let arrival (u, w) = Rat.sub labels.(u) (Rat.mul_int phi w) in
+  let impl_height = function
+    | Cut cut ->
+        if Array.length cut = 0 then Rat.one
+        else
+          Rat.add Rat.one
+            (Array.fold_left
+               (fun acc p -> Rat.max acc (arrival p))
+               (arrival cut.(0)) cut)
+    | Resyn (t, inputs) ->
+        Decomp.Decompose.tree_level ~arrivals:(Array.map arrival inputs) t
+  in
+  let set v impl source =
+    impls.(v) <- Some impl;
+    prov.(v) <-
+      Some
+        {
+          p_source = source;
+          p_engine = opts.engine;
+          p_cut = (match impl with Cut c -> c | Resyn (_, c) -> c);
+          p_height = impl_height impl;
+          p_label = labels.(v);
+          p_iteration = ctx.last_change.(v);
+        }
+  in
   let ok = ref true in
   for v = 0 to n - 1 do
     if !ok && Netlist.is_gate nl v then begin
@@ -554,28 +609,28 @@ let harvest ctx =
         | _ -> None
       in
       match reused with
-      | Some cut -> impls.(v) <- Some (Cut cut)
+      | Some cut -> set v (Cut cut) From_recorded
       | None -> (
           let fallback ?ex0 ?mc0 ?snap0 () =
             match
               if opts.resynthesize then resyn_test ?ex0 ?mc0 ?snap0 ctx v ~target
               else None
             with
-            | Some impl -> impls.(v) <- Some impl
+            | Some (impl, h) -> set v impl (From_resyn h)
             | None -> ok := false
           in
           match snap_slot ctx v 0 ~threshold:target with
           | Some sn -> (
               match sn.s_pass with
-              | Some pairs -> impls.(v) <- Some (Cut pairs)
+              | Some pairs -> set v (Cut pairs) From_snapshot
               | None -> fallback ~snap0:sn ())
           | None -> (
               match kcut_test ctx v ~threshold:target with
-              | _, Some pairs, _ -> impls.(v) <- Some (Cut pairs)
+              | _, Some pairs, _ -> set v (Cut pairs) From_cut_test
               | ex, None, mc0 -> fallback ~ex0:ex ?mc0 ()))
     end
   done;
-  if !ok then Some impls else None
+  if !ok then Some (impls, prov) else None
 
 (* ------------------------------------------------------------------ *)
 (* Worklist scheduling state: dirty flags for the current and the next  *)
@@ -812,6 +867,7 @@ let run ?cache opts nl ~phi =
          else None);
       note = None;
       recorded = Array.make n None;
+      last_change = Array.make n 0;
       snaps =
         (if arenas then
            Array.init n (fun _ -> Array.make (opts.resyn_depth + 1) None)
@@ -875,7 +931,7 @@ let run ?cache opts nl ~phi =
   if not !feasible then (Infeasible, stats)
   else
     match harvest ctx with
-    | Some impls -> (Feasible { labels; impls }, stats)
+    | Some (impls, prov) -> (Feasible { labels; impls; prov }, stats)
     | None ->
         (* should not happen: convergence guarantees an implementation *)
         (Infeasible, stats)

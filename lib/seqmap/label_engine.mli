@@ -72,8 +72,43 @@ type stats = {
   mutable pld_hits : int;  (** SCCs proven infeasible by isolation *)
 }
 
+(** Provenance of one gate's harvested implementation: which mechanism
+    justified it under the converged labels.  Produced for the audit
+    layer ([doc/AUDIT.md]); the independent verifier re-derives the
+    claimed facts from the cut alone. *)
+type prov_source =
+  | From_cut_test  (** fresh K-feasible-cut flow test passed at harvest *)
+  | From_snapshot
+      (** a validated expansion snapshot answered the harvest test
+          without rebuilding (Worklist engine) *)
+  | From_recorded
+      (** the last passing cut recorded during iteration was still valid
+          under the converged labels (Worklist engine) *)
+  | From_resyn of int
+      (** decomposition rescue; the payload is the attempt index [h]
+          (candidate cuts taken at threshold [l(v) - h]) *)
+
+type prov = {
+  p_source : prov_source;
+  p_engine : engine;  (** engine that ran the harvest *)
+  p_cut : (int * int) array;
+      (** the implementation's sequential inputs, (driver, registers) *)
+  p_height : Rat.t;
+      (** realized sequential arrival of the implementation root:
+          [1 + max (l(u) - φ·w)] for a cut, the decomposition tree level
+          for a rescue; always [<= p_label] *)
+  p_label : Rat.t;  (** the gate's converged label [l(v)] *)
+  p_iteration : int;
+      (** global iteration index of the gate's last label change; [0]
+          when the initial label survived *)
+}
+
 type outcome =
-  | Feasible of { labels : Rat.t array; impls : impl option array }
+  | Feasible of {
+      labels : Rat.t array;
+      impls : impl option array;
+      prov : prov option array;  (** defined exactly where [impls] is *)
+    }
   | Infeasible
 
 type resyn_cache

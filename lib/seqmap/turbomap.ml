@@ -20,6 +20,8 @@ type report = {
   clock_period : int;
   probes : int;
   stats : Label_engine.stats;
+  labels : Rat.t array;
+  prov : Label_engine.prov option array;
 }
 
 let add_stats (acc : Label_engine.stats) (s : Label_engine.stats) =
@@ -215,7 +217,7 @@ let minimum_ratio ?cache ?phi_max_den ?(jobs = 1) opts nl =
         | None -> assert false
       end
 
-let realize mapped =
+let realize_full mapped =
   match Retime.Pipeline.period_lower_bound mapped with
   | `Infinite -> None
   | `Period p ->
@@ -229,7 +231,12 @@ let realize mapped =
         else r
       in
       let out = Retime.Retiming.apply mapped ~r in
-      Some (out, period, Retime.Pipeline.latency mapped ~r)
+      Some (out, period, Retime.Pipeline.latency mapped ~r, r)
+
+let realize mapped =
+  Option.map
+    (fun (out, period, latency, _r) -> (out, period, latency))
+    (realize_full mapped)
 
 let map_full ?options ?phi_max_den ?jobs nl ~k =
   let opts =
@@ -248,7 +255,7 @@ let map_full ?options ?phi_max_den ?jobs nl ~k =
   | Label_engine.Infeasible ->
       (* cannot happen: phi came back feasible from the search *)
       assert false
-  | Label_engine.Feasible { impls; labels = _ } ->
+  | Label_engine.Feasible { impls; labels; prov } ->
       let mapped =
         Obs.Span.time s_mapgen (fun () ->
             let mapped = Mapgen.generate nl ~impls in
@@ -269,6 +276,8 @@ let map_full ?options ?phi_max_den ?jobs nl ~k =
           clock_period;
           probes = probes + 1;
           stats;
+          labels;
+          prov;
         },
         impls )
 

@@ -19,6 +19,10 @@ type report = {
   clock_period : int;  (** achieved by retiming + pipelining the result *)
   probes : int;  (** feasibility probes during the binary search *)
   stats : Label_engine.stats;  (** accumulated over all probes *)
+  labels : Rat.t array;  (** converged labels of the final run at [phi] *)
+  prov : Label_engine.prov option array;
+      (** per-gate implementation provenance of the final run (defined
+          exactly on gates of the {e source} netlist) *)
 }
 
 val minimum_ratio :
@@ -72,3 +76,10 @@ val realize :
   Circuit.Netlist.t -> (Circuit.Netlist.t * int * int) option
 (** Retime + pipeline a mapped netlist to its loop-bound clock period:
     [(circuit, period, latency)]; [None] on a combinational loop. *)
+
+val realize_full :
+  Circuit.Netlist.t -> (Circuit.Netlist.t * int * int * int array) option
+(** Like {!realize}, also returning the lag vector [r] (the legal
+    retiming/pipelining register assignment, indexed by node of the
+    {e mapped} netlist) that achieves the period — the audit layer's
+    upper-bound witness. *)

@@ -1,0 +1,343 @@
+(* Tests for the audit layer: netlist/rational JSON codecs, build +
+   independent verification of audit documents (both label engines),
+   rejection of mutated certificates, stats-diff regression gating, and
+   the Chrome-trace timeline document shape. *)
+
+module J = Obs.Json
+module Netlist = Circuit.Netlist
+module Rat = Prelude.Rat
+
+let suite name =
+  match Workloads.Suite.find name with
+  | Some spec -> Workloads.Suite.build spec
+  | None -> Alcotest.failf "unknown suite circuit %s" name
+
+let run_audit ?(engine = Seqmap.Label_engine.Worklist) name =
+  let nl = suite name in
+  let options =
+    { (Turbosyn.Synth.default_options ~k:5 ()) with engine } in
+  let r = Turbosyn.Synth.run ~options `Turbosyn nl in
+  match Audit.build ~source:nl ~options r with
+  | Ok doc -> doc
+  | Error e -> Alcotest.failf "%s: audit build failed: %s" name e
+
+let verify_ok doc =
+  match Audit.verify ~seed:7 doc with
+  | Ok v -> v.Audit.v_ok
+  | Error e -> Alcotest.failf "verify errored: %s" e
+
+(* Replace member [k] of the object at path [path] using [f]. *)
+let rec patch path f doc =
+  match (path, doc) with
+  | [], v -> f v
+  | k :: rest, J.Obj members ->
+      J.Obj
+        (List.map
+           (fun (k', v) -> if k' = k then (k', patch rest f v) else (k', v))
+           members)
+  | _ -> Alcotest.fail "patch: path does not lead through objects"
+
+(* ---------------------------------------------------------------- *)
+(* Codecs                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let test_netlist_codec () =
+  let nl = suite "bbara" in
+  let j = Audit.Circuit_json.to_json nl in
+  (* the document survives the printer and parser *)
+  let j' =
+    match J.of_string (J.to_string j) with
+    | Ok v -> v
+    | Error m -> Alcotest.failf "netlist json does not parse: %s" m
+  in
+  Alcotest.(check bool) "print/parse round trip" true (J.equal j j');
+  (* decoding and re-encoding reproduces the document bit for bit *)
+  match Audit.Circuit_json.of_json j' with
+  | Error m -> Alcotest.failf "decode failed: %s" m
+  | Ok nl' ->
+      (match Netlist.validate ~k:6 nl' with
+      | [] -> ()
+      | e :: _ ->
+          Alcotest.failf "decoded netlist invalid: %s"
+            (Format.asprintf "%a" Netlist.pp_error e));
+      Alcotest.(check bool) "re-encode fixpoint" true
+        (J.equal j (Audit.Circuit_json.to_json nl'));
+      let s = Netlist.stats nl and s' = Netlist.stats nl' in
+      Alcotest.(check int) "gate count" s.Netlist.n_gates s'.Netlist.n_gates
+
+let test_netlist_codec_rejects () =
+  List.iter
+    (fun bad ->
+      match Audit.Circuit_json.of_json bad with
+      | Ok _ -> Alcotest.fail "accepted a malformed netlist document"
+      | Error _ -> ())
+    [
+      J.Null;
+      J.Obj [ ("name", J.Str "x") ];
+      J.Obj [ ("name", J.Str "x"); ("nodes", J.Int 3) ];
+      (* gate with a dangling fanin *)
+      J.Obj
+        [
+          ("name", J.Str "x");
+          ( "nodes",
+            J.List
+              [
+                J.Obj
+                  [
+                    ("kind", J.Str "gate");
+                    ("name", J.Str "g");
+                    ("arity", J.Int 1);
+                    ("bits", J.Str "0x2");
+                    ("fanins", J.List [ J.List [ J.Int 9; J.Int 0 ] ]);
+                  ];
+              ] );
+        ];
+    ]
+
+let test_rat_codec () =
+  List.iter
+    (fun r ->
+      match Audit.Circuit_json.(rat_of_json (rat_to_json r)) with
+      | Ok r' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "round trip %s" (Rat.to_string r))
+            true (Rat.equal r r')
+      | Error m -> Alcotest.failf "rat decode failed: %s" m)
+    [ Rat.zero; Rat.one; Rat.make 7 3; Rat.make (-5) 4; Rat.of_int 123 ];
+  List.iter
+    (fun bad ->
+      match Audit.Circuit_json.rat_of_json bad with
+      | Ok _ -> Alcotest.fail "accepted a malformed rational"
+      | Error _ -> ())
+    [ J.Str ""; J.Str "a/b"; J.Str "1/0"; J.Int 3; J.Null ]
+
+(* ---------------------------------------------------------------- *)
+(* Build + verify                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let test_verify_worklist () =
+  let doc = run_audit "bbara" in
+  Alcotest.(check bool) "bbara worklist accepted" true (verify_ok doc)
+
+let test_verify_sweep () =
+  let doc = run_audit ~engine:Seqmap.Label_engine.Sweep "bbara" in
+  Alcotest.(check bool) "bbara sweep accepted" true (verify_ok doc)
+
+let test_verify_second_circuit () =
+  let doc = run_audit "dk16" in
+  Alcotest.(check bool) "dk16 accepted" true (verify_ok doc)
+
+(* ---------------------------------------------------------------- *)
+(* Mutation rejection                                               *)
+(* ---------------------------------------------------------------- *)
+
+let failed_check doc =
+  match Audit.verify ~seed:7 doc with
+  | Ok v ->
+      if v.Audit.v_ok then Alcotest.fail "mutated document accepted";
+      let bad =
+        List.filter (fun c -> not c.Audit.c_ok) v.Audit.v_checks in
+      List.map (fun c -> c.Audit.c_name) bad
+  | Error _ -> [ "malformed" ]
+
+let test_reject_mutated_certificate () =
+  let doc = run_audit "bbara" in
+  match J.member "certificate" doc with
+  | None | Some J.Null ->
+      (* bbara has cycles through FFs; the certificate should exist *)
+      Alcotest.fail "no certificate to mutate"
+  | Some _ ->
+      (* claim one fewer register on the loop: the ratio no longer
+         matches delay/weight, or the edge sums break *)
+      let doc' =
+        patch [ "certificate" ]
+          (function
+            | J.Obj ms ->
+                J.Obj
+                  (List.map
+                     (function
+                       | "weight", J.Int w -> ("weight", J.Int (w + 1))
+                       | m -> m)
+                     ms)
+            | _ -> Alcotest.fail "certificate not an object")
+          doc
+      in
+      let bad = failed_check doc' in
+      Alcotest.(check bool) "certificate check fires" true
+        (List.mem "certificate" bad)
+
+let test_reject_mutated_label () =
+  let doc = run_audit "bbara" in
+  let doc' =
+    patch [ "labels" ]
+      (function
+        | J.List (l :: rest) ->
+            (* labels are PI-first; bump the first gate label instead of
+               a PI to hit the fixpoint rather than the pi-zero check *)
+            let bump = function
+              | J.Str s ->
+                  (match Audit.Circuit_json.rat_of_json (J.Str s) with
+                  | Ok r ->
+                      Audit.Circuit_json.rat_to_json
+                        (Rat.add r (Rat.of_int 1000))
+                  | Error m -> Alcotest.failf "label decode: %s" m)
+              | _ -> Alcotest.fail "label not a string"
+            in
+            J.List (bump l :: rest)
+        | _ -> Alcotest.fail "labels not a list")
+      doc
+  in
+  let bad = failed_check doc' in
+  Alcotest.(check bool) "labels or provenance check fires" true
+    (List.mem "labels-fixpoint" bad || List.mem "provenance" bad)
+
+let test_reject_mutated_witness () =
+  let doc = run_audit "bbara" in
+  let doc' =
+    patch [ "witness" ]
+      (function
+        | J.Obj ms ->
+            J.Obj
+              (List.map
+                 (function
+                   | "period", J.Int p -> ("period", J.Int (p - 1))
+                   | m -> m)
+                 ms)
+        | _ -> Alcotest.fail "witness not an object")
+      doc
+  in
+  let bad = failed_check doc' in
+  Alcotest.(check bool) "witness check fires" true (List.mem "witness" bad)
+
+(* ---------------------------------------------------------------- *)
+(* Stats diff                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let with_obs f =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset ();
+      Obs.set_enabled false)
+    f
+
+let test_diff_gating () =
+  with_obs (fun () ->
+      let c = Obs.Counter.make "test.diff-counter" in
+      Obs.Counter.add c 100;
+      Obs.Span.time (Obs.Span.make "test.diff-span") (fun () -> ());
+      let base = Obs.Report.stats_json () in
+      (* identical documents pass *)
+      (match Audit.Diff.diff ~base ~cur:base () with
+      | Ok d ->
+          Alcotest.(check bool) "self diff ok" true d.Audit.Diff.ok;
+          Alcotest.(check (list string)) "nothing missing" []
+            d.Audit.Diff.missing
+      | Error e -> Alcotest.failf "self diff errored: %s" e);
+      (* inject a regression: the counter more than 1.25x + 16 over base *)
+      let cur =
+        patch [ "counters"; "test.diff-counter" ]
+          (fun _ -> J.Int 200)
+          base
+      in
+      (match Audit.Diff.diff ~base ~cur () with
+      | Ok d ->
+          Alcotest.(check bool) "regression detected" false d.Audit.Diff.ok;
+          let item =
+            List.find
+              (fun i -> i.Audit.Diff.name = "test.diff-counter")
+              d.Audit.Diff.counters
+          in
+          Alcotest.(check bool) "item regressed" true item.Audit.Diff.regressed;
+          Alcotest.(check int) "limit" (125 + 16) item.Audit.Diff.limit
+      | Error e -> Alcotest.failf "diff errored: %s" e);
+      (* an override can absorb the same regression *)
+      (match
+         Audit.Diff.diff
+           ~overrides:
+             [ ("test.diff-counter", { Audit.Diff.ratio = 3.0; slack = 0 }) ]
+           ~base ~cur ()
+       with
+      | Ok d -> Alcotest.(check bool) "override absorbs" true d.Audit.Diff.ok
+      | Error e -> Alcotest.failf "diff errored: %s" e);
+      (* a counter missing from the current document fails the diff *)
+      let cur_missing =
+        patch [ "counters" ]
+          (function
+            | J.Obj ms ->
+                J.Obj (List.filter (fun (k, _) -> k <> "test.diff-counter") ms)
+            | _ -> Alcotest.fail "counters not an object")
+          base
+      in
+      (match Audit.Diff.diff ~base ~cur:cur_missing () with
+      | Ok d ->
+          Alcotest.(check bool) "missing counter fails" false d.Audit.Diff.ok;
+          Alcotest.(check bool) "reported missing" true
+            (List.mem "test.diff-counter" d.Audit.Diff.missing)
+      | Error e -> Alcotest.failf "diff errored: %s" e);
+      (* schema mismatch is a hard error *)
+      match
+        Audit.Diff.diff ~base ~cur:(J.Obj [ ("schema", J.Str "nope") ]) ()
+      with
+      | Ok _ -> Alcotest.fail "accepted a non-stats document"
+      | Error _ -> ())
+
+(* ---------------------------------------------------------------- *)
+(* Timeline                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let test_timeline_shape () =
+  with_obs (fun () ->
+      let s = Obs.Span.make "test.timeline-span" in
+      Obs.Span.time s (fun () -> ());
+      Obs.Span.time s (fun () -> ());
+      Obs.Trace.emit "test.timeline-event" [ ("x", J.Int 1) ];
+      let doc = Obs.Report.timeline_json () in
+      (* the document parses back and is Chrome-trace shaped *)
+      (match J.of_string (J.to_string doc) with
+      | Ok v -> Alcotest.(check bool) "round trip" true (J.equal doc v)
+      | Error m -> Alcotest.failf "timeline does not parse: %s" m);
+      match J.member "traceEvents" doc with
+      | Some (J.List evs) ->
+          let phase e =
+            match J.member "ph" e with Some (J.Str p) -> p | _ -> "?" in
+          let complete = List.filter (fun e -> phase e = "X") evs in
+          let instants = List.filter (fun e -> phase e = "i") evs in
+          Alcotest.(check int) "two complete slices" 2 (List.length complete);
+          Alcotest.(check int) "one instant" 1 (List.length instants);
+          List.iter
+            (fun e ->
+              (match J.member "ts" e with
+              | Some (J.Float _ | J.Int _) -> ()
+              | _ -> Alcotest.fail "slice without ts");
+              match J.member "dur" e with
+              | Some (J.Float _ | J.Int _) -> ()
+              | _ -> Alcotest.fail "slice without dur")
+            complete
+      | _ -> Alcotest.fail "no traceEvents list")
+
+let () =
+  Alcotest.run "audit"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "netlist round trip" `Quick test_netlist_codec;
+          Alcotest.test_case "netlist rejects" `Quick test_netlist_codec_rejects;
+          Alcotest.test_case "rational" `Quick test_rat_codec;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "bbara worklist" `Slow test_verify_worklist;
+          Alcotest.test_case "bbara sweep" `Slow test_verify_sweep;
+          Alcotest.test_case "dk16" `Slow test_verify_second_circuit;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "certificate" `Slow test_reject_mutated_certificate;
+          Alcotest.test_case "label" `Slow test_reject_mutated_label;
+          Alcotest.test_case "witness" `Slow test_reject_mutated_witness;
+        ] );
+      ("diff", [ Alcotest.test_case "gating" `Quick test_diff_gating ]);
+      ("timeline", [ Alcotest.test_case "shape" `Quick test_timeline_shape ]);
+    ]

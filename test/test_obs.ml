@@ -135,6 +135,63 @@ let test_trace_ring () =
             evs))
 
 (* ---------------------------------------------------------------- *)
+(* Reset semantics                                                  *)
+(* ---------------------------------------------------------------- *)
+
+(* [Obs.reset] clears counters, spans, the trace ring and the timeline
+   ring together — no consumer can observe a half-cleared state
+   (doc/OBSERVABILITY.md, "Reset"). *)
+let test_reset_clears_everything () =
+  with_obs (fun () ->
+      let c = Obs.Counter.make "test.reset-counter" in
+      Obs.Counter.add c 9;
+      let s = Obs.Span.make "test.reset-span" in
+      Obs.Span.time s (fun () -> ());
+      Obs.Trace.set_capacity 2;
+      Fun.protect
+        ~finally:(fun () -> Obs.Trace.set_capacity 4096)
+        (fun () ->
+          for i = 0 to 4 do
+            Obs.Trace.emit "tick" [ ("i", Obs.Json.Int i) ]
+          done;
+          Alcotest.(check bool) "trace dropped some" true
+            (Obs.Trace.dropped () > 0);
+          Alcotest.(check bool) "timeline recorded" true
+            (Obs.Timeline.length () > 0);
+          Obs.reset ();
+          Alcotest.(check int) "counter zero" 0 (Obs.Counter.value c);
+          Alcotest.(check int) "span entries zero" 0 (Obs.Span.count s);
+          Alcotest.(check int) "trace empty" 0 (Obs.Trace.length ());
+          Alcotest.(check int) "trace dropped zero" 0 (Obs.Trace.dropped ());
+          Alcotest.(check int) "timeline empty" 0 (Obs.Timeline.length ());
+          Alcotest.(check int) "timeline dropped zero" 0
+            (Obs.Timeline.dropped ());
+          (* sequence numbers restart from zero after a reset *)
+          Obs.Trace.emit "fresh" [];
+          Alcotest.(check int) "seq restarts" 0
+            (List.hd (Obs.Trace.events ())).Obs.Trace.seq))
+
+(* A span that is entered when reset runs loses its in-flight
+   activation: the pending exit is ignored, and [entries] counts only
+   activations completed entirely after the reset. *)
+let test_reset_while_entered () =
+  with_obs (fun () ->
+      let s = Obs.Span.make "test.reset-inflight" in
+      Obs.Span.time s (fun () -> ());
+      Alcotest.(check int) "one entry before" 1 (Obs.Span.count s);
+      Obs.Span.enter s;
+      Obs.reset ();
+      Obs.Span.exit s;
+      (* the orphaned exit is dropped, not counted *)
+      Alcotest.(check int) "orphaned exit ignored" 0 (Obs.Span.count s);
+      Alcotest.(check int) "no timeline slice from the orphan" 0
+        (Obs.Timeline.length ());
+      (* the span works normally afterwards *)
+      Obs.Span.time s (fun () -> ());
+      Alcotest.(check int) "fresh entry counts" 1 (Obs.Span.count s);
+      Alcotest.(check int) "fresh slice recorded" 1 (Obs.Timeline.length ()))
+
+(* ---------------------------------------------------------------- *)
 (* JSON round trip and the stats schema                             *)
 (* ---------------------------------------------------------------- *)
 
@@ -163,6 +220,69 @@ let test_json_round_trip () =
       | Ok _ -> Alcotest.failf "accepted invalid JSON: %s" bad
       | Error _ -> ())
     [ ""; "{"; "[1,"; "{\"a\" 1}"; "tru"; "1 2"; "\"unterminated" ]
+
+(* Generator for arbitrary JSON values.  Floats are drawn from a finite
+   range (non-finite floats deliberately print as null and do not round
+   trip); strings exercise escapes, control characters and non-ASCII
+   bytes. *)
+let json_gen =
+  let open QCheck.Gen in
+  let string_gen =
+    string_size ~gen:(graft_corners (char_range '\000' '\255') [ '"'; '\\'; '\n'; '\t'; '\x1f'; 'u' ] ()) (0 -- 12)
+  in
+  let leaf =
+    oneof
+      [
+        return Obs.Json.Null;
+        map (fun b -> Obs.Json.Bool b) bool;
+        map (fun i -> Obs.Json.Int i) (oneof [ small_signed_int; int ]);
+        map (fun f -> Obs.Json.Float f) (float_range (-1e9) 1e9);
+        map (fun s -> Obs.Json.Str s) string_gen;
+        (* exact rationals travel as strings in the audit schema *)
+        map2
+          (fun n d -> Obs.Json.Str (Printf.sprintf "%d/%d" n (max 1 d)))
+          small_signed_int small_nat;
+      ]
+  in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then leaf
+          else
+            frequency
+              [
+                (2, leaf);
+                ( 1,
+                  map
+                    (fun l -> Obs.Json.List l)
+                    (list_size (0 -- 4) (self (n / 2))) );
+                ( 1,
+                  map
+                    (fun l -> Obs.Json.Obj l)
+                    (list_size (0 -- 4)
+                       (pair string_gen (self (n / 2)))) );
+              ])
+        (min n 6))
+
+let json_arbitrary =
+  QCheck.make ~print:(fun v -> Obs.Json.to_string v) json_gen
+
+let prop_round_trip to_s =
+  QCheck.Test.make ~count:500 ~name:"print/parse round trip" json_arbitrary
+    (fun v ->
+      match Obs.Json.of_string (to_s v) with
+      | Ok v' -> Obs.Json.equal v v'
+      | Error _ -> false)
+
+let test_json_properties () =
+  let run t =
+    match QCheck.Test.check_exn t with
+    | () -> ()
+    | exception QCheck.Test.Test_fail (name, cex) ->
+        Alcotest.failf "%s failed on %s" name (String.concat "; " cex)
+  in
+  run (prop_round_trip Obs.Json.to_string);
+  run (prop_round_trip Obs.Json.to_pretty_string)
 
 let test_stats_schema () =
   with_obs (fun () ->
@@ -221,9 +341,16 @@ let () =
             test_span_exception_safety;
         ] );
       ("trace", [ Alcotest.test_case "ring buffer" `Quick test_trace_ring ]);
+      ( "reset",
+        [
+          Alcotest.test_case "clears everything" `Quick
+            test_reset_clears_everything;
+          Alcotest.test_case "while entered" `Quick test_reset_while_entered;
+        ] );
       ( "json",
         [
           Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "properties" `Quick test_json_properties;
           Alcotest.test_case "stats schema" `Quick test_stats_schema;
         ] );
     ]

@@ -118,7 +118,7 @@ let test_labels_accumulator () =
   let nl = accumulator () in
   let opts = Label_engine.default_options ~k:4 in
   (match fst (Label_engine.run opts nl ~phi:Rat.one) with
-  | Label_engine.Feasible { labels; impls } ->
+  | Label_engine.Feasible { labels; impls; prov = _ } ->
       let v = Option.get (Netlist.find_by_name nl "v") in
       Alcotest.check rat "label 1" Rat.one labels.(v);
       Alcotest.(check bool) "impl present" true (impls.(v) <> None)
