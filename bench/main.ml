@@ -565,6 +565,96 @@ let stats_diff base_file cur_file =
       if not t.Audit.Diff.ok then exit 3
 
 (* ------------------------------------------------------------------ *)
+(* serve-load: sustained-throughput probe of `turbosyn serve`.         *)
+(* Boots the server in-process on an ephemeral port, drives it with    *)
+(* --jobs concurrent client domains issuing mapping requests over      *)
+(* fresh connections, and reports throughput and client-side tail      *)
+(* latency.  The server accept loop is single-threaded, so this        *)
+(* measures the serialized pipeline under concurrent connection        *)
+(* pressure — the listen backlog is the queue.                         *)
+(* ------------------------------------------------------------------ *)
+
+let http_post ~port ~path ~body =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf
+          "POST %s HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Type: \
+           application/json\r\nContent-Length: %d\r\nConnection: \
+           close\r\n\r\n%s"
+          path (String.length body) body
+      in
+      let b = Bytes.of_string req in
+      let rec send off =
+        if off < Bytes.length b then
+          send (off + Unix.write fd b off (Bytes.length b - off))
+      in
+      send 0;
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec recv () =
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          recv ()
+        end
+      in
+      recv ();
+      Buffer.contents buf)
+
+let serve_load ~jobs ~quick () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  let server = Serve.Server.create ~port:0 () in
+  let port = Serve.Server.port server in
+  let srv = Domain.spawn (fun () -> Serve.Server.run server) in
+  let jobs = max 1 jobs in
+  let total = if quick then 16 else 64 in
+  let per = (total + jobs - 1) / jobs in
+  (* turbomap: the full ratio search without decomposition, fast enough
+     to sustain a meaningful request rate on one core *)
+  let body = {|{"circuit":"bbara","k":5,"algo":"turbomap"}|} in
+  Format.printf
+    "@.== serve-load: %d requests, %d client domain(s), port %d ==@."
+    (per * jobs) jobs port;
+  let failures = Atomic.make 0 in
+  let t0 = Prelude.Timer.wall () in
+  let workers =
+    List.init jobs (fun _ ->
+        Domain.spawn (fun () ->
+            Array.init per (fun _ ->
+                let t = Prelude.Timer.wall () in
+                let resp = http_post ~port ~path:"/map" ~body in
+                if
+                  not
+                    (String.length resp >= 15
+                    && String.sub resp 0 15 = "HTTP/1.1 200 OK")
+                then Atomic.incr failures;
+                Prelude.Timer.wall () -. t)))
+  in
+  let lats =
+    List.concat_map (fun d -> Array.to_list (Domain.join d)) workers
+  in
+  let elapsed = Prelude.Timer.wall () -. t0 in
+  Serve.Server.stop server;
+  Domain.join srv;
+  let lats = List.sort Float.compare lats in
+  let n = List.length lats in
+  let pct p = List.nth lats (min (n - 1) (int_of_float (p *. float_of_int n))) in
+  Format.printf "requests: %d ok, %d failed@." (n - Atomic.get failures)
+    (Atomic.get failures);
+  Format.printf "sustained throughput: %.1f req/s over %.2fs@."
+    (float_of_int n /. elapsed) elapsed;
+  Format.printf "client latency: p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms@."
+    (pct 0.50 *. 1e3) (pct 0.90 *. 1e3) (pct 0.99 *. 1e3)
+    (List.nth lats (n - 1) *. 1e3);
+  Obs.set_enabled false;
+  if Atomic.get failures > 0 then exit 2
+
+(* ------------------------------------------------------------------ *)
 (* Perf mode: the worklist+arena label engine vs the seed sweep engine *)
 (* on the default TurboSYN flow.  Emits BENCH_perf.json (schema        *)
 (* turbosyn-perf/1, see doc/PERF.md) and exits nonzero when the new    *)
@@ -783,10 +873,14 @@ let () =
      --circuit NAME, --diff A B (stats mode) *)
   let quick = ref false and jobs = ref 1 and out = ref "BENCH_perf.json" in
   let json = ref None and circuit = ref "bbara" and diff = ref None in
+  let write_baseline = ref false in
   let rec strip = function
     | [] -> []
     | "--quick" :: rest ->
         quick := true;
+        strip rest
+    | "--write-baseline" :: rest ->
+        write_baseline := true;
         strip rest
     | "--jobs" :: n :: rest ->
         (match int_of_string_opt n with Some j -> jobs := j | None -> ());
@@ -826,10 +920,16 @@ let () =
       | "ablation-mdr" -> ablation_mdr ()
       | "ablation-seqmap2" -> ablation_seqmap2 ()
       | "stats" -> (
-          match (!diff, !json) with
-          | Some (a, b), _ -> stats_diff a b
-          | None, Some f -> stats_json ~circuit:!circuit ~out:f ()
-          | None, None -> stats_mode ())
+          if !write_baseline then
+            (* regenerate the committed regression baseline in place (see
+               doc/OBSERVABILITY.md §Regression gating) *)
+            stats_json ~circuit:"bbara" ~out:"BENCH_stats_baseline.json" ()
+          else
+            match (!diff, !json) with
+            | Some (a, b), _ -> stats_diff a b
+            | None, Some f -> stats_json ~circuit:!circuit ~out:f ()
+            | None, None -> stats_mode ())
+      | "serve-load" -> serve_load ~jobs:!jobs ~quick:!quick ()
       | "perf" -> perf ~quick:!quick ~jobs:!jobs ~out:!out ()
       | "micro" -> micro ()
       | other -> Format.eprintf "unknown mode %s@." other)

@@ -433,10 +433,76 @@ let equiv_cmd =
        ~doc:"Check two BLIF circuits for sequential equivalence by simulation.")
     Term.(const run $ a_arg $ b_arg $ mapped_arg)
 
+let serve_cmd =
+  let run port =
+    (* metrics must be live for /metrics to have content; never reset
+       between requests so scrape counters stay monotone *)
+    Obs.set_enabled true;
+    Obs.reset ();
+    match Serve.Server.create ~port () with
+    | exception Unix.Unix_error (e, _, _) ->
+        exit_err
+          (Printf.sprintf "cannot listen on port %d: %s" port
+             (Unix.error_message e))
+    | server ->
+        Format.eprintf
+          "turbosyn serve: listening on http://127.0.0.1:%d (routes: /map, \
+           /metrics, /healthz)@."
+          (Serve.Server.port server);
+        Serve.Server.run server
+  in
+  let port_arg =
+    Arg.(value & opt int 8080 & info [ "port"; "p" ] ~docv:"PORT"
+           ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve the mapping pipeline over HTTP: POST /map runs a request \
+             ({\"circuit\": ..., \"k\": ..., \"algo\": ...}), GET /metrics \
+             answers a Prometheus text-exposition scrape, GET /healthz a \
+             liveness probe.  Runs until interrupted.")
+    Term.(const run $ port_arg)
+
+let promlint_cmd =
+  let run file =
+    let text =
+      match file with
+      | "-" -> In_channel.input_all In_channel.stdin
+      | path -> (
+          try In_channel.with_open_bin path In_channel.input_all
+          with Sys_error e -> exit_err e)
+    in
+    match Obs.Prometheus.validate text with
+    | Ok () -> Format.printf "promlint: OK@."
+    | Error errors ->
+        List.iter (fun e -> Format.eprintf "promlint: %s@." e) errors;
+        exit 2
+  in
+  let file_arg =
+    Arg.(value & pos 0 string "-" & info [] ~docv:"FILE"
+           ~doc:"Scrape body to validate; - reads stdin.")
+  in
+  Cmd.v
+    (Cmd.info "promlint"
+       ~doc:"Validate a Prometheus text-exposition scrape (as served by \
+             $(b,serve) /metrics): HELP/TYPE shape, name and label-escaping \
+             rules, family grouping, histogram bucket structure.  Exits 2 on \
+             violations.")
+    Term.(const run $ file_arg)
+
 let () =
   let doc = "TurboSYN: FPGA synthesis with retiming and pipelining (DAC'97)" in
   let main =
     Cmd.group (Cmd.info "turbosyn_cli" ~doc)
-      [ list_cmd; stats_cmd; map_cmd; audit_cmd; simulate_cmd; equiv_cmd ]
+      [
+        list_cmd;
+        stats_cmd;
+        map_cmd;
+        audit_cmd;
+        simulate_cmd;
+        equiv_cmd;
+        serve_cmd;
+        promlint_cmd;
+      ]
   in
   exit (Cmd.eval main)

@@ -15,6 +15,7 @@ type item = {
 type t = {
   counters : item list;
   entries : item list;
+  histograms : item list;
   missing : string list;
   added : string list;
   ok : bool;
@@ -22,6 +23,8 @@ type t = {
 
 let schema_of doc =
   match J.member "schema" doc with Some (J.Str s) -> Some s | _ -> None
+
+let known_schemas = [ "turbosyn-stats/1"; "turbosyn-stats/2" ]
 
 let counters_of doc =
   match J.member "counters" doc with
@@ -43,6 +46,21 @@ let entries_of doc =
              | _ -> None)
            l)
   | _ -> Error "document has no \"spans\" object"
+
+(* Histogram observation counts are deterministic like counters; sums and
+   quantiles are value distributions (sizes are deterministic but latencies
+   are not), so only [count] gates.  v1 documents have no histograms
+   section, which reads as the empty map — nothing to gate against. *)
+let histogram_counts_of doc =
+  match J.member "histograms" doc with
+  | Some (J.Obj l) ->
+      List.filter_map
+        (fun (k, v) ->
+          match J.member "count" v with
+          | Some (J.Int i) -> Some (k, i)
+          | _ -> None)
+        l
+  | _ -> []
 
 let limit_of th base = int_of_float (float_of_int base *. th.ratio) + th.slack
 
@@ -72,30 +90,62 @@ let compare_maps overrides th base cur =
 
 let ( let* ) = Result.bind
 
+(* Schema acceptance: both documents must carry a known version, and the
+   baseline may be older than the current document (a committed v1
+   baseline keeps gating v2 runs) but never newer — a v2 baseline gates
+   sections a v1 document cannot contain. *)
+let version_of s =
+  let rec index i = function
+    | [] -> None
+    | v :: _ when v = s -> Some i
+    | _ :: rest -> index (i + 1) rest
+  in
+  index 0 known_schemas
+
 let diff ?(thresholds = default_thresholds) ?(overrides = []) ~base ~cur () =
   let* () =
     match (schema_of base, schema_of cur) with
-    | Some a, Some b when a = b -> Ok ()
-    | Some a, Some b ->
-        Error (Printf.sprintf "schema mismatch: base %S vs current %S" a b)
+    | Some a, Some b -> (
+        match (version_of a, version_of b) with
+        | Some va, Some vb when va <= vb -> Ok ()
+        | Some _, Some _ ->
+            Error
+              (Printf.sprintf
+                 "baseline schema %S is newer than current document %S" a b)
+        | None, _ -> Error (Printf.sprintf "unknown baseline schema %S" a)
+        | _, None -> Error (Printf.sprintf "unknown current schema %S" b))
     | _ -> Error "missing \"schema\" member"
   in
   let* bc = counters_of base in
   let* cc = counters_of cur in
   let* be = entries_of base in
   let* ce = entries_of cur in
+  let bh = histogram_counts_of base in
+  let ch = histogram_counts_of cur in
   let counters, cm, ca = compare_maps overrides thresholds bc cc in
   let entries, em, ea = compare_maps overrides thresholds be ce in
-  let missing = cm @ List.map (fun n -> n ^ ".entries") em in
-  let added = ca @ List.map (fun n -> n ^ ".entries") ea in
+  let histograms, hm, ha = compare_maps overrides thresholds bh ch in
+  let missing =
+    cm
+    @ List.map (fun n -> n ^ ".entries") em
+    @ List.map (fun n -> n ^ ".count") hm
+  in
+  let added =
+    ca
+    @ List.map (fun n -> n ^ ".entries") ea
+    @ List.map (fun n -> n ^ ".count") ha
+  in
   let no_regression l = not (List.exists (fun i -> i.regressed) l) in
   Ok
     {
       counters;
       entries;
+      histograms;
       missing;
       added;
-      ok = no_regression counters && no_regression entries && missing = [];
+      ok =
+        no_regression counters && no_regression entries
+        && no_regression histograms && missing = [];
     }
 
 let render t =
@@ -114,6 +164,7 @@ let render t =
   in
   dump "counter" t.counters;
   dump "entries" t.entries;
+  dump "histogram" t.histograms;
   List.iter (fun n -> line "MISSING    %s (present in baseline)" n) t.missing;
   List.iter (fun n -> line "new        %s (absent from baseline)" n) t.added;
   line "%s" (if t.ok then "stats-diff: OK" else "stats-diff: REGRESSED");

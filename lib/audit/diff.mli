@@ -1,11 +1,17 @@
-(** Regression gating over two [turbosyn-stats/1] documents.
+(** Regression gating over two stats documents ([turbosyn-stats/1] or
+    [turbosyn-stats/2]).
 
-    Counters and span {e entry counts} are deterministic functions of the
-    input and the algorithm, so they gate: the current value fails when it
-    exceeds [base * ratio + slack].  Span {e seconds} are machine-dependent
-    wall-clock and never gate (they are simply not compared).  A counter
-    present in the baseline but absent from the current document also
-    fails — renames must update the committed baseline deliberately. *)
+    Counters, span {e entry counts}, and histogram {e observation counts}
+    are deterministic functions of the input and the algorithm, so they
+    gate: the current value fails when it exceeds [base * ratio + slack].
+    Span {e seconds}, histogram sums and quantiles, and GC totals are
+    machine-dependent and never gate (they are simply not compared).  A
+    counter present in the baseline but absent from the current document
+    also fails — renames must update the committed baseline deliberately.
+
+    Version skew: a baseline may be {e older} than the current document
+    (a v1 baseline gates a v2 run; the absent histograms section simply
+    contributes no items) but never newer. *)
 
 type thresholds = { ratio : float; slack : int }
 
@@ -24,6 +30,8 @@ type item = {
 type t = {
   counters : item list;  (** one per baseline counter *)
   entries : item list;  (** one per baseline span, comparing entry counts *)
+  histograms : item list;
+      (** one per baseline histogram, comparing observation counts *)
   missing : string list;  (** in the baseline, absent from current *)
   added : string list;  (** in current, absent from the baseline (no gate) *)
   ok : bool;
@@ -36,9 +44,10 @@ val diff :
   cur:Obs.Json.t ->
   unit ->
   (t, string) result
-(** [overrides] maps counter/span names to their own thresholds (e.g. a
-    noisy counter can be given more headroom).  [Error] on documents that
-    are not both [turbosyn-stats/1]-shaped. *)
+(** [overrides] maps counter/span/histogram names to their own thresholds
+    (e.g. a noisy counter can be given more headroom).  [Error] on
+    documents without a known schema, or when the baseline's schema is
+    newer than the current document's. *)
 
 val render : t -> string
 (** Human-readable summary: one line per changed or regressed item,

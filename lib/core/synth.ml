@@ -7,6 +7,7 @@ let s_total = Obs.Span.make "synth.total"
 let s_area = Obs.Span.make "synth.area"
 let s_relax = Obs.Span.make "synth.relax"
 let s_realize = Obs.Span.make "synth.realize"
+let h_e2e = Obs.Histogram.make "synth.e2e_seconds"
 
 type algo = [ `Turbosyn | `Turbomap | `Flowsyn_s ]
 
@@ -156,6 +157,7 @@ let run_flowsyn_s o nl =
 let run ?options algo nl =
   let o = match options with Some o -> o | None -> default_options () in
   Netlist.validate_exn ~k:o.k nl;
+  let t_start = if Obs.enabled () then Timer.wall () else 0. in
   let r =
     Obs.Span.time s_total (fun () ->
         match algo with
@@ -163,6 +165,8 @@ let run ?options algo nl =
         | `Turbomap -> run_seq `Turbomap o nl ~resynthesize:false
         | `Flowsyn_s -> run_flowsyn_s o nl)
   in
+  if Obs.enabled () then
+    Obs.Histogram.observe h_e2e (Timer.wall () -. t_start);
   if Obs.enabled () then
     Obs.Trace.emit "synth.result"
       [

@@ -21,6 +21,9 @@ open Prelude
 
 type algo = [ `Turbosyn | `Turbomap | `Flowsyn_s ]
 
+val algo_name : algo -> string
+(** ["turbosyn"], ["turbomap"], ["flowsyn-s"]. *)
+
 type options = {
   k : int;
   cmax : int;

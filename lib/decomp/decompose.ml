@@ -8,6 +8,7 @@ let c_successes = Obs.Counter.make "decomp.successes"
 let c_trials = Obs.Counter.make "decomp.bound_set_trials"
 let c_two_wire = Obs.Counter.make "decomp.two_wire_extractions"
 let c_bdd_peak = Obs.Counter.make "decomp.bdd_peak_nodes"
+let h_bound_set = Obs.Histogram.make "decomp.bound_set_size"
 
 type tree = Input of int | Lut of Truthtable.t * tree array
 
@@ -122,6 +123,7 @@ let decompose ?(exhaustive = false) ?(multi = false) man ~f ~vars ~arrivals ~k =
       in
       let try_bound ~max_mu bset =
         Obs.Counter.incr c_trials;
+        Obs.Histogram.observe_int h_bound_set (List.length bset);
         let bound = Array.of_list (List.map (fun l -> l.var) bset) in
         let cls = Classes.compute man fn ~bound in
         if Array.length cls.Classes.representatives <= max_mu then

@@ -5,6 +5,8 @@ let c_nodes = Obs.Counter.make "maxflow.nodes"
 let c_edges = Obs.Counter.make "maxflow.edges"
 let c_aug = Obs.Counter.make "maxflow.augmenting_paths"
 let c_arena = Obs.Counter.make "maxflow.arena_reuses"
+let h_aug = Obs.Histogram.make "maxflow.augmenting_paths_per_flow"
+let h_net_nodes = Obs.Histogram.make "maxflow.network_nodes"
 
 type t = {
   mutable n : int;
@@ -42,6 +44,7 @@ let alloc_nodes t n =
 let create n =
   Obs.Counter.incr c_networks;
   Obs.Counter.add c_nodes (max n 0);
+  Obs.Histogram.observe_int h_net_nodes (max n 0);
   let m = max n 1 in
   {
     n;
@@ -61,6 +64,7 @@ let clear t n =
   if n < 0 then invalid_arg "Maxflow.clear: negative node count";
   Obs.Counter.incr c_networks;
   Obs.Counter.add c_nodes n;
+  Obs.Histogram.observe_int h_net_nodes n;
   Obs.Counter.incr c_arena;
   t.n <- n;
   t.narcs <- 0;
@@ -137,11 +141,13 @@ let bfs t ~s ~t:tnode =
 let max_flow t ~s ~t:tnode ~limit =
   if s = tnode then invalid_arg "Maxflow.max_flow: s = t";
   let flow = ref 0 in
+  let augmentations = ref 0 in
   let continue = ref true in
   while !continue && !flow <= limit do
     if not (bfs t ~s ~t:tnode) then continue := false
     else begin
       Obs.Counter.incr c_aug;
+      incr augmentations;
       let parent = t.parent_arc in
       (* the source of arc a is the head of its reverse arc (a lxor 1) *)
       let arc_src a = t.head.(a lxor 1) in
@@ -164,6 +170,7 @@ let max_flow t ~s ~t:tnode ~limit =
       flow := !flow + b
     end
   done;
+  Obs.Histogram.observe_int h_aug !augmentations;
   !flow
 
 let residual_reachable t ~s =

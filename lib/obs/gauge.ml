@@ -1,0 +1,30 @@
+(* Point-in-time values (pool sizes, request concurrency).  Same
+   registry discipline as Counter, but set/add-signed semantics and no
+   monotonicity guarantee. *)
+
+type t = { name : string; mutable v : float }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let make name =
+  match Hashtbl.find_opt registry name with
+  | Some g -> g
+  | None ->
+      let g = { name; v = 0. } in
+      Hashtbl.replace registry name g;
+      g
+
+let name g = g.name
+let value g = g.v
+let set g v = if State.on () then g.v <- v
+let set_int g v = set g (float_of_int v)
+let add g d = if State.on () then g.v <- g.v +. d
+let incr g = add g 1.
+let decr g = add g (-1.)
+let find key = Option.map (fun g -> g.v) (Hashtbl.find_opt registry key)
+
+let all () =
+  Hashtbl.fold (fun _ g acc -> (g.name, g.v) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset_all () = Hashtbl.iter (fun _ g -> g.v <- 0.) registry

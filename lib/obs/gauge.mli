@@ -1,0 +1,20 @@
+(** Point-in-time values: pool sizes, in-flight request counts.
+
+    Unlike {!Counter}, gauges may go down.  Mutation is gated on the
+    global observability switch; [make] is idempotent per name. *)
+
+type t
+
+val make : string -> t
+val name : t -> string
+val value : t -> float
+val set : t -> float -> unit
+val set_int : t -> int -> unit
+val add : t -> float -> unit
+val incr : t -> unit
+val decr : t -> unit
+val find : string -> float option
+val all : unit -> (string * float) list
+(** All registered gauges, sorted by name. *)
+
+val reset_all : unit -> unit

@@ -1,15 +1,20 @@
 module Json = Json
 module Counter = Counter
+module Gauge = Gauge
+module Histogram = Histogram
 module Span = Span
 module Trace = Trace
 module Timeline = Timeline
 module Report = Report
+module Prometheus = Prometheus
 
 let set_enabled = State.set_enabled
 let enabled = State.enabled
 
 let reset () =
   Counter.reset_all ();
+  Gauge.reset_all ();
+  Histogram.reset_all ();
   Span.reset_all ();
   Trace.clear ();
   Timeline.clear ()

@@ -28,10 +28,13 @@
 
 module Json = Json
 module Counter = Counter
+module Gauge = Gauge
+module Histogram = Histogram
 module Span = Span
 module Trace = Trace
 module Timeline = Timeline
 module Report = Report
+module Prometheus = Prometheus
 
 val set_enabled : bool -> unit
 (** Master switch for all collection ({!Counter}, {!Span}, {!Trace}).
@@ -41,7 +44,8 @@ val enabled : unit -> bool
 (** Current state of the master switch. *)
 
 val reset : unit -> unit
-(** Zero all counters and spans and clear the trace and timeline buffers
+(** Zero all counters, gauges, histograms and spans (including their GC
+    totals) and clear the trace and timeline buffers
     (including their dropped-event counts and the trace sequence numbers).
     Call between measured runs; registration is preserved.  Nothing in the
     reset can fail, so the state is never partially cleared.  A span that

@@ -1,0 +1,37 @@
+(** Prometheus text exposition format (0.0.4): a renderer over the
+    metric registries and a strict validator for scrape bodies.
+
+    The renderer prefixes every family with [turbosyn_] and maps
+    registries as follows: counters become [_total] counter families;
+    gauges become gauge families; spans become labeled families
+    ([turbosyn_phase_seconds_total{phase="..."}] and friends, including
+    the per-phase GC totals); histograms become cumulative
+    [_bucket{le="..."}] series plus [_sum] and [_count]. *)
+
+type sample = { labels : (string * string) list; value : float }
+
+type family = {
+  fname : string;  (** dotted name; sanitized and prefixed by the renderer *)
+  fhelp : string;
+  ftype : [ `Counter | `Gauge ];
+  samples : sample list;
+}
+
+val render : ?extra:family list -> unit -> string
+(** Render a full scrape body.  [extra] appends caller-maintained
+    families (e.g. the serve layer's labeled request counters). *)
+
+val validate : string -> (unit, string list) result
+(** Check a scrape body against the exposition format: HELP/TYPE shape
+    and placement, metric/label name validity, label escaping, value
+    parseability, family contiguity, and histogram bucket structure
+    (cumulative counts, a [+Inf] bucket matching [_count], [_sum]
+    present).  Returns every violation found. *)
+
+val counter_values : string -> (string * float) list
+(** Samples of counter-typed families, keyed by their series text (name
+    plus label block) — the stable key for monotonicity checks across
+    two scrapes of the same process. *)
+
+val escape_label : string -> string
+val sanitize : string -> string

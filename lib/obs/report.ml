@@ -1,17 +1,36 @@
-let schema_version = "turbosyn-stats/1"
+let schema_version = "turbosyn-stats/2"
 
 let counters_json () =
   Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) (Counter.all ()))
 
+let gauges_json () =
+  Json.Obj (List.map (fun (name, v) -> (name, Json.Float v)) (Gauge.all ()))
+
 let spans_json () =
   Json.Obj
     (List.map
-       (fun (name, seconds, entries) ->
+       (fun (name, seconds, entries, (gc : Span.gc_totals)) ->
          ( name,
            Json.Obj
-             [ ("seconds", Json.Float seconds); ("entries", Json.Int entries) ]
-         ))
-       (Span.all ()))
+             [
+               ("seconds", Json.Float seconds);
+               ("entries", Json.Int entries);
+               ( "gc",
+                 Json.Obj
+                   [
+                     ("minor_words", Json.Float gc.Span.minor_words);
+                     ("promoted_words", Json.Float gc.Span.promoted_words);
+                     ("major_words", Json.Float gc.Span.major_words);
+                     ("compactions", Json.Int gc.Span.compactions);
+                   ] );
+             ] ))
+       (Span.all_full ()))
+
+let histograms_json () =
+  Json.Obj
+    (List.map
+       (fun (name, s) -> (name, Histogram.snapshot_to_json s))
+       (Histogram.all ()))
 
 let stats_json ?(extra = []) () =
   Json.Obj
@@ -20,7 +39,12 @@ let stats_json ?(extra = []) () =
        ("enabled", Json.Bool (State.enabled ()));
      ]
     @ extra
-    @ [ ("counters", counters_json ()); ("spans", spans_json ()) ])
+    @ [
+        ("counters", counters_json ());
+        ("gauges", gauges_json ());
+        ("spans", spans_json ());
+        ("histograms", histograms_json ());
+      ])
 
 let write_stats ?extra dest =
   let json = stats_json ?extra () in
@@ -61,10 +85,17 @@ let timeline_json () =
       ("tid", Json.Int 1);
     ]
   in
-  let meta =
-    Json.Obj
-      (common "process_name" "M"
-      @ [ ("args", Json.Obj [ ("name", Json.Str "turbosyn") ]) ])
+  (* metadata events name the track: Perfetto and chrome://tracing show
+     "turbosyn / synthesis pipeline" instead of bare pid/tid numbers *)
+  let meta_events =
+    [
+      Json.Obj
+        (common "process_name" "M"
+        @ [ ("args", Json.Obj [ ("name", Json.Str "turbosyn") ]) ]);
+      Json.Obj
+        (common "thread_name" "M"
+        @ [ ("args", Json.Obj [ ("name", Json.Str "synthesis pipeline") ]) ]);
+    ]
   in
   let slice_events =
     List.map
@@ -93,7 +124,7 @@ let timeline_json () =
   in
   Json.Obj
     [
-      ("traceEvents", Json.List ((meta :: slice_events) @ instant_events));
+      ("traceEvents", Json.List (meta_events @ slice_events @ instant_events));
       ("displayTimeUnit", Json.Str "ms");
     ]
 

@@ -1,33 +1,55 @@
 (** Assembly of the versioned stats report.
 
     The report is a single JSON object; [doc/OBSERVABILITY.md] is the
-    normative description of the schema.  Version [turbosyn-stats/1]:
+    normative description of the schema.  Version [turbosyn-stats/2]:
 
     {v
     {
-      "schema":   "turbosyn-stats/1",
-      "enabled":  true,
+      "schema":     "turbosyn-stats/2",
+      "enabled":    true,
       ...caller-supplied extra members (e.g. "run")...,
-      "counters": { "<name>": <int>, ... },
-      "spans":    { "<name>": { "seconds": <float>, "entries": <int> }, ... }
+      "counters":   { "<name>": <int>, ... },
+      "gauges":     { "<name>": <float>, ... },
+      "spans":      { "<name>": { "seconds": <float>, "entries": <int>,
+                                  "gc": { "minor_words": <float>,
+                                          "promoted_words": <float>,
+                                          "major_words": <float>,
+                                          "compactions": <int> } }, ... },
+      "histograms": { "<name>": { "count": <int>, "sum": <float>,
+                                  "min": <float|null>, "max": <float|null>,
+                                  "p50": <float>, "p90": <float>,
+                                  "p99": <float>,
+                                  "buckets": [[<idx>, <count>], ...] }, ... }
     }
-    v} *)
+    v}
+
+    Version [turbosyn-stats/1] lacked [gauges], [histograms] and the
+    per-span [gc] object; {!Audit.Diff} still accepts v1 documents as
+    baselines. *)
 
 val schema_version : string
-(** ["turbosyn-stats/1"].  Bumped on any incompatible change to the
+(** ["turbosyn-stats/2"].  Bumped on any incompatible change to the
     report layout or to the meaning of a documented counter/span. *)
 
 val counters_json : unit -> Json.t
 (** The [counters] object: every registered counter, sorted by name. *)
 
+val gauges_json : unit -> Json.t
+(** The [gauges] object: every registered gauge, sorted by name. *)
+
 val spans_json : unit -> Json.t
-(** The [spans] object: every registered span, sorted by name. *)
+(** The [spans] object: every registered span (with GC totals), sorted
+    by name. *)
+
+val histograms_json : unit -> Json.t
+(** The [histograms] object: every registered histogram's snapshot,
+    sorted by name. *)
 
 val stats_json : ?extra:(string * Json.t) list -> unit -> Json.t
 (** The full report.  [extra] members (e.g. a [run] description) are
-    spliced between the schema header and the [counters]/[spans]
-    objects; their names must not collide with the reserved members
-    [schema], [enabled], [counters], [spans]. *)
+    spliced between the schema header and the metric objects; their
+    names must not collide with the reserved members [schema],
+    [enabled], [counters], [gauges], [spans], [histograms]. *)
 
 val write_stats : ?extra:(string * Json.t) list -> string -> unit
 (** [write_stats dest] pretty-prints {!stats_json} to the file [dest],
@@ -36,7 +58,8 @@ val write_stats : ?extra:(string * Json.t) list -> string -> unit
 val timeline_json : unit -> Json.t
 (** Chrome-trace ("Trace Event Format") document over the {!Timeline}
     slice ring and the {!Trace} event ring: an object with a
-    [traceEvents] array (one ["X"] complete event per recorded span
+    [traceEvents] array (["M"] [process_name]/[thread_name] metadata
+    events naming the track, one ["X"] complete event per recorded span
     activation, one ["i"] instant per trace event, timestamps in
     microseconds relative to the earliest record) that loads directly in
     Perfetto or [chrome://tracing]. *)

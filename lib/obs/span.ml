@@ -1,9 +1,25 @@
+type gc_totals = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  compactions : int;
+}
+
+let gc_zero =
+  { minor_words = 0.; promoted_words = 0.; major_words = 0.; compactions = 0 }
+
 type t = {
   name : string;
   mutable total : float; (* accumulated wall seconds, outermost entries *)
   mutable entries : int; (* completed outermost entries *)
   mutable depth : int; (* live nesting depth (recursive re-entry) *)
   mutable started : float; (* wall clock of the outermost enter *)
+  (* Gc.quick_stat snapshot at the outermost enter, and the deltas
+     accumulated over completed outermost entries.  quick_stat reads
+     live counters without walking the heap, so the sampling itself
+     allocates nothing and costs a few loads per phase boundary. *)
+  mutable gc_at_enter : Gc.stat option;
+  mutable gc : gc_totals;
 }
 
 let registry : (string, t) Hashtbl.t = Hashtbl.create 64
@@ -12,17 +28,31 @@ let make name =
   match Hashtbl.find_opt registry name with
   | Some s -> s
   | None ->
-      let s = { name; total = 0.; entries = 0; depth = 0; started = 0. } in
+      let s =
+        {
+          name;
+          total = 0.;
+          entries = 0;
+          depth = 0;
+          started = 0.;
+          gc_at_enter = None;
+          gc = gc_zero;
+        }
+      in
       Hashtbl.replace registry name s;
       s
 
 let name s = s.name
 let seconds s = s.total
 let count s = s.entries
+let gc_totals s = s.gc
 
 let enter s =
   if State.on () then begin
-    if s.depth = 0 then s.started <- Prelude.Timer.wall ();
+    if s.depth = 0 then begin
+      s.started <- Prelude.Timer.wall ();
+      s.gc_at_enter <- Some (Gc.quick_stat ())
+    end;
     s.depth <- s.depth + 1
   end
 
@@ -33,6 +63,23 @@ let exit s =
       let now = Prelude.Timer.wall () in
       s.total <- s.total +. (now -. s.started);
       s.entries <- s.entries + 1;
+      (match s.gc_at_enter with
+      | Some g0 ->
+          let g1 = Gc.quick_stat () in
+          s.gc <-
+            {
+              minor_words =
+                s.gc.minor_words +. (g1.Gc.minor_words -. g0.Gc.minor_words);
+              promoted_words =
+                s.gc.promoted_words
+                +. (g1.Gc.promoted_words -. g0.Gc.promoted_words);
+              major_words =
+                s.gc.major_words +. (g1.Gc.major_words -. g0.Gc.major_words);
+              compactions =
+                s.gc.compactions + (g1.Gc.compactions - g0.Gc.compactions);
+            };
+          s.gc_at_enter <- None
+      | None -> ());
       Timeline.record s.name ~start:s.started ~stop:now
     end
   end
@@ -48,11 +95,19 @@ let all () =
   Hashtbl.fold (fun _ s acc -> (s.name, s.total, s.entries) :: acc) registry []
   |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
+let all_full () =
+  Hashtbl.fold
+    (fun _ s acc -> (s.name, s.total, s.entries, s.gc) :: acc)
+    registry []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b)
+
 let reset_all () =
   Hashtbl.iter
     (fun _ s ->
       s.total <- 0.;
       s.entries <- 0;
       s.depth <- 0;
-      s.started <- 0.)
+      s.started <- 0.;
+      s.gc_at_enter <- None;
+      s.gc <- gc_zero)
     registry

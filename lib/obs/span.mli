@@ -17,6 +17,15 @@
     The registered names form the [spans] object of the stats schema;
     [doc/OBSERVABILITY.md] documents each one. *)
 
+type gc_totals = {
+  minor_words : float;  (** words allocated in the minor heap *)
+  promoted_words : float;  (** words promoted minor -> major *)
+  major_words : float;  (** words allocated directly in the major heap *)
+  compactions : int;
+}
+(** [Gc.quick_stat] deltas accumulated over a span's completed outermost
+    entries: what the phase allocated, not what the whole process has. *)
+
 type t
 (** A registered span.  Physically equal for equal names. *)
 
@@ -33,6 +42,12 @@ val seconds : t -> float
 val count : t -> int
 (** Number of completed outermost entries. *)
 
+val gc_totals : t -> gc_totals
+(** Allocation/GC deltas accumulated over completed outermost entries.
+    Sampled with [Gc.quick_stat] at the outermost [enter]/[exit] pair,
+    so nested activations and other live spans attribute their
+    allocation to every span open around them. *)
+
 val enter : t -> unit
 (** Start (or nest into) the span.  No-op while observability is
     disabled. *)
@@ -47,6 +62,9 @@ val time : t -> (unit -> 'a) -> 'a
 val all : unit -> (string * float * int) list
 (** Every registered span as [(name, seconds, entries)], sorted by
     name. *)
+
+val all_full : unit -> (string * float * int * gc_totals) list
+(** Like {!all} with the GC totals included. *)
 
 val reset_all : unit -> unit
 (** Zero every registered span (registration survives). *)

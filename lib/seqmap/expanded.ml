@@ -8,6 +8,7 @@ let c_nodes = Obs.Counter.make "expand.nodes"
 let c_peak = Obs.Counter.make "expand.peak_nodes"
 let c_overflows = Obs.Counter.make "expand.overflows"
 let c_arena = Obs.Counter.make "expand.arena_reuses"
+let h_nodes = Obs.Histogram.make "expand.nodes_per_build"
 
 type node = { u : int; w : int }
 
@@ -261,6 +262,7 @@ let build ?arena ?internal_of nl ~root ~labels ~phi ~threshold ~extra_depth
   Obs.Counter.incr c_builds;
   Obs.Counter.add c_nodes n;
   Obs.Counter.record_max c_peak n;
+  Obs.Histogram.observe_int h_nodes n;
   if !overflow then Obs.Counter.incr c_overflows;
   let nodes = Array.init n (fun i -> a.a_node.(i)) in
   let internal = Array.init n (fun i -> a.a_internal.(i)) in

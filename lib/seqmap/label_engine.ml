@@ -17,6 +17,8 @@ let c_wskips = Obs.Counter.make "label.worklist_skips"
 let c_harvest_reuse = Obs.Counter.make "label.harvest_cut_reuses"
 let c_snap_reuse = Obs.Counter.make "label.snapshot_reuses"
 let s_flow_test = Obs.Span.make "label.flow_test"
+let h_cut_test = Obs.Histogram.make "label.cut_test_seconds"
+let h_snap_trace = Obs.Histogram.make "label.snapshot_trace_len"
 let s_decomp = Obs.Span.make "label.decomp"
 let s_scc = Obs.Span.make "label.scc"
 
@@ -273,6 +275,7 @@ let snap_valid ctx sn ~st =
       done;
       if !ok then begin
         Obs.Counter.incr c_snap_reuse;
+        Obs.Histogram.observe_int h_snap_trace n;
         match ctx.note with
         | None -> ()
         | Some f -> Array.iter f sn.s_u
@@ -307,6 +310,7 @@ let kcut_test ctx v ~threshold =
   let fast = ctx.opts.engine = Worklist in
   let deep = fast && ctx.opts.resynthesize in
   let kreq = if deep then max k ctx.opts.cmax else k in
+  let t_start = if Obs.enabled () then Prelude.Timer.wall () else 0. in
   let ex, pass, mc0 =
     Obs.Span.time s_flow_test (fun () ->
         let ex = build_expanded ctx v ~threshold in
@@ -328,6 +332,8 @@ let kcut_test ctx v ~threshold =
               | Flow.Kcut.Exceeds ->
                   (ex, None, if deep then Some None else None)))
   in
+  if Obs.enabled () then
+    Obs.Histogram.observe h_cut_test (Prelude.Timer.wall () -. t_start);
   let pass_pairs = Option.map (cut_pairs ex) pass in
   (match pass with
   | Some _ -> Obs.Counter.incr c_cut_pass

@@ -1,0 +1,379 @@
+(* A dependency-free HTTP/1.1 listener over [Unix] exposing the mapping
+   pipeline as a service: POST /map runs a synthesis request, /metrics
+   is a Prometheus scrape of the Obs registries, /healthz a liveness
+   probe.
+
+   The accept loop is deliberately single-threaded: the Obs registries
+   and the synthesis pipeline are process-global and not thread-safe, so
+   requests are serialized at the accept point and concurrent clients
+   queue in the listen backlog.  "Per-request isolation" therefore means
+   exception containment (a failing request answers 4xx/5xx and never
+   tears down the loop or leaves a span open) rather than state
+   partitioning; metric state intentionally persists across requests so
+   scrape counters are monotone over the process lifetime. *)
+
+module J = Obs.Json
+
+let s_request = Obs.Span.make "serve.request"
+let h_request = Obs.Histogram.make "serve.request_seconds"
+let g_inflight = Obs.Gauge.make "serve.inflight"
+
+(* requests by (route, status), rendered as an extra Prometheus family;
+   a plain assoc-count table, only touched from the accept loop *)
+let request_counts : (string * int, int) Hashtbl.t = Hashtbl.create 16
+
+let count_request ~route ~status =
+  let key = (route, status) in
+  Hashtbl.replace request_counts key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt request_counts key))
+
+let request_family () =
+  let samples =
+    Hashtbl.fold
+      (fun (route, status) n acc ->
+        {
+          Obs.Prometheus.labels =
+            [ ("route", route); ("status", string_of_int status) ];
+          value = float_of_int n;
+        }
+        :: acc)
+      request_counts []
+    |> List.sort compare
+  in
+  {
+    Obs.Prometheus.fname = "serve.requests";
+    fhelp = "HTTP requests handled, by route and status.";
+    ftype = `Counter;
+    samples;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Mapping requests                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let algo_of_string = function
+  | "turbosyn" -> Some `Turbosyn
+  | "turbomap" -> Some `Turbomap
+  | "flowsyn-s" -> Some `Flowsyn_s
+  | _ -> None
+
+(* The response document is a deterministic function of (circuit, algo,
+   k): no timings, no machine state.  The same renderer backs the serve
+   path and the test's direct [Synth.run] comparison, so byte equality
+   of the two is meaningful. *)
+let result_json ~circuit ~k (r : Turbosyn.Synth.result) =
+  J.Obj
+    [
+      ("schema", J.Str "turbosyn-serve/1");
+      ("circuit", J.Str circuit);
+      ("algo", J.Str (Turbosyn.Synth.algo_name r.Turbosyn.Synth.algo));
+      ("k", J.Int k);
+      ("phi", J.Str (Prelude.Rat.to_string r.Turbosyn.Synth.phi));
+      ("clock_period", J.Int r.Turbosyn.Synth.clock_period);
+      ("latency", J.Int r.Turbosyn.Synth.latency);
+      ("luts", J.Int r.Turbosyn.Synth.luts);
+      ("probes", J.Int r.Turbosyn.Synth.probes);
+      ( "labels",
+        match r.Turbosyn.Synth.labels with
+        | None -> J.Null
+        | Some labels ->
+            J.List
+              (Array.to_list
+                 (Array.map
+                    (fun l -> J.Str (Prelude.Rat.to_string l))
+                    labels)) );
+    ]
+
+let map_response ~circuit ~k ~algo =
+  match Workloads.Suite.find circuit with
+  | None -> Error (Printf.sprintf "unknown circuit %S" circuit)
+  | Some spec ->
+      if k < 2 || k > 16 then Error (Printf.sprintf "k out of range: %d" k)
+      else
+        let nl = Workloads.Suite.build spec in
+        let options = Turbosyn.Synth.default_options ~k () in
+        let r = Turbosyn.Synth.run ~options algo nl in
+        Ok (result_json ~circuit ~k r)
+
+(* body may be a JSON object {"circuit": ..., "k": ..., "algo": ...};
+   query parameters (circuit, k, algo) override nothing — they are the
+   GET-form of the same request and looked up when the body is absent *)
+let parse_map_request ~query ~body =
+  let from_query key = List.assoc_opt key query in
+  let doc =
+    match body with
+    | "" -> Ok None
+    | s -> Result.map Option.some (J.of_string s)
+  in
+  match doc with
+  | Error e -> Error ("invalid JSON body: " ^ e)
+  | Ok doc -> (
+      let str key =
+        match Option.bind doc (J.member key) with
+        | Some (J.Str s) -> Some s
+        | Some _ -> None
+        | None -> from_query key
+      in
+      let int key =
+        match Option.bind doc (J.member key) with
+        | Some (J.Int i) -> Some (Some i)
+        | Some _ -> Some None (* present but not an int: reject *)
+        | None -> (
+            match from_query key with
+            | Some s -> Some (int_of_string_opt s)
+            | None -> None)
+      in
+      match str "circuit" with
+      | None -> Error "missing \"circuit\""
+      | Some circuit -> (
+          let k =
+            match int "k" with
+            | None -> Ok 5
+            | Some (Some i) -> Ok i
+            | Some None -> Error "\"k\" is not an integer"
+          in
+          let algo =
+            match str "algo" with
+            | None -> Ok `Turbosyn
+            | Some name -> (
+                match algo_of_string name with
+                | Some a -> Ok a
+                | None -> Error (Printf.sprintf "unknown algo %S" name))
+          in
+          match (k, algo) with
+          | Ok k, Ok algo -> Ok (circuit, k, algo)
+          | Error e, _ | _, Error e -> Error e))
+
+(* ------------------------------------------------------------------ *)
+(* HTTP plumbing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  listen : Unix.file_descr;
+  port : int;
+  mutable stopped : bool;
+}
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | _ -> "Unknown"
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let respond fd ~status ~content_type body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n"
+      status (status_text status) content_type (String.length body)
+  in
+  write_all fd (head ^ body)
+
+let respond_json fd ~status json =
+  respond fd ~status ~content_type:"application/json"
+    (J.to_string json ^ "\n")
+
+let respond_error fd ~status msg =
+  respond_json fd ~status (J.Obj [ ("error", J.Str msg) ])
+
+(* read until the header terminator, then Content-Length body bytes *)
+let read_request fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let header_end () =
+    let s = Buffer.contents buf in
+    let rec find i =
+      if i + 3 >= String.length s then None
+      else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+              && s.[i + 3] = '\n'
+      then Some (i + 4)
+      else find (i + 1)
+    in
+    find 0
+  in
+  let rec read_headers () =
+    match header_end () with
+    | Some e -> Some e
+    | None ->
+        if Buffer.length buf > 1 lsl 20 then None (* oversized header *)
+        else
+          let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+          if n = 0 then None
+          else begin
+            Buffer.add_subbytes buf chunk 0 n;
+            read_headers ()
+          end
+  in
+  match read_headers () with
+  | None -> None
+  | Some body_start ->
+      let raw = Buffer.contents buf in
+      let head = String.sub raw 0 body_start in
+      let lines = String.split_on_char '\n' head in
+      let request_line =
+        match lines with l :: _ -> String.trim l | [] -> ""
+      in
+      let headers =
+        List.filter_map
+          (fun l ->
+            match String.index_opt l ':' with
+            | Some i ->
+                Some
+                  ( String.lowercase_ascii (String.trim (String.sub l 0 i)),
+                    String.trim
+                      (String.sub l (i + 1) (String.length l - i - 1)) )
+            | None -> None)
+          (List.tl lines)
+      in
+      let content_length =
+        match List.assoc_opt "content-length" headers with
+        | Some v -> Option.value ~default:0 (int_of_string_opt v)
+        | None -> 0
+      in
+      let content_length = min content_length (1 lsl 24) in
+      let body = Buffer.create content_length in
+      Buffer.add_string body
+        (String.sub raw body_start (String.length raw - body_start));
+      let rec fill () =
+        if Buffer.length body < content_length then begin
+          let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+          if n > 0 then begin
+            Buffer.add_subbytes body chunk 0 n;
+            fill ()
+          end
+        end
+      in
+      fill ();
+      (match String.split_on_char ' ' request_line with
+      | meth :: target :: _ -> Some (meth, target, Buffer.contents body)
+      | _ -> None)
+
+let parse_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some i ->
+      let path = String.sub target 0 i in
+      let qs = String.sub target (i + 1) (String.length target - i - 1) in
+      let query =
+        List.filter_map
+          (fun kv ->
+            match String.index_opt kv '=' with
+            | Some j ->
+                Some
+                  ( String.sub kv 0 j,
+                    String.sub kv (j + 1) (String.length kv - j - 1) )
+            | None -> None)
+          (String.split_on_char '&' qs)
+      in
+      (path, query)
+
+let handle_map fd ~query ~body =
+  match parse_map_request ~query ~body with
+  | Error e ->
+      respond_error fd ~status:400 e;
+      400
+  | Ok (circuit, k, algo) -> (
+      match map_response ~circuit ~k ~algo with
+      | Ok json ->
+          respond_json fd ~status:200 json;
+          200
+      | Error e ->
+          respond_error fd ~status:400 e;
+          400)
+
+let handle_connection fd =
+  match read_request fd with
+  | None -> ignore (count_request ~route:"malformed" ~status:400)
+  | Some (meth, target, body) ->
+      let path, query = parse_target target in
+      let route, status =
+        match (meth, path) with
+        | "GET", "/healthz" ->
+            respond fd ~status:200 ~content_type:"text/plain" "ok\n";
+            ("healthz", 200)
+        | "GET", "/metrics" ->
+            let scrape =
+              Obs.Prometheus.render ~extra:[ request_family () ] ()
+            in
+            respond fd ~status:200
+              ~content_type:"text/plain; version=0.0.4" scrape;
+            ("metrics", 200)
+        | ("POST" | "GET"), "/map" ->
+            Obs.Gauge.incr g_inflight;
+            let t0 = Prelude.Timer.wall () in
+            let status =
+              Fun.protect
+                ~finally:(fun () ->
+                  Obs.Gauge.decr g_inflight;
+                  Obs.Histogram.observe h_request (Prelude.Timer.wall () -. t0))
+                (fun () ->
+                  Obs.Span.time s_request (fun () ->
+                      try handle_map fd ~query ~body
+                      with e ->
+                        (try
+                           respond_error fd ~status:500 (Printexc.to_string e)
+                         with _ -> ());
+                        500))
+            in
+            ("map", status)
+        | _, ("/healthz" | "/metrics" | "/map") ->
+            respond_error fd ~status:405 "method not allowed";
+            ("method", 405)
+        | _ ->
+            respond_error fd ~status:404 "not found";
+            ("other", 404)
+      in
+      count_request ~route ~status
+
+let create ?(port = 0) () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  { listen = fd; port; stopped = false }
+
+let port t = t.port
+
+let run t =
+  (* a client that disconnects mid-response must not kill the server *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let rec loop () =
+    match Unix.accept t.listen with
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> if not t.stopped then loop ()
+    | fd, _ ->
+        (try handle_connection fd
+         with Unix.Unix_error (_, _, _) -> () (* client went away *));
+        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+        if not t.stopped then loop ()
+  in
+  loop ()
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    (* [shutdown] wakes a blocked [accept] (EINVAL) even from another
+       domain; a plain [close] would not — the in-flight accept holds a
+       reference to the socket and blocks forever *)
+    (try Unix.shutdown t.listen Unix.SHUTDOWN_ALL
+     with Unix.Unix_error (_, _, _) -> ());
+    try Unix.close t.listen with Unix.Unix_error (_, _, _) -> ()
+  end

@@ -1,0 +1,54 @@
+(** The mapping pipeline as an HTTP service.
+
+    A dependency-free HTTP/1.1 listener over [Unix] with three routes:
+
+    - [POST /map] (or [GET /map?circuit=...&k=...&algo=...]) runs a
+      mapping request — JSON body
+      [{"circuit": "bbara", "k": 5, "algo": "turbosyn"}] — and answers
+      a deterministic [turbosyn-serve/1] document (phi, clock period,
+      latency, LUTs, probes, and the per-signal labels; no timings).
+    - [GET /metrics] answers a Prometheus text-exposition scrape of the
+      {!Obs} registries plus the server's own request counters.
+    - [GET /healthz] answers [ok].
+
+    The accept loop is single-threaded (the Obs registries and the
+    pipeline are process-global); concurrent clients queue in the listen
+    backlog and are served in order.  A failing request answers
+    4xx/5xx without tearing down the loop, and metric state persists
+    across requests so scrape counters are monotone. *)
+
+type t
+
+val create : ?port:int -> unit -> t
+(** Bind and listen on [127.0.0.1:port].  [port] defaults to [0]: the
+    kernel picks an ephemeral port, readable via {!port}.  Raises
+    [Unix.Unix_error] when binding fails (e.g. port in use). *)
+
+val port : t -> int
+
+val run : t -> unit
+(** Serve until {!stop}.  Blocks the calling thread; run it in a
+    [Domain] (as [bench serve-load] and the tests do) to drive requests
+    from the same process. *)
+
+val stop : t -> unit
+(** Close the listen socket, waking the blocked accept.  In-flight
+    request handling completes first (the loop is single-threaded). *)
+
+(** {1 Request plumbing, exposed for tests} *)
+
+val algo_of_string : string -> Turbosyn.Synth.algo option
+
+val result_json :
+  circuit:string -> k:int -> Turbosyn.Synth.result -> Obs.Json.t
+(** The deterministic response renderer shared by the serve path and the
+    byte-identity test: rendering a direct {!Turbosyn.Synth.run} result
+    through it must equal the served body. *)
+
+val map_response :
+  circuit:string ->
+  k:int ->
+  algo:Turbosyn.Synth.algo ->
+  (Obs.Json.t, string) result
+(** Resolve the circuit, run the mapping, render the response; [Error]
+    on unknown circuits or out-of-range [k]. *)

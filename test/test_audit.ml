@@ -283,6 +283,88 @@ let test_diff_gating () =
       | Ok _ -> Alcotest.fail "accepted a non-stats document"
       | Error _ -> ())
 
+(* a committed v1 baseline keeps gating v2 documents: forward compat *)
+let test_diff_v1_baseline () =
+  with_obs (fun () ->
+      let c = Obs.Counter.make "test.diff-v1-counter" in
+      Obs.Counter.add c 100;
+      Obs.Histogram.observe_int (Obs.Histogram.make "test.diff-v1-hist") 3;
+      let cur = Obs.Report.stats_json () in
+      Alcotest.(check (option string))
+        "current is v2"
+        (Some "turbosyn-stats/2")
+        (match J.member "schema" cur with
+        | Some (J.Str s) -> Some s
+        | _ -> None);
+      (* a v1 baseline: counters and spans only, no histograms section *)
+      let base =
+        J.Obj
+          [
+            ("schema", J.Str "turbosyn-stats/1");
+            ("enabled", J.Bool true);
+            ( "counters",
+              J.Obj [ ("test.diff-v1-counter", J.Int 100) ] );
+            ( "spans",
+              J.Obj
+                [
+                  ( "test.absent-span",
+                    J.Obj
+                      [ ("seconds", J.Float 0.); ("entries", J.Int 0) ] );
+                ] );
+          ]
+      in
+      (* the v1 baseline's span is absent from the current registry only
+         if never registered; register it so the diff is clean *)
+      ignore (Obs.Span.make "test.absent-span");
+      let cur = Obs.Report.stats_json () in
+      (match Audit.Diff.diff ~base ~cur () with
+      | Ok d ->
+          Alcotest.(check bool) "v1 base vs v2 cur ok" true d.Audit.Diff.ok;
+          Alcotest.(check (list string)) "nothing missing" [] d.Audit.Diff.missing
+      | Error e -> Alcotest.failf "v1/v2 diff errored: %s" e);
+      (* an injected counter regression still gates across versions *)
+      let base_low =
+        patch [ "counters"; "test.diff-v1-counter" ] (fun _ -> J.Int 10) base
+      in
+      (match Audit.Diff.diff ~base:base_low ~cur () with
+      | Ok d ->
+          Alcotest.(check bool) "regression detected across versions" false
+            d.Audit.Diff.ok
+      | Error e -> Alcotest.failf "v1/v2 diff errored: %s" e);
+      (* the reverse skew — v2 baseline against a v1 document — errors *)
+      match Audit.Diff.diff ~base:cur ~cur:base () with
+      | Ok _ -> Alcotest.fail "accepted a newer baseline"
+      | Error _ -> ())
+
+(* histogram observation counts gate when both documents carry them *)
+let test_diff_histogram_gating () =
+  with_obs (fun () ->
+      let h = Obs.Histogram.make "test.diff-hist" in
+      for i = 1 to 100 do
+        Obs.Histogram.observe_int h i
+      done;
+      let base = Obs.Report.stats_json () in
+      (match Audit.Diff.diff ~base ~cur:base () with
+      | Ok d ->
+          Alcotest.(check bool) "self diff ok" true d.Audit.Diff.ok;
+          Alcotest.(check bool) "histogram item present" true
+            (List.exists
+               (fun i -> i.Audit.Diff.name = "test.diff-hist")
+               d.Audit.Diff.histograms)
+      | Error e -> Alcotest.failf "self diff errored: %s" e);
+      (* 100 -> 200 observations exceeds 100 * 1.25 + 16 *)
+      let cur =
+        patch
+          [ "histograms"; "test.diff-hist"; "count" ]
+          (fun _ -> J.Int 200)
+          base
+      in
+      match Audit.Diff.diff ~base ~cur () with
+      | Ok d ->
+          Alcotest.(check bool) "histogram regression detected" false
+            d.Audit.Diff.ok
+      | Error e -> Alcotest.failf "diff errored: %s" e)
+
 (* ---------------------------------------------------------------- *)
 (* Timeline                                                         *)
 (* ---------------------------------------------------------------- *)
@@ -306,6 +388,26 @@ let test_timeline_shape () =
           let instants = List.filter (fun e -> phase e = "i") evs in
           Alcotest.(check int) "two complete slices" 2 (List.length complete);
           Alcotest.(check int) "one instant" 1 (List.length instants);
+          (* named tracks: process_name/thread_name metadata events with
+             an args.name, so Perfetto shows labels instead of bare pids *)
+          let meta_name key =
+            List.exists
+              (fun e ->
+                phase e = "M"
+                && J.member "name" e = Some (J.Str key)
+                &&
+                match J.member "args" e with
+                | Some args -> (
+                    match J.member "name" args with
+                    | Some (J.Str n) -> n <> ""
+                    | _ -> false)
+                | None -> false)
+              evs
+          in
+          Alcotest.(check bool) "process_name metadata" true
+            (meta_name "process_name");
+          Alcotest.(check bool) "thread_name metadata" true
+            (meta_name "thread_name");
           List.iter
             (fun e ->
               (match J.member "ts" e with
@@ -338,6 +440,13 @@ let () =
           Alcotest.test_case "label" `Slow test_reject_mutated_label;
           Alcotest.test_case "witness" `Slow test_reject_mutated_witness;
         ] );
-      ("diff", [ Alcotest.test_case "gating" `Quick test_diff_gating ]);
+      ( "diff",
+        [
+          Alcotest.test_case "gating" `Quick test_diff_gating;
+          Alcotest.test_case "v1 baseline vs v2 document" `Quick
+            test_diff_v1_baseline;
+          Alcotest.test_case "histogram counts" `Quick
+            test_diff_histogram_gating;
+        ] );
       ("timeline", [ Alcotest.test_case "shape" `Quick test_timeline_shape ]);
     ]

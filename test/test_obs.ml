@@ -322,6 +322,124 @@ let test_stats_schema () =
           | None -> Alcotest.fail "span missing")
       | None -> Alcotest.fail "no spans object")
 
+(* ---------------------------------------------------------------- *)
+(* Histogram properties                                             *)
+(* ---------------------------------------------------------------- *)
+
+let run_qcheck t =
+  match QCheck.Test.check_exn t with
+  | () -> ()
+  | exception QCheck.Test.Test_fail (name, cex) ->
+      Alcotest.failf "%s failed on %s" name (String.concat "; " cex)
+
+(* Mostly positive magnitudes spanning many buckets, with zero,
+   negatives (bucket 0) and huge values (clamped top bucket) mixed
+   in. *)
+let value_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (8, float_range 1e-6 1e6);
+        (1, return 0.);
+        (1, float_range (-100.) 0.);
+        (1, float_range 1e6 1e18);
+      ])
+
+let print_values vs = String.concat ", " (List.map string_of_float vs)
+
+let values_arbitrary =
+  QCheck.make ~print:print_values QCheck.Gen.(list_size (0 -- 64) value_gen)
+
+let nonempty_values_arbitrary =
+  QCheck.make ~print:print_values QCheck.Gen.(list_size (1 -- 64) value_gen)
+
+(* Zero every histogram, replay [vs] into one, and return its snapshot
+   (snapshots are immutable, so later resets do not disturb it). *)
+let snapshot_of_values vs =
+  Obs.Histogram.reset_all ();
+  let h = Obs.Histogram.make "test.hist-prop" in
+  List.iter (Obs.Histogram.observe h) vs;
+  Obs.Histogram.snapshot h
+
+let test_histogram_buckets () =
+  (* fixed global layout, independent of the observability switch *)
+  for i = 0 to Obs.Histogram.nbuckets - 2 do
+    Alcotest.(check bool) "upper bounds strictly increase" true
+      (Obs.Histogram.bucket_upper i < Obs.Histogram.bucket_upper (i + 1))
+  done;
+  Alcotest.(check bool) "last bucket unbounded" true
+    (Obs.Histogram.bucket_upper (Obs.Histogram.nbuckets - 1) = infinity);
+  let pair_arb =
+    QCheck.make
+      ~print:(fun (a, b) -> Printf.sprintf "(%g, %g)" a b)
+      QCheck.Gen.(pair value_gen value_gen)
+  in
+  run_qcheck
+    (QCheck.Test.make ~count:1000 ~name:"bucket_of weakly monotone" pair_arb
+       (fun (a, b) ->
+         let lo = Float.min a b and hi = Float.max a b in
+         Obs.Histogram.bucket_of lo <= Obs.Histogram.bucket_of hi));
+  run_qcheck
+    (QCheck.Test.make ~count:1000 ~name:"value under its bucket bound"
+       (QCheck.make ~print:string_of_float value_gen)
+       (fun v -> v <= Obs.Histogram.bucket_upper (Obs.Histogram.bucket_of v)))
+
+let test_histogram_merge () =
+  with_obs (fun () ->
+      let pair_arb =
+        QCheck.make
+          ~print:(fun (xs, ys) ->
+            Printf.sprintf "[%s] / [%s]" (print_values xs) (print_values ys))
+          QCheck.Gen.(
+            pair (list_size (0 -- 64) value_gen) (list_size (0 -- 64) value_gen))
+      in
+      run_qcheck
+        (QCheck.Test.make ~count:200 ~name:"merge commutes and preserves mass"
+           pair_arb (fun (xs, ys) ->
+             let a = snapshot_of_values xs in
+             let b = snapshot_of_values ys in
+             let m = Obs.Histogram.merge a b in
+             m = Obs.Histogram.merge b a
+             && m.Obs.Histogram.s_count = List.length xs + List.length ys
+             && List.fold_left
+                  (fun acc (_, c) -> acc + c)
+                  0 m.Obs.Histogram.s_buckets
+                = m.Obs.Histogram.s_count)))
+
+let test_histogram_quantiles () =
+  with_obs (fun () ->
+      run_qcheck
+        (QCheck.Test.make ~count:200 ~name:"quantiles ordered and bounded"
+           nonempty_values_arbitrary (fun vs ->
+             let s = snapshot_of_values vs in
+             let q p = Obs.Histogram.snapshot_quantile s p in
+             let p50 = q 0.5 and p90 = q 0.9 and p99 = q 0.99 in
+             s.Obs.Histogram.s_min <= p50
+             && p50 <= p90 && p90 <= p99
+             && p99 <= s.Obs.Histogram.s_max)))
+
+let test_histogram_json () =
+  with_obs (fun () ->
+      run_qcheck
+        (QCheck.Test.make ~count:200 ~name:"snapshot JSON round trip"
+           values_arbitrary (fun vs ->
+             let s = snapshot_of_values vs in
+             let j = Obs.Histogram.snapshot_to_json s in
+             let direct =
+               match Obs.Histogram.snapshot_of_json j with
+               | Ok s' -> s' = s
+               | Error _ -> false
+             in
+             let through_text =
+               match Obs.Json.of_string (Obs.Json.to_string j) with
+               | Ok j' -> (
+                   match Obs.Histogram.snapshot_of_json j' with
+                   | Ok s' -> s' = s
+                   | Error _ -> false)
+               | Error _ -> false
+             in
+             direct && through_text)))
+
 let () =
   Alcotest.run "obs"
     [
@@ -352,5 +470,12 @@ let () =
           Alcotest.test_case "round trip" `Quick test_json_round_trip;
           Alcotest.test_case "properties" `Quick test_json_properties;
           Alcotest.test_case "stats schema" `Quick test_stats_schema;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket layout" `Quick test_histogram_buckets;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "json round trip" `Quick test_histogram_json;
         ] );
     ]

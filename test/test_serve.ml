@@ -1,0 +1,219 @@
+(* Integration tests for the HTTP serve mode: a live in-process server
+   (the accept loop runs in its own domain), concurrent mapping requests
+   checked byte-for-byte against the CLI pipeline through the shared
+   renderer, and Prometheus scrapes validated with the exposition
+   checker. *)
+
+(* ---------------------------------------------------------------- *)
+(* A minimal blocking HTTP client over Unix sockets                 *)
+(* ---------------------------------------------------------------- *)
+
+let send_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+let recv_all fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+    if n > 0 then (
+      Buffer.add_subbytes buf chunk 0 n;
+      go ())
+  in
+  go ();
+  Buffer.contents buf
+
+(* [http ~port ~meth ~path ()] returns (status code, body).  The server
+   answers Connection: close, so the body is everything after the blank
+   line up to EOF. *)
+let http ~port ~meth ~path ?(body = "") () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      send_all fd
+        (Printf.sprintf
+           "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\n\
+            Connection: close\r\n\r\n%s"
+           meth path (String.length body) body);
+      let resp = recv_all fd in
+      let status =
+        match String.split_on_char ' ' resp with
+        | _http :: code :: _ -> int_of_string_opt code
+        | _ -> None
+      in
+      let rec blank i =
+        if i + 4 > String.length resp then String.length resp
+        else if String.sub resp i 4 = "\r\n\r\n" then i + 4
+        else blank (i + 1)
+      in
+      let start = blank 0 in
+      ( Option.value ~default:0 status,
+        String.sub resp start (String.length resp - start) ))
+
+(* Value of one exposition series by exact name match (no label block),
+   e.g. the [_count] series of a histogram family. *)
+let series_value body name =
+  String.split_on_char '\n' body
+  |> List.find_map (fun line ->
+         match String.index_opt line ' ' with
+         | Some i when String.sub line 0 i = name ->
+             float_of_string_opt
+               (String.sub line (i + 1) (String.length line - i - 1))
+         | _ -> None)
+
+(* ---------------------------------------------------------------- *)
+(* Server lifecycle                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let with_server f =
+  Obs.set_enabled true;
+  Obs.reset ();
+  let server = Serve.Server.create ~port:0 () in
+  let srv = Domain.spawn (fun () -> Serve.Server.run server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      Domain.join srv;
+      Obs.reset ();
+      Obs.set_enabled false)
+    (fun () -> f (Serve.Server.port server))
+
+let map_body ~circuit ~algo =
+  Printf.sprintf "{\"circuit\": %S, \"k\": 5, \"algo\": %S}" circuit algo
+
+(* ---------------------------------------------------------------- *)
+(* Concurrent mapping requests, byte-identical to the CLI path       *)
+(* ---------------------------------------------------------------- *)
+
+let test_concurrent_map () =
+  with_server (fun port ->
+      (* Expected bodies: a direct [Synth.run] rendered through the
+         same [result_json] the server uses.  Computed before any
+         request is in flight — the pipeline is process-global and the
+         server serializes it behind the accept loop. *)
+      let circuits = [| "bbara"; "dk16" |] in
+      let expected name =
+        let spec = Option.get (Workloads.Suite.find name) in
+        let nl = Workloads.Suite.build spec in
+        let options = Turbosyn.Synth.default_options ~k:5 () in
+        let r = Turbosyn.Synth.run ~options `Turbomap nl in
+        Obs.Json.to_string (Serve.Server.result_json ~circuit:name ~k:5 r)
+        ^ "\n"
+      in
+      let want = Array.map expected circuits in
+      let jobs = 8 in
+      let replies =
+        Array.init jobs (fun i ->
+            Domain.spawn (fun () ->
+                http ~port ~meth:"POST" ~path:"/map"
+                  ~body:
+                    (map_body
+                       ~circuit:circuits.(i mod Array.length circuits)
+                       ~algo:"turbomap")
+                  ()))
+        |> Array.map Domain.join
+      in
+      Array.iteri
+        (fun i (status, body) ->
+          Alcotest.(check int) (Printf.sprintf "request %d status" i) 200 status;
+          Alcotest.(check string)
+            (Printf.sprintf "request %d body identical to direct run" i)
+            want.(i mod Array.length circuits)
+            body)
+        replies;
+      (* the GET form answers the same document *)
+      let status, body =
+        http ~port ~meth:"GET" ~path:"/map?circuit=bbara&k=5&algo=turbomap" ()
+      in
+      Alcotest.(check int) "GET form status" 200 status;
+      Alcotest.(check string) "GET form body" want.(0) body;
+      (* failing requests answer errors without killing the loop *)
+      let status, _ =
+        http ~port ~meth:"POST" ~path:"/map"
+          ~body:(map_body ~circuit:"no-such-circuit" ~algo:"turbomap")
+          ()
+      in
+      Alcotest.(check int) "unknown circuit rejected" 400 status;
+      let status, _ = http ~port ~meth:"GET" ~path:"/nowhere" () in
+      Alcotest.(check int) "unknown route" 404 status;
+      let status, body = http ~port ~meth:"GET" ~path:"/healthz" () in
+      Alcotest.(check int) "alive after errors" 200 status;
+      Alcotest.(check string) "healthz body" "ok\n" body)
+
+(* ---------------------------------------------------------------- *)
+(* Prometheus scrape: valid exposition, live histograms, monotone     *)
+(* counters across scrapes                                           *)
+(* ---------------------------------------------------------------- *)
+
+let test_scrape () =
+  with_server (fun port ->
+      (* one full-pipeline request so the label engine, max-flow and
+         expansion histograms all record observations *)
+      let status, _ =
+        http ~port ~meth:"POST" ~path:"/map"
+          ~body:(map_body ~circuit:"bbara" ~algo:"turbosyn")
+          ()
+      in
+      Alcotest.(check int) "turbosyn map status" 200 status;
+      let status, scrape1 = http ~port ~meth:"GET" ~path:"/metrics" () in
+      Alcotest.(check int) "first scrape status" 200 status;
+      (match Obs.Prometheus.validate scrape1 with
+      | Ok () -> ()
+      | Error vs ->
+          Alcotest.failf "first scrape invalid: %s" (String.concat "; " vs));
+      List.iter
+        (fun family ->
+          let series = family ^ "_count" in
+          match series_value scrape1 series with
+          | Some v ->
+              Alcotest.(check bool) (series ^ " nonzero") true (v > 0.)
+          | None -> Alcotest.failf "series %s missing from scrape" series)
+        [
+          "turbosyn_maxflow_augmenting_paths_per_flow";
+          "turbosyn_expand_nodes_per_build";
+          "turbosyn_label_cut_test_seconds";
+          "turbosyn_synth_e2e_seconds";
+          "turbosyn_serve_request_seconds";
+        ];
+      (* a second scrape after more traffic: every counter series is
+         still present and has not decreased *)
+      let status, _ =
+        http ~port ~meth:"POST" ~path:"/map"
+          ~body:(map_body ~circuit:"bbara" ~algo:"turbomap")
+          ()
+      in
+      Alcotest.(check int) "second map status" 200 status;
+      let status, scrape2 = http ~port ~meth:"GET" ~path:"/metrics" () in
+      Alcotest.(check int) "second scrape status" 200 status;
+      (match Obs.Prometheus.validate scrape2 with
+      | Ok () -> ()
+      | Error vs ->
+          Alcotest.failf "second scrape invalid: %s" (String.concat "; " vs));
+      let before = Obs.Prometheus.counter_values scrape1 in
+      let after = Obs.Prometheus.counter_values scrape2 in
+      Alcotest.(check bool) "scrape has counters" true (before <> []);
+      List.iter
+        (fun (series, v1) ->
+          match List.assoc_opt series after with
+          | Some v2 ->
+              if v2 < v1 then
+                Alcotest.failf "counter %s regressed: %g -> %g" series v1 v2
+          | None -> Alcotest.failf "counter %s vanished" series)
+        before)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "serve",
+        [
+          Alcotest.test_case "concurrent mapping requests" `Quick
+            test_concurrent_map;
+          Alcotest.test_case "prometheus scrape" `Quick test_scrape;
+        ] );
+    ]
