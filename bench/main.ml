@@ -655,10 +655,15 @@ let serve_load ~jobs ~quick () =
   if Atomic.get failures > 0 then exit 2
 
 (* ------------------------------------------------------------------ *)
-(* Perf mode: the worklist+arena label engine vs the seed sweep engine *)
-(* on the default TurboSYN flow.  Emits BENCH_perf.json (schema        *)
-(* turbosyn-perf/1, see doc/PERF.md) and exits nonzero when the new    *)
-(* engine regresses past 1.2x or disagrees on phi or labels.           *)
+(* Perf mode: (a) the worklist+arena label engine vs the seed sweep    *)
+(* engine on the default TurboSYN flow, and (b) the intra-phi parallel *)
+(* scheduler (--jobs N lanes) vs the sequential engine at phi*.  Emits *)
+(* BENCH_perf.json (schema turbosyn-perf/2, see doc/PERF.md) and exits *)
+(* nonzero when the worklist engine regresses past 1.2x, when any      *)
+(* engine/lane configuration disagrees on phi, labels, provenance or   *)
+(* audit documents (the hard jobs-invariance gate of                   *)
+(* doc/CONCURRENCY.md), or — on multicore hosts running with           *)
+(* --jobs > 1 — when the intra-phi geomean speedup falls below 1.5x.   *)
 (* ------------------------------------------------------------------ *)
 
 let perf_quick_set = [ "bbara"; "s298" ]
@@ -667,10 +672,16 @@ let perf_set =
   [ "bbara"; "bbsse"; "cse"; "donfile"; "keyb"; "s1"; "s298"; "s526" ]
 
 let perf ~quick ~jobs ~out () =
+  (* lanes for the intra-phi comparison: the requested --jobs, but at
+     least 2 so the parallel scheduler (and its identity gate) is always
+     exercised, even on default runs *)
+  let lanes = max 2 jobs in
+  let multicore = Domain.recommended_domain_count () > 1 in
   Format.printf
-    "@.== Perf: worklist+arena engine vs seed sweep engine (TurboSYN, K=5, \
-     jobs=%d) ==@."
-    jobs;
+    "@.== Perf: worklist+arena engine vs seed sweep engine, and intra-phi \
+     lanes (TurboSYN, K=5, jobs=%d, lanes=%d, %s) ==@."
+    jobs lanes
+    (if multicore then "multicore" else "single core");
   let names = if quick then perf_quick_set else perf_set in
   let base = Turbosyn.Synth.default_options ~k:5 () in
   let t =
@@ -684,9 +695,14 @@ let perf ~quick ~jobs ~out () =
         ("sweep tests", Table.Right);
         ("worklist tests", Table.Right);
         ("labels", Table.Right);
+        ("phi-run j1", Table.Right);
+        (Printf.sprintf "j%d" lanes, Table.Right);
+        ("intra x", Table.Right);
+        ("ident", Table.Right);
       ]
   in
   let speedups = ref [] in
+  let intra_speedups = ref [] in
   let all_ok = ref true in
   let rows =
     List.map
@@ -710,7 +726,7 @@ let perf ~quick ~jobs ~out () =
         Format.eprintf "[perf] %s sweep@." name;
         let r_old, t_old, c_old = run Seqmap.Label_engine.Sweep 1 in
         Format.eprintf "[perf] %s worklist@." name;
-        let r_new, t_new, c_new = run Seqmap.Label_engine.Worklist jobs in
+        let r_new, t_new, c_new = run Seqmap.Label_engine.Worklist 1 in
         let phi = r_new.Turbosyn.Synth.phi in
         let phi_equal = Rat.equal r_old.Turbosyn.Synth.phi phi in
         (* label-for-label equivalence at phi*: one extra label run per
@@ -735,7 +751,59 @@ let perf ~quick ~jobs ~out () =
           | None, None -> true
           | _ -> false
         in
-        if not (phi_equal && labels_equal) then all_ok := false;
+        (* intra-phi lanes: one label run at phi* per lane count; the
+           outcome (labels and provenance) must be identical — the hard
+           jobs-invariance gate (doc/CONCURRENCY.md) *)
+        Format.eprintf "[perf] %s intra-phi (1 vs %d lanes)@." name lanes;
+        let label_run jobs' =
+          let opts =
+            {
+              (Turbosyn.Synth.engine_options base ~resynthesize:true) with
+              Seqmap.Label_engine.jobs = jobs';
+            }
+          in
+          Timer.time (fun () -> Seqmap.Label_engine.run opts nl ~phi)
+        in
+        let (o1, _), t_j1 = label_run 1 in
+        let (on, _), t_jn = label_run lanes in
+        let intra_equal =
+          match (o1, on) with
+          | ( Seqmap.Label_engine.Feasible { labels = la; prov = pa; _ },
+              Seqmap.Label_engine.Feasible { labels = lb; prov = pb; _ } ) ->
+              la = lb && pa = pb
+          | Seqmap.Label_engine.Infeasible, Seqmap.Label_engine.Infeasible ->
+              true
+          | _ -> false
+        in
+        let intra_speedup = t_j1 /. Float.max 1e-9 t_jn in
+        intra_speedups := intra_speedup :: !intra_speedups;
+        (* full-flow jobs-invariance on the quick subset: whole TurboSYN
+           runs under 1 and N lanes must yield byte-equal audit documents *)
+        let audit_equal =
+          if not (List.mem name perf_quick_set) then None
+          else begin
+            Format.eprintf "[perf] %s audit jobs-invariance@." name;
+            let doc_of jobs' =
+              let options = { base with Turbosyn.Synth.jobs = jobs' } in
+              let r = Turbosyn.Synth.run ~options `Turbosyn nl in
+              Audit.build ~source:nl ~options r
+            in
+            match (doc_of 1, doc_of lanes) with
+            | Ok a, Ok b -> (
+                match Audit.equal_documents a b with
+                | Ok () -> Some true
+                | Error e ->
+                    Format.eprintf "[perf] %s audit docs differ: %s@." name e;
+                    Some false)
+            | Error e, _ | _, Error e ->
+                Format.eprintf "[perf] %s audit build failed: %s@." name e;
+                Some false
+          end
+        in
+        let identical =
+          phi_equal && labels_equal && intra_equal && audit_equal <> Some false
+        in
+        if not identical then all_ok := false;
         let speedup = t_old /. Float.max 1e-9 t_new in
         speedups := speedup :: !speedups;
         Table.add_row t
@@ -748,41 +816,66 @@ let perf ~quick ~jobs ~out () =
             string_of_int c_old;
             string_of_int c_new;
             (if phi_equal && labels_equal then "same" else "DIFFER");
+            Printf.sprintf "%.2f" t_j1;
+            Printf.sprintf "%.2f" t_jn;
+            Printf.sprintf "%.2fx" intra_speedup;
+            (if identical then "same" else "DIFFER");
           ];
         Obs.Json.Obj
-          [
-            ("circuit", Obs.Json.Str name);
-            ("phi", Obs.Json.Str (Rat.to_string phi));
-            ("phi_equal", Obs.Json.Bool phi_equal);
-            ("labels_equal", Obs.Json.Bool labels_equal);
-            ( "sweep",
-              Obs.Json.Obj
-                [
-                  ("seconds", Obs.Json.Float t_old);
-                  ("cut_tests", Obs.Json.Int c_old);
-                ] );
-            ( "worklist",
-              Obs.Json.Obj
-                [
-                  ("seconds", Obs.Json.Float t_new);
-                  ("cut_tests", Obs.Json.Int c_new);
-                ] );
-            ("speedup", Obs.Json.Float speedup);
-          ])
+          ([
+             ("circuit", Obs.Json.Str name);
+             ("phi", Obs.Json.Str (Rat.to_string phi));
+             ("phi_equal", Obs.Json.Bool phi_equal);
+             ("labels_equal", Obs.Json.Bool labels_equal);
+             ( "sweep",
+               Obs.Json.Obj
+                 [
+                   ("seconds", Obs.Json.Float t_old);
+                   ("cut_tests", Obs.Json.Int c_old);
+                 ] );
+             ( "worklist",
+               Obs.Json.Obj
+                 [
+                   ("seconds", Obs.Json.Float t_new);
+                   ("cut_tests", Obs.Json.Int c_new);
+                 ] );
+             ("speedup", Obs.Json.Float speedup);
+             ( "intra_phi",
+               Obs.Json.Obj
+                 [
+                   ("lanes", Obs.Json.Int lanes);
+                   ("seconds_seq", Obs.Json.Float t_j1);
+                   ("seconds_par", Obs.Json.Float t_jn);
+                   ("speedup", Obs.Json.Float intra_speedup);
+                   ("identical", Obs.Json.Bool intra_equal);
+                 ] );
+           ]
+          @
+          match audit_equal with
+          | None -> []
+          | Some b -> [ ("audit_identical", Obs.Json.Bool b) ]))
       names
   in
   let g = geomean !speedups in
+  let gi = geomean !intra_speedups in
   Table.add_rule t;
-  Table.add_row t [ "geomean"; ""; ""; ""; Printf.sprintf "%.2fx" g ];
+  Table.add_row t
+    [
+      "geomean"; ""; ""; ""; Printf.sprintf "%.2fx" g; ""; ""; ""; ""; "";
+      Printf.sprintf "%.2fx" gi;
+    ];
   Table.print t;
   let doc =
     Obs.Json.Obj
       [
-        ("schema", Obs.Json.Str "turbosyn-perf/1");
+        ("schema", Obs.Json.Str "turbosyn-perf/2");
         ("k", Obs.Json.Int 5);
         ("jobs", Obs.Json.Int jobs);
+        ("intra_phi_lanes", Obs.Json.Int lanes);
+        ("multicore", Obs.Json.Bool multicore);
         ("quick", Obs.Json.Bool quick);
         ("geomean_speedup", Obs.Json.Float g);
+        ("intra_phi_geomean_speedup", Obs.Json.Float gi);
         ("circuits", Obs.Json.List rows);
       ]
   in
@@ -790,13 +883,26 @@ let perf ~quick ~jobs ~out () =
   output_string oc (Obs.Json.to_pretty_string doc);
   output_char oc '\n';
   close_out oc;
-  Format.printf "wrote %s (geomean speedup %.2fx)@." out g;
+  Format.printf
+    "wrote %s (geomean speedup %.2fx; intra-phi %.2fx over %d lanes)@." out g
+    gi lanes;
   if not !all_ok then begin
-    Format.eprintf "perf: phi/label disagreement between engines@.";
+    Format.eprintf
+      "perf: result disagreement between engines or lane counts@.";
     exit 1
   end;
   if g < 1.0 /. 1.2 then begin
     Format.eprintf "perf: worklist engine more than 1.2x slower than sweep@.";
+    exit 1
+  end;
+  (* the speedup gate is meaningful only when lanes can actually run in
+     parallel: on a single-core host the identity gate above is the
+     binding check and the lanes merely add scheduling overhead *)
+  if jobs > 1 && multicore && gi < 1.5 then begin
+    Format.eprintf
+      "perf: intra-phi speedup %.2fx below the 1.5x floor on a multicore \
+       host@."
+      gi;
     exit 1
   end
 

@@ -69,8 +69,17 @@ let exact_arg =
 
 let jobs_arg =
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Label the independent SCCs of each condensation level on \
+               $(docv) domains inside every label run (intra-phi lanes, \
+               doc/CONCURRENCY.md; byte-identical result for every N; \
+               N=1 is fully sequential).")
+
+let probe_jobs_arg =
+  Arg.(value & opt int 1 & info [ "probe-jobs" ] ~docv:"N"
          ~doc:"Run up to $(docv) speculative ratio-search probes in parallel \
-               (same result for every N; N=1 is the sequential search).")
+               (same result for every N; N=1 is the sequential search).  \
+               Orthogonal to $(b,--jobs): combining both multiplies the \
+               domain count.")
 
 let sweep_arg =
   Arg.(value & flag & info [ "sweep-engine" ]
@@ -156,7 +165,7 @@ let stats_cmd =
 
 let map_cmd =
   let run input workload algo k output verilog verify no_pld no_area multi exact
-      jobs sweep stats trace timeline audit =
+      jobs probe_jobs sweep stats trace timeline audit =
     match load ~input ~workload with
     | Error e -> exit_err e
     | Ok nl -> (
@@ -168,6 +177,7 @@ let map_cmd =
             multi_output = multi;
             phi_max_den = (if exact then None else Some 24);
             jobs = max 1 jobs;
+            probe_jobs = max 1 probe_jobs;
             engine =
               (if sweep then Seqmap.Label_engine.Sweep
                else Seqmap.Label_engine.Worklist);
@@ -290,8 +300,8 @@ let map_cmd =
     Term.(
       const run $ input_arg $ workload_arg $ algo_arg $ k_arg $ output_arg
       $ verilog_arg $ verify_arg $ no_pld_arg $ no_area_arg $ multi_arg
-      $ exact_arg $ jobs_arg $ sweep_arg $ stats_arg $ trace_arg $ timeline_arg
-      $ audit_arg)
+      $ exact_arg $ jobs_arg $ probe_jobs_arg $ sweep_arg $ stats_arg
+      $ trace_arg $ timeline_arg $ audit_arg)
 
 let audit_cmd =
   let run check input workload algo k sweep out seed =

@@ -535,3 +535,70 @@ let render_verdict v =
   Buffer.add_string buf
     (if v.v_ok then "audit: ACCEPTED\n" else "audit: REJECTED\n");
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Structural document comparison with first-differing-path reporting  *)
+(* (the jobs-invariance oracle: bench and tests assert that audit      *)
+(* documents built under different lane counts are equal — see         *)
+(* doc/CONCURRENCY.md).                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_kind = function
+  | J.Null -> "null"
+  | J.Bool _ -> "bool"
+  | J.Int _ -> "int"
+  | J.Float _ -> "float"
+  | J.Str _ -> "string"
+  | J.List _ -> "list"
+  | J.Obj _ -> "object"
+
+let json_atom = function
+  | J.Null -> "null"
+  | J.Bool b -> string_of_bool b
+  | J.Int i -> string_of_int i
+  | J.Float f -> Printf.sprintf "%.17g" f
+  | J.Str s -> if String.length s > 40 then String.sub s 0 40 ^ "..." else s
+  | J.List _ | J.Obj _ -> assert false
+
+let equal_documents a b =
+  let diff = ref None in
+  let record path msg =
+    if !diff = None then diff := Some (path, msg)
+  in
+  let path_str rev_path = String.concat "" (List.rev rev_path) in
+  let rec go rev_path a b =
+    if !diff = None then
+      match (a, b) with
+      | J.Obj fa, J.Obj fb ->
+          let ka = List.map fst fa and kb = List.map fst fb in
+          if ka <> kb then
+            record (path_str rev_path)
+              (Printf.sprintf "field sets differ ({%s} vs {%s})"
+                 (String.concat "," ka) (String.concat "," kb))
+          else
+            List.iter2
+              (fun (k, va) (_, vb) -> go (("." ^ k) :: rev_path) va vb)
+              fa fb
+      | J.List la, J.List lb ->
+          let na = List.length la and nb = List.length lb in
+          if na <> nb then
+            record (path_str rev_path)
+              (Printf.sprintf "list lengths differ (%d vs %d)" na nb)
+          else
+            List.iteri
+              (fun i (va, vb) ->
+                go (Printf.sprintf "[%d]" i :: rev_path) va vb)
+              (List.combine la lb)
+      | (J.Obj _ | J.List _), _ | _, (J.Obj _ | J.List _) ->
+          record (path_str rev_path)
+            (Printf.sprintf "kinds differ (%s vs %s)" (json_kind a)
+               (json_kind b))
+      | _ ->
+          if not (J.equal a b) then
+            record (path_str rev_path)
+              (Printf.sprintf "%s <> %s" (json_atom a) (json_atom b))
+  in
+  go [ "$" ] a b;
+  match !diff with
+  | None -> Ok ()
+  | Some (path, msg) -> Error (Printf.sprintf "%s: %s" path msg)

@@ -55,3 +55,10 @@ val verify : ?seed:int -> Obs.Json.t -> (verdict, string) result
 
 val render_verdict : verdict -> string
 (** One PASS/FAIL line per check plus a final ACCEPTED/REJECTED line. *)
+
+val equal_documents : Obs.Json.t -> Obs.Json.t -> (unit, string) result
+(** Structural equality of two JSON documents with diagnosis: [Ok ()]
+    when equal, [Error "<path>: <difference>"] naming the first
+    differing path (e.g. ["$.labels[3]: 2 <> 5/2"]) otherwise.  The
+    jobs-invariance oracle (doc/CONCURRENCY.md): audit documents built
+    from runs that differ only in lane count must compare [Ok]. *)

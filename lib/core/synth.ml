@@ -29,6 +29,12 @@ type options = {
   multi_output : bool;
   engine : Seqmap.Label_engine.engine;
   jobs : int;
+  (* intra-phi lanes (SCC-level parallel labeling, doc/CONCURRENCY.md);
+     byte-identical results for every value *)
+  probe_jobs : int;
+  (* speculative ratio-search probes evaluated concurrently
+     (doc/PERF.md); also jobs-invariant, but a different axis: whole
+     probes, not one probe's SCCs *)
 }
 
 let default_options ?(k = 5) () =
@@ -45,6 +51,7 @@ let default_options ?(k = 5) () =
     multi_output = false;
     engine = Seqmap.Label_engine.Worklist;
     jobs = 1;
+    probe_jobs = 1;
   }
 
 type result = {
@@ -80,6 +87,7 @@ let engine_options o ~resynthesize =
     multi_output = o.multi_output;
     full_expansion = false;
     engine = o.engine;
+    jobs = o.jobs;
   }
 
 let finish ?labels ?prov algo o ~mapped ~phi ~resyn_nodes ~probes ~label_stats
@@ -119,7 +127,7 @@ let run_seq algo o nl ~resynthesize =
   let opts = engine_options o ~resynthesize in
   let mapped, report, impls =
     Seqmap.Turbomap.map_full ~options:opts ?phi_max_den:o.phi_max_den
-      ~jobs:o.jobs nl ~k:o.k
+      ~jobs:o.probe_jobs nl ~k:o.k
   in
   (* the paper's label relaxation: drop decomposition trees whose label
      increase does not create a positive loop (area recovery step 1) *)
@@ -141,7 +149,7 @@ let run_flowsyn_s o nl =
   let t0 = Sys.time () in
   let mapped, report =
     Flowmap.Flowsyn.map_sequential ~resynthesize:true ~cmax:o.cmax
-      ~exhaustive:o.exhaustive nl ~k:o.k
+      ~exhaustive:o.exhaustive ~jobs:o.jobs nl ~k:o.k
   in
   let cpu = Sys.time () -. t0 in
   let phi =

@@ -43,15 +43,24 @@ type options = {
       (** label-iteration scheduling; [Worklist] (default) and [Sweep]
           produce identical labels and mappings *)
   jobs : int;
-      (** domains for speculative ratio-search probes (1 = sequential;
-          the result is identical for every value) *)
+      (** intra-φ lanes: domains labeling independent SCCs of one
+          condensation level concurrently inside {e each} label run
+          ([doc/CONCURRENCY.md]; 1 = sequential; results are
+          byte-identical for every value) *)
+  probe_jobs : int;
+      (** domains for speculative ratio-search probes — whole probes in
+          parallel, the orthogonal axis to [jobs] (1 = sequential; the
+          result is identical for every value).  With [probe_jobs > 1]
+          and [jobs > 1] the axes compose multiplicatively in domain
+          count: each probe spins up its own [jobs] lanes. *)
 }
 
 val default_options : ?k:int -> unit -> options
 (** Paper defaults: K = 5, Cmax = 15, PLD on, area recovery on,
     [phi_max_den = Some 24].  [exhaustive] is on — the decomposition tries
     bound sets beyond the earliest-arrival prefix, which measurably closes
-    quality gaps at modest cost.  [engine = Worklist], [jobs = 1]. *)
+    quality gaps at modest cost.  [engine = Worklist], [jobs = 1],
+    [probe_jobs = 1]. *)
 
 type result = {
   algo : algo;

@@ -9,21 +9,32 @@ type result = Cut of int list | Exceeds
 
 (* A reusable flow network: cleared and re-filled per cut test instead of
    allocated, so the max-flow decisions of one label engine share one set
-   of arrays. *)
-type arena = { mutable net : Maxflow.t option }
+   of arrays.  [busy] is an ownership tripwire: an arena belongs to one
+   solve at a time (one pool lane under the parallel label engine); a
+   second solve observing it raises instead of corrupting the network. *)
+type arena = { mutable net : Maxflow.t option; mutable busy : bool }
 
-let new_arena () = { net = None }
+let new_arena () = { net = None; busy = false }
 
 let arena_net arena n =
   match arena with
   | None -> Maxflow.create n
   | Some a -> (
+      if a.busy then
+        invalid_arg
+          "Kcut: arena is owned by an in-flight solve — two lanes are \
+           sharing one arena (doc/CONCURRENCY.md: one arena per pool lane)";
+      a.busy <- true;
       match a.net with
       | Some net -> Maxflow.clear net n
       | None ->
           let net = Maxflow.create n in
           a.net <- Some net;
           net)
+
+let arena_release = function
+  | None -> ()
+  | Some a -> a.busy <- false
 
 let validate spec =
   if Array.length spec.sink_side <> spec.n then
@@ -44,6 +55,7 @@ let solve ?arena spec ~k =
   validate spec;
   if List.exists (fun s -> spec.sink_side.(s)) spec.sources then Exceeds
   else begin
+    Fun.protect ~finally:(fun () -> arena_release arena) @@ fun () ->
     (* v_in = 2v, v_out = 2v+1, super-source = 2n, sink = 2n+1 *)
     let net = arena_net arena ((2 * spec.n) + 2) in
     let s' = 2 * spec.n and t' = (2 * spec.n) + 1 in

@@ -79,10 +79,15 @@ let to_comb nl =
   (comb, origin_arr)
 
 let map_sequential ?(resynthesize = false) ?(cmax = 15) ?(exhaustive = false)
-    nl ~k =
+    ?(jobs = 1) nl ~k =
   Netlist.validate_exn ~k nl;
   let comb, origin = to_comb nl in
-  let res = Labels.compute ~resynthesize ~cmax ~exhaustive comb ~k in
+  let res =
+    if jobs > 1 then
+      Prelude.Pool.with_pool ~domains:jobs (fun pool ->
+          Labels.compute ~resynthesize ~cmax ~exhaustive ~pool comb ~k)
+    else Labels.compute ~resynthesize ~cmax ~exhaustive comb ~k
+  in
   let mapped = Mapper.generate comb res in
   (* reassemble a sequential netlist *)
   let out = Netlist.create ~name:(Netlist.name nl ^ "_mapped") () in

@@ -23,12 +23,15 @@ val map_sequential :
   ?resynthesize:bool ->
   ?cmax:int ->
   ?exhaustive:bool ->
+  ?jobs:int ->
   Circuit.Netlist.t ->
   k:int ->
   Circuit.Netlist.t * report
 (** [resynthesize = true] gives FlowSYN-s; default [false] is FlowMap-s.
     The result is a K-LUT circuit I/O-equivalent to the input (registers
-    and their positions unchanged).
+    and their positions unchanged).  [jobs > 1] labels each topological
+    depth level on that many domains ({!Labels.compute} with a pool —
+    doc/CONCURRENCY.md); the result is identical for every value.
     @raise Invalid_argument if the input is not K-bounded or has
     combinational loops. *)
 

@@ -51,7 +51,8 @@ let cone_spec t labels v ~target =
   ( { Flow.Kcut.n = nn; edges = Array.of_list !edges; sink_side; sources },
     cone_arr )
 
-let compute ?(resynthesize = false) ?(cmax = 15) ?(exhaustive = false) t ~k =
+let compute ?(resynthesize = false) ?(cmax = 15) ?(exhaustive = false) ?pool t
+    ~k =
   if k < 2 || k > Logic.Truthtable.max_arity then invalid_arg "Labels: k";
   Comb.validate t;
   Array.iteri
@@ -65,62 +66,119 @@ let compute ?(resynthesize = false) ?(cmax = 15) ?(exhaustive = false) t ~k =
   let n = Comb.n t in
   let labels = Array.make n 0 in
   let impls = Array.make n None in
-  let resyn_nodes = ref 0 in
   let order = Comb.topo_order t in
-  Array.iter
-    (fun v ->
-      match t.Comb.kind.(v) with
-      | Comb.In -> labels.(v) <- 0
-      | Comb.Gate _ ->
-          let fanins = dedup t.Comb.fanins.(v) in
-          let p = Array.fold_left (fun acc u -> max acc labels.(u)) 0 fanins in
-          if p = 0 then begin
-            labels.(v) <- 1;
-            impls.(v) <- Some (Cut fanins)
-          end
-          else begin
-            let spec, cone_arr = cone_spec t labels v ~target:p in
-            match Flow.Kcut.find spec ~k with
-            | Flow.Kcut.Cut c ->
-                labels.(v) <- p;
-                impls.(v) <-
-                  Some (Cut (Array.of_list (List.map (fun i -> cone_arr.(i)) c)))
-            | Flow.Kcut.Exceeds ->
-                let resyn =
-                  if not resynthesize then None
-                  else
-                    match Flow.Kcut.min_cut spec with
-                    | Some c when List.length c <= cmax && List.length c > k -> (
-                        let inputs =
-                          Array.of_list (List.map (fun i -> cone_arr.(i)) c)
-                        in
-                        let man = Bdd.new_man () in
-                        let vars = Array.init (Array.length inputs) Fun.id in
-                        let f = Comb.cone_bdd man t ~root:v ~inputs ~vars in
-                        let arrivals =
-                          Array.map (fun u -> Rat.of_int labels.(u)) inputs
-                        in
-                        match
-                          Decomp.Decompose.decompose ~exhaustive man ~f ~vars
-                            ~arrivals ~k
-                        with
-                        | Some r when Rat.(r.Decomp.Decompose.level <= of_int p)
-                          ->
-                            Some (Resyn (r.Decomp.Decompose.tree, inputs))
-                        | _ -> None)
-                    | _ -> None
-                in
-                (match resyn with
-                | Some impl ->
-                    incr resyn_nodes;
-                    labels.(v) <- p;
-                    impls.(v) <- Some impl
-                | None ->
-                    labels.(v) <- p + 1;
-                    impls.(v) <- Some (Cut fanins))
-          end)
-    order;
-  { labels; impls; resyn_nodes = !resyn_nodes }
+  (* One node's labeling step: reads only labels of its cone (strict
+     ancestors) and writes only its own [labels]/[impls] slots, so nodes
+     of equal topological depth are independent — the level-parallel
+     schedule below (doc/CONCURRENCY.md) fans them across lanes without
+     changing any result. *)
+  let node v =
+    match t.Comb.kind.(v) with
+    | Comb.In -> labels.(v) <- 0
+    | Comb.Gate _ ->
+        let fanins = dedup t.Comb.fanins.(v) in
+        let p = Array.fold_left (fun acc u -> max acc labels.(u)) 0 fanins in
+        if p = 0 then begin
+          labels.(v) <- 1;
+          impls.(v) <- Some (Cut fanins)
+        end
+        else begin
+          let spec, cone_arr = cone_spec t labels v ~target:p in
+          match Flow.Kcut.find spec ~k with
+          | Flow.Kcut.Cut c ->
+              labels.(v) <- p;
+              impls.(v) <-
+                Some (Cut (Array.of_list (List.map (fun i -> cone_arr.(i)) c)))
+          | Flow.Kcut.Exceeds ->
+              let resyn =
+                if not resynthesize then None
+                else
+                  match Flow.Kcut.min_cut spec with
+                  | Some c when List.length c <= cmax && List.length c > k -> (
+                      let inputs =
+                        Array.of_list (List.map (fun i -> cone_arr.(i)) c)
+                      in
+                      let man = Bdd.new_man () in
+                      let vars = Array.init (Array.length inputs) Fun.id in
+                      let f = Comb.cone_bdd man t ~root:v ~inputs ~vars in
+                      let arrivals =
+                        Array.map (fun u -> Rat.of_int labels.(u)) inputs
+                      in
+                      match
+                        Decomp.Decompose.decompose ~exhaustive man ~f ~vars
+                          ~arrivals ~k
+                      with
+                      | Some r when Rat.(r.Decomp.Decompose.level <= of_int p)
+                        ->
+                          Some (Resyn (r.Decomp.Decompose.tree, inputs))
+                      | _ -> None)
+                  | _ -> None
+              in
+              (match resyn with
+              | Some impl ->
+                  labels.(v) <- p;
+                  impls.(v) <- Some impl
+              | None ->
+                  labels.(v) <- p + 1;
+                  impls.(v) <- Some (Cut fanins))
+        end
+  in
+  (match pool with
+  | Some pool when Pool.size pool > 1 ->
+      (* group nodes by topological depth; nodes of one depth share no
+         ancestry, so each depth is a pool batch with a barrier after it.
+         Worker-side Obs hooks (max-flow node counts, BDD peaks) write
+         into per-lane shards merged at the end. *)
+      let depth = Array.make n 0 in
+      let ndepths = ref 0 in
+      Array.iter
+        (fun v ->
+          (match t.Comb.kind.(v) with
+          | Comb.In -> depth.(v) <- 0
+          | Comb.Gate _ ->
+              depth.(v) <-
+                Array.fold_left
+                  (fun acc u -> max acc (depth.(u) + 1))
+                  0 t.Comb.fanins.(v));
+          if depth.(v) >= !ndepths then ndepths := depth.(v) + 1)
+        order;
+      let buckets = Array.make (max !ndepths 1) [] in
+      (* reversed topo order consing keeps each bucket in topo order *)
+      for i = n - 1 downto 0 do
+        let v = order.(i) in
+        buckets.(depth.(v)) <- v :: buckets.(depth.(v))
+      done;
+      let lanes = Pool.size pool in
+      let shards =
+        if Obs.enabled () then
+          Some (Array.init lanes (fun _ -> Obs.Shard.create ()))
+        else None
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          match shards with
+          | None -> ()
+          | Some s ->
+              Array.iter
+                (fun sh ->
+                  Obs.Shard.merge sh;
+                  Obs.Shard.release sh)
+                s)
+      @@ fun () ->
+      for d = 0 to !ndepths - 1 do
+        let level = Array.of_list buckets.(d) in
+        Pool.run pool ~n:(Array.length level) (fun worker i ->
+            match shards with
+            | None -> node level.(i)
+            | Some s -> Obs.Shard.wrap s.(worker) (fun () -> node level.(i)))
+      done
+  | _ -> Array.iter node order);
+  let resyn_nodes =
+    Array.fold_left
+      (fun acc -> function Some (Resyn _) -> acc + 1 | _ -> acc)
+      0 impls
+  in
+  { labels; impls; resyn_nodes }
 
 let mapping_depth t result =
   List.fold_left (fun acc r -> max acc result.labels.(r)) 0 t.Comb.roots

@@ -12,13 +12,65 @@ let make name =
 
 let name c = c.name
 let value c = c.n
-let incr c = if State.on () then c.n <- c.n + 1
+
+(* Per-domain shards (installed by Obs.Shard around parallel phases).
+   The global registry is unsynchronized, so a worker domain must never
+   mutate it; with a shard installed, increments land in a domain-local
+   table instead and are folded into the registry at the phase barrier.
+   A cell keeps the additive part and the high-water part separately —
+   Counter exposes both [add] and [record_max], and the two merge
+   differently (sum vs max). *)
+type cell = { mutable adds : int; mutable peak : int }
+type shard = (string, cell) Hashtbl.t
+
+let shard_key : shard option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let new_shard () : shard = Hashtbl.create 32
+let install_shard sh = Domain.DLS.set shard_key (Some sh)
+let uninstall_shard () = Domain.DLS.set shard_key None
+
+let cell_of sh name =
+  match Hashtbl.find_opt sh name with
+  | Some cell -> cell
+  | None ->
+      let cell = { adds = 0; peak = 0 } in
+      Hashtbl.replace sh name cell;
+      cell
+
+let merge_shard sh =
+  Hashtbl.iter
+    (fun name cell ->
+      let c = make name in
+      c.n <- c.n + cell.adds;
+      if cell.peak > c.n then c.n <- cell.peak)
+    sh;
+  Hashtbl.reset sh
+
+let incr c =
+  if State.on () then
+    match Domain.DLS.get shard_key with
+    | None -> c.n <- c.n + 1
+    | Some sh ->
+        let cell = cell_of sh c.name in
+        cell.adds <- cell.adds + 1
 
 let add c k =
   if k < 0 then invalid_arg "Obs.Counter.add: negative increment";
-  if State.on () then c.n <- c.n + k
+  if State.on () then
+    match Domain.DLS.get shard_key with
+    | None -> c.n <- c.n + k
+    | Some sh ->
+        let cell = cell_of sh c.name in
+        cell.adds <- cell.adds + k
 
-let record_max c v = if State.on () && v > c.n then c.n <- v
+let record_max c v =
+  if State.on () then
+    match Domain.DLS.get shard_key with
+    | None -> if v > c.n then c.n <- v
+    | Some sh ->
+        let cell = cell_of sh c.name in
+        if v > cell.peak then cell.peak <- v
 let find key = Option.map value (Hashtbl.find_opt registry key)
 
 let all () =

@@ -42,3 +42,27 @@ val all : unit -> (string * int) list
 
 val reset_all : unit -> unit
 (** Zero every registered counter (registration survives). *)
+
+(** {2 Per-domain shards}
+
+    The registry is unsynchronized; worker domains must never mutate it
+    directly.  {!Obs.Shard} installs a shard into a domain with
+    [install_shard], after which [incr]/[add]/[record_max] accumulate
+    into domain-local cells, and the coordinator folds the cells back
+    with [merge_shard] at the phase barrier ([adds] merge by sum,
+    [record_max] by max — both commutative, so merge order cannot
+    affect totals).  Use {!Obs.Shard} rather than these directly. *)
+
+type shard
+
+val new_shard : unit -> shard
+val install_shard : shard -> unit
+(** Route this domain's counter mutations into [shard]. *)
+
+val uninstall_shard : unit -> unit
+(** Restore direct registry writes on this domain. *)
+
+val merge_shard : shard -> unit
+(** Fold the shard's cells into the global registry and empty it.
+    Call from a domain the shard is not installed on (the coordinator,
+    after the barrier). *)

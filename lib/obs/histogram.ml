@@ -53,15 +53,65 @@ let name h = h.name
 let count h = h.n
 let sum h = h.sum
 
+let record h v =
+  let b = bucket_of v in
+  h.counts.(b) <- h.counts.(b) + 1;
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  if v < h.mn then h.mn <- v;
+  if v > h.mx then h.mx <- v
+
+(* Per-domain shards (Obs.Shard): with a shard installed, observations
+   land in a domain-local histogram of the same fixed bucket layout and
+   are folded into the registry at the phase barrier — the same pointwise
+   merge the snapshot codec uses across documents.  Bucket counts merge
+   exactly; [sum] is a float fold, so its last bits depend on merge
+   order (doc/OBSERVABILITY.md §Sharding). *)
+type shard = (string, t) Hashtbl.t
+
+let shard_key : shard option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let new_shard () : shard = Hashtbl.create 16
+let install_shard sh = Domain.DLS.set shard_key (Some sh)
+let uninstall_shard () = Domain.DLS.set shard_key None
+
+let cell_of sh name =
+  match Hashtbl.find_opt sh name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          name;
+          counts = Array.make nbuckets 0;
+          n = 0;
+          sum = 0.;
+          mn = infinity;
+          mx = neg_infinity;
+        }
+      in
+      Hashtbl.replace sh name h;
+      h
+
+let merge_shard sh =
+  Hashtbl.iter
+    (fun name local ->
+      let h = make name in
+      for i = 0 to nbuckets - 1 do
+        h.counts.(i) <- h.counts.(i) + local.counts.(i)
+      done;
+      h.n <- h.n + local.n;
+      h.sum <- h.sum +. local.sum;
+      if local.mn < h.mn then h.mn <- local.mn;
+      if local.mx > h.mx then h.mx <- local.mx)
+    sh;
+  Hashtbl.reset sh
+
 let observe h v =
-  if State.on () && not (Float.is_nan v) then begin
-    let b = bucket_of v in
-    h.counts.(b) <- h.counts.(b) + 1;
-    h.n <- h.n + 1;
-    h.sum <- h.sum +. v;
-    if v < h.mn then h.mn <- v;
-    if v > h.mx then h.mx <- v
-  end
+  if State.on () && not (Float.is_nan v) then
+    match Domain.DLS.get shard_key with
+    | None -> record h v
+    | Some sh -> record (cell_of sh h.name) v
 
 let observe_int h v = observe h (float_of_int v)
 

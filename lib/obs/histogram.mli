@@ -69,3 +69,20 @@ val all : unit -> (string * snapshot) list
 
 val reset_all : unit -> unit
 (** Zero every registered histogram (names stay registered). *)
+
+(** {1 Per-domain shards}
+
+    Worker-domain observations go into domain-local histograms and fold
+    back into the registry at the phase barrier with the same pointwise
+    bucket merge the snapshot codec uses.  Bucket counts and [count]
+    merge exactly; [sum] is a float fold whose last bits depend on merge
+    order.  Use {!Obs.Shard} rather than these directly. *)
+
+type shard
+
+val new_shard : unit -> shard
+val install_shard : shard -> unit
+val uninstall_shard : unit -> unit
+val merge_shard : shard -> unit
+(** Fold the shard's local histograms into the registry and empty it.
+    Call from the coordinator, after the barrier. *)

@@ -7,11 +7,19 @@ module Trace = Trace
 module Timeline = Timeline
 module Report = Report
 module Prometheus = Prometheus
+module Shard = Shard
 
 let set_enabled = State.set_enabled
 let enabled = State.enabled
 
 let reset () =
+  if Atomic.get State.active_shards > 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Obs.reset: %d observability shard(s) live — a parallel phase is \
+          in flight (or a shard was not released); resetting now would race \
+          worker domains and lose their pending merges"
+         (Atomic.get State.active_shards));
   Counter.reset_all ();
   Gauge.reset_all ();
   Histogram.reset_all ();

@@ -23,8 +23,11 @@
       Obs.set_enabled false
     ]}
 
-    State is process-global and not thread-safe (the pipeline is
-    single-threaded). *)
+    State is process-global and unsynchronized.  Coordinator-domain
+    code uses it directly; worker domains of a parallel phase must run
+    inside a per-domain {!Shard}, which buffers their writes locally
+    and merges them back at the phase barrier
+    ([doc/CONCURRENCY.md]). *)
 
 module Json = Json
 module Counter = Counter
@@ -35,6 +38,7 @@ module Trace = Trace
 module Timeline = Timeline
 module Report = Report
 module Prometheus = Prometheus
+module Shard = Shard
 
 val set_enabled : bool -> unit
 (** Master switch for all collection ({!Counter}, {!Span}, {!Trace}).
@@ -51,4 +55,10 @@ val reset : unit -> unit
     reset can fail, so the state is never partially cleared.  A span that
     is {e entered} when reset runs loses its in-flight activation: its
     pending [exit]s are ignored (depth was zeroed) and [entries] counts
-    only activations that both started and completed after the reset. *)
+    only activations that both started and completed after the reset.
+
+    @raise Invalid_argument while any {!Shard} is live (created and not
+    yet released): a reset mid-parallel-phase would race worker domains
+    and silently lose their un-merged observations, so it is rejected
+    instead.  Finish the phase (or [Shard.release] leaked shards)
+    first. *)

@@ -1,0 +1,69 @@
+(* A per-domain observability shard: domain-local counter cells,
+   histogram mirrors, span mirrors and a timeline slice buffer, bundled
+   so a parallel phase can install one per worker lane and fold them all
+   back at its barrier.
+
+   Protocol (doc/CONCURRENCY.md):
+     1. coordinator: [create] one shard per lane (bumps
+        [State.active_shards], which blocks [Obs.reset]);
+     2. each lane runs its tasks inside [wrap shard f] — the shard is
+        installed into the lane's domain-local storage for the duration
+        of [f], so every Counter/Histogram/Span/Timeline hook the task
+        hits writes domain-locally instead of into the unsynchronized
+        global registries;
+     3. coordinator, after the barrier: [merge] each shard, in lane
+        order, folding the local state into the globals.
+
+   Every merge is commutative except timeline slice order and float
+   sums; merging in lane order keeps those deterministic for a fixed
+   lane count.  A shard may be wrapped and merged repeatedly (merge
+   empties it); [merge] must only run while no lane has the shard
+   installed. *)
+
+type t = {
+  counters : Counter.shard;
+  histograms : Histogram.shard;
+  spans : Span.shard;
+  timeline : Timeline.shard;
+  mutable released : bool;
+}
+
+let create () =
+  Atomic.incr State.active_shards;
+  {
+    counters = Counter.new_shard ();
+    histograms = Histogram.new_shard ();
+    spans = Span.new_shard ();
+    timeline = Timeline.new_shard ();
+    released = false;
+  }
+
+let install t =
+  Counter.install_shard t.counters;
+  Histogram.install_shard t.histograms;
+  Span.install_shard t.spans;
+  Timeline.install_shard t.timeline
+
+let uninstall () =
+  Counter.uninstall_shard ();
+  Histogram.uninstall_shard ();
+  Span.uninstall_shard ();
+  Timeline.uninstall_shard ()
+
+let wrap t f =
+  install t;
+  Fun.protect ~finally:uninstall f
+
+let merge t =
+  Counter.merge_shard t.counters;
+  Histogram.merge_shard t.histograms;
+  Span.merge_shard t.spans;
+  Timeline.merge_shard t.timeline
+
+let release t =
+  if not t.released then begin
+    t.released <- true;
+    Atomic.decr State.active_shards
+  end
+
+let active () = Atomic.get State.active_shards

@@ -1,0 +1,50 @@
+(** Per-domain observability shards for parallel phases.
+
+    The Counter/Histogram/Span/Timeline registries are process-global
+    and unsynchronized; a worker domain must never write them directly.
+    A shard bundles domain-local mirrors of all four: the coordinator
+    {!create}s one per lane before a parallel phase, each lane runs its
+    tasks inside {!wrap} (which installs the shard into the lane's
+    domain-local storage so every observability hook writes locally),
+    and after the phase barrier the coordinator {!merge}s the shards
+    back into the globals, in lane order, then {!release}s them.
+
+    Counter sums, [record_max] peaks, histogram buckets, and span
+    totals/entries/GC deltas all merge commutatively, so which lane ran
+    which task never changes merged integer totals; float sums and
+    timeline slice order depend only on the (fixed) lane merge order.
+    While any shard is live, {!Obs.reset} refuses to run — see
+    [doc/OBSERVABILITY.md] and [doc/CONCURRENCY.md]. *)
+
+type t
+
+val create : unit -> t
+(** Make an empty shard and count it live ({!active}).  Call on the
+    coordinator, before handing the shard to a lane. *)
+
+val wrap : t -> (unit -> 'a) -> 'a
+(** [wrap t f] installs [t] into the calling domain's local storage,
+    runs [f], and uninstalls (exception-safely).  All observability
+    hooks hit by [f] on this domain write into [t].  Do not wrap one
+    shard on two domains at once. *)
+
+val install : t -> unit
+(** Low-level: route this domain's hooks into [t] until
+    {!uninstall}. Prefer {!wrap}. *)
+
+val uninstall : unit -> unit
+(** Low-level: restore direct global writes on this domain. *)
+
+val merge : t -> unit
+(** Fold the shard's local state into the global registries and empty
+    it.  Call on the coordinator, after the barrier, while the shard is
+    installed on no domain.  A shard may be wrapped and merged again
+    afterwards (per-level reuse). *)
+
+val release : t -> unit
+(** Mark the shard dead: decrements the live count that gates
+    {!Obs.reset}.  Idempotent.  Call once per {!create}, after the
+    final {!merge}. *)
+
+val active : unit -> int
+(** Number of live (created, not yet released) shards. *)

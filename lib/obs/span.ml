@@ -47,8 +47,65 @@ let seconds s = s.total
 let count s = s.entries
 let gc_totals s = s.gc
 
+(* Per-domain shards (Obs.Shard): the registry records are plain mutable
+   state, so with a shard installed, enter/exit operate on a domain-local
+   mirror of the span (including nesting depth and GC deltas — quick_stat
+   is per-domain in OCaml 5, so the deltas are the worker's own
+   allocation).  Totals fold back into the registry at the phase
+   barrier.  A span still open at the barrier (task raised between
+   enter and exit without Fun.protect) loses that activation, matching
+   the sequential toggle-while-open behaviour. *)
+type shard = (string, t) Hashtbl.t
+
+let shard_key : shard option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let new_shard () : shard = Hashtbl.create 16
+let install_shard sh = Domain.DLS.set shard_key (Some sh)
+let uninstall_shard () = Domain.DLS.set shard_key None
+
+let cell_of sh name =
+  match Hashtbl.find_opt sh name with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          name;
+          total = 0.;
+          entries = 0;
+          depth = 0;
+          started = 0.;
+          gc_at_enter = None;
+          gc = gc_zero;
+        }
+      in
+      Hashtbl.replace sh name s;
+      s
+
+let merge_shard sh =
+  Hashtbl.iter
+    (fun name local ->
+      let s = make name in
+      s.total <- s.total +. local.total;
+      s.entries <- s.entries + local.entries;
+      s.gc <-
+        {
+          minor_words = s.gc.minor_words +. local.gc.minor_words;
+          promoted_words = s.gc.promoted_words +. local.gc.promoted_words;
+          major_words = s.gc.major_words +. local.gc.major_words;
+          compactions = s.gc.compactions + local.gc.compactions;
+        })
+    sh;
+  Hashtbl.reset sh
+
+let resolve s =
+  match Domain.DLS.get shard_key with
+  | None -> s
+  | Some sh -> cell_of sh s.name
+
 let enter s =
   if State.on () then begin
+    let s = resolve s in
     if s.depth = 0 then begin
       s.started <- Prelude.Timer.wall ();
       s.gc_at_enter <- Some (Gc.quick_stat ())
@@ -57,6 +114,7 @@ let enter s =
   end
 
 let exit s =
+  let s = if State.on () then resolve s else s in
   if State.on () && s.depth > 0 then begin
     s.depth <- s.depth - 1;
     if s.depth = 0 then begin

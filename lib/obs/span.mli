@@ -68,3 +68,20 @@ val all_full : unit -> (string * float * int * gc_totals) list
 
 val reset_all : unit -> unit
 (** Zero every registered span (registration survives). *)
+
+(** {1 Per-domain shards}
+
+    With a shard installed, [enter]/[exit]/[time] operate on a
+    domain-local mirror of the span (own depth, own GC deltas — OCaml 5
+    [Gc.quick_stat] is per-domain); totals and entry counts fold back
+    into the registry at the phase barrier.  Use {!Obs.Shard} rather
+    than these directly. *)
+
+type shard
+
+val new_shard : unit -> shard
+val install_shard : shard -> unit
+val uninstall_shard : unit -> unit
+val merge_shard : shard -> unit
+(** Fold the shard's span totals into the registry and empty it.
+    Call from the coordinator, after the barrier. *)

@@ -8,3 +8,10 @@ let enabled () = !enabled_flag
 
 (* the hot-path spelling: a single load + branch *)
 let on () = !enabled_flag
+
+(* Open per-domain shards (Obs.Shard): created by a coordinating domain
+   before a parallel phase, merged back after its barrier.  [reset] is
+   only sound when this is zero — a worker could otherwise still be
+   writing into a shard that the reset cannot see (doc/CONCURRENCY.md,
+   doc/OBSERVABILITY.md §Reset). *)
+let active_shards = Atomic.make 0

@@ -25,14 +25,42 @@ let set_capacity n =
     incr dropped_count
   done
 
+(* Per-domain shards (Obs.Shard): the Queue ring is not thread-safe, so
+   with a shard installed, slices buffer in a domain-local queue (same
+   capacity bound) and replay into the ring at the phase barrier, one
+   lane at a time in lane order. *)
+type shard = { q : slice Queue.t; mutable drops : int }
+
+let shard_key : shard option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let new_shard () = { q = Queue.create (); drops = 0 }
+let install_shard sh = Domain.DLS.set shard_key (Some sh)
+let uninstall_shard () = Domain.DLS.set shard_key None
+
+let push_global s =
+  if Queue.length buffer >= !capacity then begin
+    ignore (Queue.pop buffer);
+    incr dropped_count
+  end;
+  Queue.add s buffer
+
 let record name ~start ~stop =
-  if State.on () && !capacity > 0 then begin
-    if Queue.length buffer >= !capacity then begin
-      ignore (Queue.pop buffer);
-      incr dropped_count
-    end;
-    Queue.add { name; start; stop } buffer
-  end
+  if State.on () && !capacity > 0 then
+    match Domain.DLS.get shard_key with
+    | None -> push_global { name; start; stop }
+    | Some sh ->
+        if Queue.length sh.q >= !capacity then begin
+          ignore (Queue.pop sh.q);
+          sh.drops <- sh.drops + 1
+        end;
+        Queue.add { name; start; stop } sh.q
+
+let merge_shard sh =
+  if !capacity > 0 then Queue.iter push_global sh.q;
+  dropped_count := !dropped_count + sh.drops;
+  Queue.clear sh.q;
+  sh.drops <- 0
 
 let slices () = List.rev (Queue.fold (fun acc s -> s :: acc) [] buffer)
 let length () = Queue.length buffer

@@ -24,3 +24,19 @@ val set_capacity : int -> unit
 
 val clear : unit -> unit
 (** Drop all slices and zero the dropped counter (part of {!Obs.reset}). *)
+
+(** {1 Per-domain shards}
+
+    The slice ring is a plain [Queue]; worker domains buffer slices in a
+    domain-local queue (same capacity bound) that the coordinator replays
+    into the ring at the phase barrier.  Use {!Obs.Shard} rather than
+    these directly. *)
+
+type shard
+
+val new_shard : unit -> shard
+val install_shard : shard -> unit
+val uninstall_shard : unit -> unit
+val merge_shard : shard -> unit
+(** Replay the shard's slices into the ring (oldest first, re-applying
+    the capacity bound) and empty it. *)

@@ -1,0 +1,164 @@
+(* A small fixed crew of OCaml 5 domains with a level-synchronous batch
+   API: [run] publishes a batch of independent tasks, every worker (and
+   the calling domain, as worker 0) pulls task indices from a shared
+   atomic cursor, and [run] returns only when every task of the batch has
+   completed — a barrier.  The pool is the execution substrate of the
+   intra-phi parallel label engine (doc/CONCURRENCY.md): one batch per
+   SCC level, one lane of scratch state per worker.
+
+   Determinism contract: tasks of one batch must write disjoint state (the
+   caller's ownership discipline), so which worker runs which task never
+   affects results — the pool makes no assignment promises.  Exceptions
+   raised by tasks are caught, the one with the smallest task index is
+   re-raised on the calling domain after the barrier (smallest-index
+   selection keeps the surfaced error independent of scheduling). *)
+
+type batch = {
+  tasks : int;
+  run : int -> int -> unit; (* worker -> task index *)
+  cursor : int Atomic.t;
+  mutable workers_done : int; (* spawned workers finished with this batch *)
+  mutable failed : (int * exn) option; (* smallest-index task exception *)
+}
+
+type t = {
+  size : int; (* lanes: spawned workers + the calling domain *)
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable batch : batch option;
+  mutable generation : int; (* bumped per published batch *)
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let size t = t.size
+
+let record_failure t b i exn =
+  Mutex.lock t.mutex;
+  (match b.failed with
+  | Some (j, _) when j <= i -> ()
+  | _ -> b.failed <- Some (i, exn));
+  Mutex.unlock t.mutex
+
+(* Pull and run tasks until the batch cursor is exhausted. *)
+let participate t b ~worker =
+  let continue = ref true in
+  while !continue do
+    let i = Atomic.fetch_and_add b.cursor 1 in
+    if i >= b.tasks then continue := false
+    else
+      try b.run worker i with exn -> record_failure t b i exn
+  done
+
+let worker_loop t ~worker () =
+  let last_gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while (not t.stopping) && t.generation = !last_gen do
+      Condition.wait t.cond t.mutex
+    done;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      running := false
+    end
+    else begin
+      last_gen := t.generation;
+      let b = Option.get t.batch in
+      Mutex.unlock t.mutex;
+      participate t b ~worker;
+      Mutex.lock t.mutex;
+      b.workers_done <- b.workers_done + 1;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create ~domains =
+  let size = max 1 domains in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      batch = None;
+      generation = 0;
+      stopping = false;
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init (size - 1) (fun i ->
+        Domain.spawn (worker_loop t ~worker:(i + 1)));
+  t
+
+let reraise_failure = function
+  | Some (_, exn) -> raise exn
+  | None -> ()
+
+let run t ~n f =
+  if n <= 0 then ()
+  else if t.size = 1 || n = 1 then begin
+    (* no spawned workers (or a single task): run inline, same
+       exception contract *)
+    let b =
+      {
+        tasks = n;
+        run = f;
+        cursor = Atomic.make 0;
+        workers_done = 0;
+        failed = None;
+      }
+    in
+    participate t b ~worker:0;
+    reraise_failure b.failed
+  end
+  else begin
+    let b =
+      {
+        tasks = n;
+        run = f;
+        cursor = Atomic.make 0;
+        workers_done = 0;
+        failed = None;
+      }
+    in
+    Mutex.lock t.mutex;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    (match t.batch with
+    | Some _ ->
+        Mutex.unlock t.mutex;
+        invalid_arg "Pool.run: concurrent batches on one pool"
+    | None -> ());
+    t.batch <- Some b;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    participate t b ~worker:0;
+    (* barrier: every spawned worker has left the batch (their in-flight
+       task, if any, completed before workers_done was bumped) *)
+    Mutex.lock t.mutex;
+    while b.workers_done < t.size - 1 do
+      Condition.wait t.cond t.mutex
+    done;
+    t.batch <- None;
+    Mutex.unlock t.mutex;
+    reraise_failure b.failed
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.stopping then begin
+    t.stopping <- true;
+    Condition.broadcast t.cond
+  end;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

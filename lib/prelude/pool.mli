@@ -1,0 +1,40 @@
+(** A fixed crew of OCaml 5 domains with a batch-barrier API — the
+    execution substrate of the intra-φ parallel label engine
+    ([doc/CONCURRENCY.md]).
+
+    A pool of size [s] owns [s - 1] spawned domains; the domain calling
+    {!run} participates as worker [0], so [s] tasks make progress at
+    once.  {!run} publishes a batch of [n] independent tasks, every
+    worker pulls task indices from a shared cursor, and {!run} returns
+    only when all [n] tasks have completed (a barrier).
+
+    Tasks of one batch must write disjoint state: the pool makes no
+    assignment promises, so determinism is the caller's ownership
+    discipline (each task owns the cells it writes; per-worker scratch is
+    keyed by the worker id the task receives). *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn a pool of [max 1 domains] lanes ([domains - 1] spawned
+    domains).  Idle workers block on a condition variable — an idle pool
+    burns no CPU. *)
+
+val size : t -> int
+(** Number of lanes, including the calling domain. *)
+
+val run : t -> n:int -> (int -> int -> unit) -> unit
+(** [run t ~n f] executes [f worker i] for every [i < n] across the
+    lanes and returns when all have completed.  [worker] is the lane id
+    in [0 .. size t - 1]; worker [0] is the calling domain.  If tasks
+    raise, the exception of the smallest task index is re-raised here
+    after the barrier (the rest are dropped).  A pool runs one batch at
+    a time; concurrent [run] calls on the same pool are a programming
+    error ([Invalid_argument]). *)
+
+val shutdown : t -> unit
+(** Stop and join the spawned domains.  Idempotent.  [run] after
+    [shutdown] raises [Invalid_argument]. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [create], run [f], always [shutdown]. *)

@@ -127,6 +127,11 @@ type arena = {
   mutable queue : int array;
   mutable q_head : int;
   mutable q_len : int;
+  mutable busy : bool;
+      (* ownership tripwire: an arena belongs to exactly one build at a
+         time (one pool lane, under the parallel label engine); a second
+         build observing [busy] means two lanes share an arena — a
+         determinism bug, reported loudly instead of corrupting state *)
 }
 
 let new_arena () =
@@ -144,6 +149,7 @@ let new_arena () =
     queue = Array.make 64 0;
     q_head = 0;
     q_len = 0;
+    busy = false;
   }
 
 let arena_reset a =
@@ -204,11 +210,18 @@ let build ?arena ?internal_of nl ~root ~labels ~phi ~threshold ~extra_depth
   let a =
     match arena with
     | Some a ->
+        if a.busy then
+          invalid_arg
+            "Expanded.build: arena is owned by an in-flight build — two \
+             lanes are sharing one arena (doc/CONCURRENCY.md: one arena \
+             per pool lane)";
         Obs.Counter.incr c_arena;
         arena_reset a;
         a
     | None -> new_arena ()
   in
+  a.busy <- true;
+  Fun.protect ~finally:(fun () -> a.busy <- false) @@ fun () ->
   let is_internal =
     match internal_of with
     | Some f -> f

@@ -34,9 +34,11 @@ type t = {
 type arena
 (** Reusable build scratch: the growable node/edge vectors, the open
     addressing [(u, w)] index and the BFS queue, reset per build instead of
-    re-allocated.  One arena per label engine (never shared between
-    concurrent callers); the returned [t] copies out of the arena, so it
-    stays valid across later builds. *)
+    re-allocated.  One arena per pool lane (never shared between
+    concurrent callers — see [doc/CONCURRENCY.md]); a build that finds its
+    arena already owned by an in-flight build raises [Invalid_argument]
+    rather than corrupting the scratch state.  The returned [t] copies out
+    of the arena, so it stays valid across later builds. *)
 
 val new_arena : unit -> arena
 

@@ -22,6 +22,16 @@ let h_snap_trace = Obs.Histogram.make "label.snapshot_trace_len"
 let s_decomp = Obs.Span.make "label.decomp"
 let s_scc = Obs.Span.make "label.scc"
 
+(* intra-phi parallel scheduler (doc/CONCURRENCY.md); all three stay 0
+   under [jobs = 1] *)
+let c_scc_levels = Obs.Counter.make "label.scc_levels"
+let c_domain_tasks = Obs.Counter.make "label.domain_tasks"
+
+let c_merge_conflicts = Obs.Counter.make "label.merge_conflicts"
+(* ownership-invariant tripwire: counts gates claimed by two tasks of one
+   run.  SCC membership partitions the gates, so any nonzero value means
+   the scheduler dispatched overlapping work — a determinism bug. *)
+
 type impl =
   | Cut of (int * int) array
   | Resyn of Decomp.Decompose.tree * (int * int) array
@@ -40,6 +50,11 @@ type options = {
   multi_output : bool;
   full_expansion : bool;
   engine : engine;
+  jobs : int;
+      (* intra-phi parallelism: lanes labeling independent SCCs of one
+         condensation level concurrently (doc/CONCURRENCY.md).  1 =
+         sequential; > 1 only takes effect under [Worklist].  Results
+         are byte-identical for every value. *)
 }
 
 let default_options ~k =
@@ -55,6 +70,7 @@ let default_options ~k =
     multi_output = false;
     full_expansion = false;
     engine = Worklist;
+    jobs = 1;
   }
 
 type stats = {
@@ -563,12 +579,14 @@ let update ctx bound v =
    the last passing cut found during iteration when it is still valid
    under the converged labels (height within the label, width within K).
    Alongside each implementation it records its provenance — which
-   mechanism justified it — for the audit layer. *)
-let harvest ctx =
+   mechanism justified it — for the audit layer.
+
+   [make_harvester] returns the per-gate step so the parallel path can
+   chunk gates across lanes: each gate's harvest reads only converged
+   labels and its own recorded/snapshot state and writes only its own
+   [impls]/[prov]/[snaps] slots, so gates are independent. *)
+let make_harvester ctx ~impls ~prov =
   let { nl; labels; phi; opts; _ } = ctx in
-  let n = Netlist.n nl in
-  let impls = Array.make n None in
-  let prov = Array.make n None in
   let arrival (u, w) = Rat.sub labels.(u) (Rat.mul_int phi w) in
   let impl_height = function
     | Cut cut ->
@@ -594,9 +612,9 @@ let harvest ctx =
           p_iteration = ctx.last_change.(v);
         }
   in
-  let ok = ref true in
-  for v = 0 to n - 1 do
-    if !ok && Netlist.is_gate nl v then begin
+  fun v ->
+    if not (Netlist.is_gate nl v) then true
+    else begin
       let target = labels.(v) in
       let reused =
         match ctx.recorded.(v) with
@@ -615,26 +633,43 @@ let harvest ctx =
         | _ -> None
       in
       match reused with
-      | Some cut -> set v (Cut cut) From_recorded
+      | Some cut ->
+          set v (Cut cut) From_recorded;
+          true
       | None -> (
           let fallback ?ex0 ?mc0 ?snap0 () =
             match
               if opts.resynthesize then resyn_test ?ex0 ?mc0 ?snap0 ctx v ~target
               else None
             with
-            | Some (impl, h) -> set v impl (From_resyn h)
-            | None -> ok := false
+            | Some (impl, h) ->
+                set v impl (From_resyn h);
+                true
+            | None -> false
           in
           match snap_slot ctx v 0 ~threshold:target with
           | Some sn -> (
               match sn.s_pass with
-              | Some pairs -> set v (Cut pairs) From_snapshot
+              | Some pairs ->
+                  set v (Cut pairs) From_snapshot;
+                  true
               | None -> fallback ~snap0:sn ())
           | None -> (
               match kcut_test ctx v ~threshold:target with
-              | _, Some pairs, _ -> set v (Cut pairs) From_cut_test
+              | _, Some pairs, _ ->
+                  set v (Cut pairs) From_cut_test;
+                  true
               | ex, None, mc0 -> fallback ~ex0:ex ?mc0 ()))
     end
+
+let harvest ctx =
+  let n = Netlist.n ctx.nl in
+  let impls = Array.make n None in
+  let prov = Array.make n None in
+  let step = make_harvester ctx ~impls ~prov in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if !ok then ok := step v
   done;
   if !ok then Some (impls, prov) else None
 
@@ -842,7 +877,189 @@ let run_scc_sweep ctx bound members ~in_scc ~(feasible : bool ref) =
     end
   done
 
-let run ?cache opts nl ~phi =
+(* ------------------------------------------------------------------ *)
+(* Intra-phi parallel scheduler (doc/CONCURRENCY.md).                   *)
+(*                                                                      *)
+(* SCCs of one condensation level are pairwise unreachable, so their    *)
+(* label computations read only finalized upstream labels (published by *)
+(* the previous level's barrier) and write only their own members'      *)
+(* state: levels run as pool batches with no intra-level communication  *)
+(* and a barrier between levels.  Each lane owns its arenas and         *)
+(* worklist; per-task stats plus a sequential-order fixup reproduce the *)
+(* sequential engine's global iteration numbering, so labels, phi       *)
+(* verdicts, implementations and provenance are byte-identical for      *)
+(* every [jobs] value.  The harvest pass chunks gates the same way.     *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_stats () =
+  { iterations = 0; flow_tests = 0; decompositions = 0; pld_hits = 0 }
+
+let merge_stats ~into:(a : stats) (b : stats) =
+  a.iterations <- a.iterations + b.iterations;
+  a.flow_tests <- a.flow_tests + b.flow_tests;
+  a.decompositions <- a.decompositions + b.decompositions;
+  a.pld_hits <- a.pld_hits + b.pld_hits
+
+let run_parallel ctx pool ~bound ~succ ~(scc : Graphs.Scc.t) =
+  let nl = ctx.nl and stats = ctx.stats in
+  let n = Netlist.n nl in
+  let lanes = Pool.size pool in
+  (* one set of scratch resources per lane: arenas and worklist are owned
+     by whatever task is running on the lane (tasks on one lane run
+     sequentially); labels, scaled slab, recorded cuts, snapshots and
+     last_change are shared — disjoint per-gate writes under SCC
+     ownership *)
+  let lane_ctx =
+    Array.init lanes (fun i ->
+        if i = 0 then ctx
+        else
+          {
+            ctx with
+            karena = Some (Flow.Kcut.new_arena ());
+            earena = Some (Expanded.new_arena ());
+            note = None;
+          })
+  in
+  let lane_wl = Array.init lanes (fun _ -> new_worklist n) in
+  (* per-lane observability shards: the Obs registries are global and
+     unsynchronized, so worker-side hooks buffer locally and merge at
+     the end of the run, in lane order *)
+  let shards =
+    if Obs.enabled () && lanes > 1 then
+      Some (Array.init lanes (fun _ -> Obs.Shard.create ()))
+    else None
+  in
+  let in_shard worker f =
+    match shards with
+    | None -> f ()
+    | Some s -> Obs.Shard.wrap s.(worker) f
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      match shards with
+      | None -> ()
+      | Some s ->
+          Array.iter
+            (fun sh ->
+              Obs.Shard.merge sh;
+              Obs.Shard.release sh)
+            s)
+  @@ fun () ->
+  (* levels of the condensation DAG; comps of one level bucketed in the
+     sequential processing order (descending comp id) so the stats merge
+     and iteration fixup below replay the sequential numbering *)
+  let levels = Graphs.Scc.levels scc ~succ in
+  let nlevels = Array.fold_left (fun a l -> max a (l + 1)) 0 levels in
+  let buckets = Array.make (max nlevels 1) [] in
+  for c = 0 to scc.Graphs.Scc.count - 1 do
+    buckets.(levels.(c)) <- c :: buckets.(levels.(c))
+  done;
+  let comp_stats : stats option array = Array.make scc.Graphs.Scc.count None in
+  let comp_infeasible = Array.make scc.Graphs.Scc.count false in
+  let comp_diverged = Array.make scc.Graphs.Scc.count false in
+  let claimed = Array.make n (-1) in
+  let run_comp worker c =
+    let members =
+      Array.of_list
+        (List.filter
+           (fun v -> Netlist.is_gate nl v)
+           (Array.to_list scc.Graphs.Scc.members.(c)))
+    in
+    if Array.length members > 0 then begin
+      Array.iter
+        (fun v ->
+          if claimed.(v) >= 0 then Obs.Counter.incr c_merge_conflicts
+          else claimed.(v) <- c)
+        members;
+      let st = fresh_stats () in
+      comp_stats.(c) <- Some st;
+      let tctx = { (lane_ctx.(worker)) with stats = st } in
+      let feasible = ref true in
+      (try
+         if Graphs.Scc.is_trivial scc ~succ c then begin
+           st.iterations <- 1;
+           Obs.Counter.incr c_iterations;
+           ignore (update tctx bound members.(0))
+         end
+         else
+           Obs.Span.time s_scc @@ fun () ->
+           Array.sort Int.compare members;
+           let in_scc v = scc.Graphs.Scc.comp.(v) = c in
+           run_scc_worklist tctx lane_wl.(worker) bound members ~in_scc
+             ~feasible
+       with Diverged ->
+         comp_diverged.(c) <- true;
+         feasible := false);
+      if not !feasible then comp_infeasible.(c) <- true
+    end
+  in
+  let feasible = ref true in
+  let level = ref 0 in
+  while !feasible && !level < nlevels do
+    let comps = Array.of_list buckets.(!level) in
+    Obs.Counter.incr c_scc_levels;
+    Obs.Counter.add c_domain_tasks (Array.length comps);
+    Pool.run pool ~n:(Array.length comps) (fun worker i ->
+        in_shard worker (fun () -> run_comp worker comps.(i)));
+    (* level barrier: the infeasibility decision is taken here, once per
+       level, so it depends only on the level's results — never on task
+       scheduling *)
+    Array.iter (fun c -> if comp_infeasible.(c) then feasible := false) comps;
+    incr level
+  done;
+  if Array.exists Fun.id comp_diverged then Obs.Counter.incr c_divergences;
+  (* merge per-task stats and rebase each gate's last-change round from
+     its task-local numbering to the sequential engine's global one: in
+     sequential comp order, each comp's rounds follow every earlier
+     comp's, so the offset is a running prefix sum of iteration counts *)
+  let offset = ref 0 in
+  for c = scc.Graphs.Scc.count - 1 downto 0 do
+    match comp_stats.(c) with
+    | None -> ()
+    | Some st ->
+        if st.iterations > 0 then
+          Array.iter
+            (fun v ->
+              if ctx.last_change.(v) > 0 then
+                ctx.last_change.(v) <- ctx.last_change.(v) + !offset)
+            scc.Graphs.Scc.members.(c);
+        offset := !offset + st.iterations;
+        merge_stats ~into:stats st
+  done;
+  if not !feasible then (Infeasible, stats)
+  else begin
+    (* parallel harvest: gates are independent post-convergence, so fixed
+       contiguous chunks fan out across the lanes; chunking never affects
+       results, only load balance *)
+    let impls = Array.make n None in
+    let prov = Array.make n None in
+    let nchunks = if n = 0 then 0 else min n (4 * lanes) in
+    let chunk_ok = Array.make (max nchunks 1) true in
+    let chunk_stats : stats option array = Array.make (max nchunks 1) None in
+    Obs.Counter.add c_domain_tasks nchunks;
+    Pool.run pool ~n:nchunks (fun worker ci ->
+        in_shard worker (fun () ->
+            let st = fresh_stats () in
+            chunk_stats.(ci) <- Some st;
+            let tctx = { (lane_ctx.(worker)) with stats = st } in
+            let step = make_harvester tctx ~impls ~prov in
+            let lo = ci * n / nchunks and hi = (ci + 1) * n / nchunks in
+            let ok = ref true in
+            for v = lo to hi - 1 do
+              if !ok then ok := step v
+            done;
+            chunk_ok.(ci) <- !ok));
+    Array.iter
+      (function Some st -> merge_stats ~into:stats st | None -> ())
+      chunk_stats;
+    if Array.for_all Fun.id chunk_ok then
+      (Feasible { labels = ctx.labels; impls; prov }, stats)
+    else
+      (* should not happen: convergence guarantees an implementation *)
+      (Infeasible, stats)
+  end
+
+let run ?cache ?pool opts nl ~phi =
   Netlist.validate_exn ~k:opts.k nl;
   let n = Netlist.n nl in
   let stats = { iterations = 0; flow_tests = 0; decompositions = 0; pld_hits = 0 } in
@@ -895,52 +1112,71 @@ let run ?cache opts nl ~phi =
     fun v -> out.(v)
   in
   let scc = Graphs.Scc.compute ~n ~succ in
-  let order = Graphs.Scc.topo_order scc in
-  let feasible = ref true in
-  let wl = match opts.engine with Worklist -> Some (new_worklist n) | Sweep -> None in
-  (try
-     Array.iter
-       (fun c ->
-         if !feasible then begin
-           let members =
-             Array.of_list
-               (List.filter
-                  (fun v -> Netlist.is_gate nl v)
-                  (Array.to_list scc.Graphs.Scc.members.(c)))
-           in
-           let m = Array.length members in
-           if m > 0 then
-             if Graphs.Scc.is_trivial scc ~succ c then begin
-               stats.iterations <- stats.iterations + 1;
-               Obs.Counter.incr c_iterations;
-               ignore (update ctx bound members.(0))
-             end
-             else Obs.Span.time s_scc @@ fun () ->
-               Array.sort Int.compare members;
-               let in_scc v = scc.Graphs.Scc.comp.(v) = c in
-               (* Theorem 2 of the paper: a positive loop exists iff after
-                  6n iterations the SCC is totally isolated in the support
-                  graph.  The test is only meaningful from 6n on (before
-                  that, transient equality-supported states of feasible
-                  targets can look isolated); without PLD only the
-                  conservative quadratic cap applies (the pre-TurboSYN
-                  stopping criterion). *)
-               match wl with
-               | Some wl ->
-                   run_scc_worklist ctx wl bound members ~in_scc ~feasible
-               | None -> run_scc_sweep ctx bound members ~in_scc ~feasible
-         end)
-       order
-   with Diverged ->
-     Obs.Counter.incr c_divergences;
-     feasible := false);
-  if not !feasible then (Infeasible, stats)
-  else
-    match harvest ctx with
-    | Some (impls, prov) -> (Feasible { labels; impls; prov }, stats)
-    | None ->
-        (* should not happen: convergence guarantees an implementation *)
-        (Infeasible, stats)
+  let sequential () =
+    let order = Graphs.Scc.topo_order scc in
+    let feasible = ref true in
+    let wl =
+      match opts.engine with Worklist -> Some (new_worklist n) | Sweep -> None
+    in
+    (try
+       Array.iter
+         (fun c ->
+           if !feasible then begin
+             let members =
+               Array.of_list
+                 (List.filter
+                    (fun v -> Netlist.is_gate nl v)
+                    (Array.to_list scc.Graphs.Scc.members.(c)))
+             in
+             let m = Array.length members in
+             if m > 0 then
+               if Graphs.Scc.is_trivial scc ~succ c then begin
+                 stats.iterations <- stats.iterations + 1;
+                 Obs.Counter.incr c_iterations;
+                 ignore (update ctx bound members.(0))
+               end
+               else Obs.Span.time s_scc @@ fun () ->
+                 Array.sort Int.compare members;
+                 let in_scc v = scc.Graphs.Scc.comp.(v) = c in
+                 (* Theorem 2 of the paper: a positive loop exists iff after
+                    6n iterations the SCC is totally isolated in the support
+                    graph.  The test is only meaningful from 6n on (before
+                    that, transient equality-supported states of feasible
+                    targets can look isolated); without PLD only the
+                    conservative quadratic cap applies (the pre-TurboSYN
+                    stopping criterion). *)
+                 match wl with
+                 | Some wl ->
+                     run_scc_worklist ctx wl bound members ~in_scc ~feasible
+                 | None -> run_scc_sweep ctx bound members ~in_scc ~feasible
+           end)
+         order
+     with Diverged ->
+       Obs.Counter.incr c_divergences;
+       feasible := false);
+    if not !feasible then (Infeasible, stats)
+    else
+      match harvest ctx with
+      | Some (impls, prov) -> (Feasible { labels; impls; prov }, stats)
+      | None ->
+          (* should not happen: convergence guarantees an implementation *)
+          (Infeasible, stats)
+  in
+  (* intra-phi parallelism: only the Worklist engine has the per-lane
+     scratch model; a caller-supplied pool wins over [opts.jobs], and
+     either way a single lane falls back to the sequential path *)
+  match opts.engine with
+  | Sweep -> sequential ()
+  | Worklist -> (
+      match pool with
+      | Some p ->
+          if Pool.size p > 1 then run_parallel ctx p ~bound ~succ ~scc
+          else sequential ()
+      | None ->
+          if opts.jobs > 1 then
+            Pool.with_pool ~domains:opts.jobs (fun p ->
+                run_parallel ctx p ~bound ~succ ~scc)
+          else sequential ())
 
 let new_cache () : resyn_cache =
   { tbl = Hashtbl.create 512; lock = Mutex.create () }

@@ -58,12 +58,21 @@ type options = {
           construction TurboMap's partial flow networks replaced; for the
           benchmark comparison *)
   engine : engine;  (** iteration scheduling within nontrivial SCCs *)
+  jobs : int;
+      (** intra-φ parallelism: number of domains labeling independent
+          SCCs of one condensation level concurrently, with a barrier
+          between levels ([doc/CONCURRENCY.md]).  [1] is fully
+          sequential; values [> 1] take effect only under [Worklist]
+          (the [Sweep] baseline stays sequential) and produce
+          byte-identical results — labels, implementations, provenance
+          and verdicts — for every value.  Ignored when {!run} is given
+          an explicit [pool]. *)
 }
 
 val default_options : k:int -> options
 (** k, resynthesize=false, cmax=15, exhaustive=false, pld=true,
     extra_depth=3, max_expansion=4000, resyn_depth=2, multi_output=false,
-    full_expansion=false, engine=Worklist. *)
+    full_expansion=false, engine=Worklist, jobs=1. *)
 
 type stats = {
   mutable iterations : int;
@@ -118,10 +127,21 @@ type resyn_cache
 val new_cache : unit -> resyn_cache
 
 val run :
-  ?cache:resyn_cache -> options -> Circuit.Netlist.t -> phi:Rat.t ->
+  ?cache:resyn_cache ->
+  ?pool:Prelude.Pool.t ->
+  options -> Circuit.Netlist.t -> phi:Rat.t ->
   outcome * stats
 (** On [Feasible], [impls] is defined exactly on gates and every
     implementation realizes its gate with sequential arrival [<= l(v)]
     under the returned labels.
+
+    [pool], when given, supplies the domains for the intra-φ parallel
+    scheduler (overriding [options.jobs] — a pool of size 1 forces the
+    sequential path); without it, [options.jobs > 1] spins up a
+    per-call pool.  The outcome and, on feasible runs, the [stats] are
+    byte-identical for every lane count; on infeasible runs the stats
+    may differ (the sequential engine stops at the first infeasible
+    SCC, the parallel one at that SCC's level barrier) while the
+    verdict itself is invariant.  See [doc/CONCURRENCY.md].
     @raise Invalid_argument if the circuit is not K-bounded or has a
     combinational loop. *)

@@ -97,7 +97,7 @@ let speculative_frontier memo ~ub ~max_den ~jobs =
   done;
   List.rev !picked
 
-let minimum_ratio ?cache ?phi_max_den ?(jobs = 1) opts nl =
+let minimum_ratio ?cache ?phi_max_den ?(jobs = 1) ?pool opts nl =
   let acc =
     {
       Label_engine.iterations = 0;
@@ -121,9 +121,14 @@ let minimum_ratio ?cache ?phi_max_den ?(jobs = 1) opts nl =
           ("cut_tests", Obs.Json.Int s.Label_engine.flow_tests);
         ]
   in
-  let run_probe cache phi =
+  (* [use_pool = false] on speculative worker domains: the intra-phi pool
+     (when one is supplied) belongs to the driver domain — Pool batches
+     are single-caller, so only the non-speculative probe may use it *)
+  let run_probe ?(use_pool = true) cache phi =
+    let pool = if use_pool then pool else None in
     let outcome, s =
-      Obs.Span.time s_probe (fun () -> Label_engine.run ?cache opts nl ~phi)
+      Obs.Span.time s_probe (fun () ->
+          Label_engine.run ?cache ?pool opts nl ~phi)
     in
     let ok =
       match outcome with
@@ -192,7 +197,8 @@ let minimum_ratio ?cache ?phi_max_den ?(jobs = 1) opts nl =
                     else
                       `Dom
                         ( phi,
-                          Domain.spawn (fun () -> run_probe cache phi) ))
+                          Domain.spawn (fun () ->
+                              run_probe ~use_pool:false cache phi) ))
                   batch
               in
               let evaluated =
@@ -243,12 +249,27 @@ let map_full ?options ?phi_max_den ?jobs nl ~k =
     match options with Some o -> o | None -> Label_engine.default_options ~k
   in
   let cache = Label_engine.new_cache () in
+  (* one shared intra-phi pool across every probe and the final run —
+     but only when probes are not themselves speculated onto domains
+     (the two parallelism axes compose multiplicatively in domain count;
+     with speculation on, each probe's [Label_engine.run] spins its own
+     lanes from [opts.jobs] instead) *)
+  let probe_jobs = match jobs with Some j -> j | None -> 1 in
+  let pool =
+    if opts.Label_engine.jobs > 1 && probe_jobs <= 1 then
+      Some (Pool.create ~domains:opts.Label_engine.jobs)
+    else None
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Pool.shutdown pool)
+  @@ fun () ->
   let phi, probes, stats =
     Obs.Span.time s_search (fun () ->
-        minimum_ratio ~cache ?phi_max_den ?jobs opts nl)
+        minimum_ratio ~cache ?phi_max_den ?jobs ?pool opts nl)
   in
   let outcome, s =
-    Obs.Span.time s_final (fun () -> Label_engine.run ~cache opts nl ~phi)
+    Obs.Span.time s_final (fun () ->
+        Label_engine.run ~cache ?pool opts nl ~phi)
   in
   add_stats stats s;
   match outcome with

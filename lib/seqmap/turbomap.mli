@@ -29,6 +29,7 @@ val minimum_ratio :
   ?cache:Label_engine.resyn_cache ->
   ?phi_max_den:int ->
   ?jobs:int ->
+  ?pool:Pool.t ->
   Label_engine.options -> Circuit.Netlist.t -> Rat.t * int * Label_engine.stats
 (** [(phi, probes, stats)].  [phi = 0] for acyclic circuits (any clock
     period is reachable by pipelining alone).  As in the paper, targets are
@@ -47,7 +48,14 @@ val minimum_ratio :
     decision tree), and the decisive verdicts replay the sequential
     descent — the returned [phi] is identical for every [jobs] value;
     only [probes] (and wall-clock time) change.  [jobs <= 1] is the exact
-    sequential search. *)
+    sequential search.
+
+    [pool], when given, supplies intra-φ lanes to the label engine of
+    each {e non-speculative} probe ([Label_engine.run ?pool] — see
+    [doc/CONCURRENCY.md]); speculative probes on worker domains never
+    touch it, since pool batches have a single caller.  [jobs] (probe
+    speculation) and [pool] (intra-probe SCC parallelism) are
+    orthogonal axes; both preserve results exactly. *)
 
 val map :
   ?options:Label_engine.options ->

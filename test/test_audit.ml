@@ -419,6 +419,69 @@ let test_timeline_shape () =
             complete
       | _ -> Alcotest.fail "no traceEvents list")
 
+(* ---------------------------------------------------------------- *)
+(* Document comparison and the jobs-invariance oracle               *)
+(* ---------------------------------------------------------------- *)
+
+let test_equal_documents () =
+  let doc =
+    J.Obj
+      [
+        ("a", J.Int 1);
+        ("b", J.List [ J.Str "x"; J.Obj [ ("c", J.Float 2.5) ] ]);
+      ]
+  in
+  (match Audit.equal_documents doc doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "identical docs compared unequal: %s" e);
+  let expect_error mutated sub =
+    match Audit.equal_documents doc mutated with
+    | Ok () -> Alcotest.fail "differing docs compared equal"
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "diagnosis %S mentions %S" e sub)
+          true
+          (try
+             ignore (Str.search_forward (Str.regexp_string sub) e 0);
+             true
+           with Not_found -> false)
+  in
+  expect_error (J.Obj [ ("a", J.Int 2); ("b", J.Null) ]) "$.a";
+  expect_error
+    (J.Obj
+       [ ("a", J.Int 1); ("b", J.List [ J.Str "x" ]) ])
+    "$.b";
+  expect_error
+    (J.Obj
+       [
+         ("a", J.Int 1);
+         ("b", J.List [ J.Str "y"; J.Obj [ ("c", J.Float 2.5) ] ]);
+       ])
+    "$.b[0]";
+  expect_error
+    (J.Obj
+       [
+         ("a", J.Int 1);
+         ("b", J.List [ J.Str "x"; J.Obj [ ("c", J.Float 3.5) ] ]);
+       ])
+    "$.b[1].c"
+
+(* Audit documents serialize everything downstream consumers see: their
+   equality across lane counts is the end-to-end jobs-invariance gate
+   (doc/CONCURRENCY.md). *)
+let test_jobs_invariant_document () =
+  let nl = suite "bbara" in
+  let doc_of jobs =
+    let options = { (Turbosyn.Synth.default_options ~k:5 ()) with jobs } in
+    let r = Turbosyn.Synth.run ~options `Turbosyn nl in
+    match Audit.build ~source:nl ~options r with
+    | Ok doc -> doc
+    | Error e -> Alcotest.failf "jobs=%d: audit build failed: %s" jobs e
+  in
+  match Audit.equal_documents (doc_of 1) (doc_of 4) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "documents differ across lane counts: %s" e
+
 let () =
   Alcotest.run "audit"
     [
@@ -449,4 +512,11 @@ let () =
             test_diff_histogram_gating;
         ] );
       ("timeline", [ Alcotest.test_case "shape" `Quick test_timeline_shape ]);
+      ( "invariance",
+        [
+          Alcotest.test_case "equal_documents diagnosis" `Quick
+            test_equal_documents;
+          Alcotest.test_case "audit document across lane counts" `Slow
+            test_jobs_invariant_document;
+        ] );
     ]

@@ -192,6 +192,63 @@ let test_reset_while_entered () =
       Alcotest.(check int) "fresh slice recorded" 1 (Obs.Timeline.length ()))
 
 (* ---------------------------------------------------------------- *)
+(* Per-domain shards (parallel phases, doc/CONCURRENCY.md)          *)
+(* ---------------------------------------------------------------- *)
+
+let test_shard_reset_guard () =
+  with_obs (fun () ->
+      let sh = Obs.Shard.create () in
+      Alcotest.(check int) "one live shard" 1 (Obs.Shard.active ());
+      (match Obs.reset () with
+      | () -> Alcotest.fail "Obs.reset succeeded with a live shard"
+      | exception Invalid_argument _ -> ());
+      Obs.Shard.release sh;
+      Obs.Shard.release sh;
+      (* idempotent *)
+      Alcotest.(check int) "released" 0 (Obs.Shard.active ());
+      (* reset works again once no shard is live *)
+      Obs.reset ())
+
+let test_shard_merge () =
+  with_obs (fun () ->
+      let c = Obs.Counter.make "test.shard-adds" in
+      let p = Obs.Counter.make "test.shard-peak" in
+      let h = Obs.Histogram.make "test.shard-hist" in
+      Obs.Counter.incr c;
+      Obs.Counter.record_max p 10;
+      let sh = Obs.Shard.create () in
+      Obs.Shard.wrap sh (fun () ->
+          Obs.Counter.add c 4;
+          Obs.Counter.record_max p 7;
+          (* below the global peak: max-merge must keep 10 *)
+          Obs.Histogram.observe h 1.0;
+          Obs.Histogram.observe h 2.0);
+      (* nothing reaches the globals until the coordinator merges *)
+      Alcotest.(check int) "adds buffered" 1 (Obs.Counter.value c);
+      Alcotest.(check int) "hist buffered" 0 (Obs.Histogram.count h);
+      Obs.Shard.merge sh;
+      Alcotest.(check int) "adds merged by sum" 5 (Obs.Counter.value c);
+      Alcotest.(check int) "peak merged by max" 10 (Obs.Counter.value p);
+      Alcotest.(check int) "hist merged" 2 (Obs.Histogram.count h);
+      (* a shard is reusable per level: wrap + merge again *)
+      Obs.Shard.wrap sh (fun () -> Obs.Counter.record_max p 25);
+      Obs.Shard.merge sh;
+      Alcotest.(check int) "peak raised on remerge" 25 (Obs.Counter.value p);
+      Obs.Shard.release sh)
+
+let test_shard_span_and_timeline () =
+  with_obs (fun () ->
+      let s = Obs.Span.make "test.shard-span" in
+      let sh = Obs.Shard.create () in
+      Obs.Shard.wrap sh (fun () -> Obs.Span.time s (fun () -> ()));
+      Alcotest.(check int) "span buffered" 0 (Obs.Span.count s);
+      Alcotest.(check int) "timeline buffered" 0 (Obs.Timeline.length ());
+      Obs.Shard.merge sh;
+      Obs.Shard.release sh;
+      Alcotest.(check int) "span merged" 1 (Obs.Span.count s);
+      Alcotest.(check int) "timeline slice merged" 1 (Obs.Timeline.length ()))
+
+(* ---------------------------------------------------------------- *)
 (* JSON round trip and the stats schema                             *)
 (* ---------------------------------------------------------------- *)
 
@@ -464,6 +521,13 @@ let () =
           Alcotest.test_case "clears everything" `Quick
             test_reset_clears_everything;
           Alcotest.test_case "while entered" `Quick test_reset_while_entered;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "reset guard" `Quick test_shard_reset_guard;
+          Alcotest.test_case "merge semantics" `Quick test_shard_merge;
+          Alcotest.test_case "span and timeline" `Quick
+            test_shard_span_and_timeline;
         ] );
       ( "json",
         [

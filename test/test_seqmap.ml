@@ -327,6 +327,141 @@ let test_jobs_determinism () =
       phi1 phi4
   done
 
+(* The intra-phi parallel scheduler must be invisible in results: for
+   every lane count, the verdict, the labels, the provenance, and (on
+   feasible runs) the stats are byte-identical to the sequential engine
+   (doc/CONCURRENCY.md). *)
+let test_intra_phi_invariance () =
+  let rng = Rng.create 909 in
+  let circuits =
+    [
+      ( "bbara",
+        5,
+        Workloads.Suite.build (Option.get (Workloads.Suite.find "bbara")) );
+    ]
+    @ List.init 3 (fun i ->
+          ( Printf.sprintf "rand%d" i,
+            4,
+            random_seq rng ~pis:3 ~gates:(12 + (2 * i)) ~max_arity:3 ))
+    @ [ ("loop6_2", 4, pi_loop 6 2) ]
+  in
+  List.iter
+    (fun (cname, k, nl) ->
+      let opts =
+        { (Label_engine.default_options ~k) with Label_engine.resynthesize = true }
+      in
+      let phi_star, _, _ = Turbomap.minimum_ratio opts nl in
+      if Rat.( > ) phi_star Rat.zero then
+        (* phi* is the smallest feasible ratio, so phi*/2 is certainly
+           infeasible: the verdict must also be lane-count invariant *)
+        let phis = [ phi_star; Rat.div phi_star (Rat.of_int 2) ] in
+        List.iter
+          (fun phi ->
+            let base, base_stats = Label_engine.run opts nl ~phi in
+            List.iter
+              (fun jobs ->
+                let par, par_stats =
+                  Label_engine.run { opts with Label_engine.jobs } nl ~phi
+                in
+                let name j what =
+                  Format.asprintf "%s phi=%a jobs=%d %s" cname Rat.pp phi j what
+                in
+                match (base, par) with
+                | ( Label_engine.Feasible { labels = l1; prov = p1; _ },
+                    Label_engine.Feasible { labels = l2; prov = p2; _ } ) ->
+                    Alcotest.(check (array rat)) (name jobs "labels") l1 l2;
+                    Alcotest.(check bool) (name jobs "provenance") true (p1 = p2);
+                    Alcotest.(check int) (name jobs "iterations")
+                      base_stats.Label_engine.iterations
+                      par_stats.Label_engine.iterations;
+                    Alcotest.(check int) (name jobs "flow tests")
+                      base_stats.Label_engine.flow_tests
+                      par_stats.Label_engine.flow_tests
+                | Label_engine.Infeasible, Label_engine.Infeasible -> ()
+                | _ ->
+                    Alcotest.fail (name jobs "verdict: lane counts disagree"))
+              [ 2; 4; 8 ])
+          phis)
+    circuits
+
+(* The scheduling counters of the parallel engine: levels and tasks are
+   recorded, and the single-writer ownership tripwire never fires. *)
+let test_intra_phi_counters () =
+  let nl = Workloads.Suite.build (Option.get (Workloads.Suite.find "bbara")) in
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset ();
+      Obs.set_enabled false)
+    (fun () ->
+      let opts =
+        {
+          (Label_engine.default_options ~k:5) with
+          Label_engine.resynthesize = true;
+          jobs = 4;
+        }
+      in
+      let phi_star, _, _ = Turbomap.minimum_ratio opts nl in
+      ignore (Label_engine.run opts nl ~phi:phi_star);
+      let get name =
+        match Obs.Counter.find name with
+        | Some v -> v
+        | None -> Alcotest.failf "counter %s never registered" name
+      in
+      Alcotest.(check bool) "scc levels recorded" true (get "label.scc_levels" > 0);
+      Alcotest.(check bool) "domain tasks recorded" true
+        (get "label.domain_tasks" > 0);
+      Alcotest.(check int) "no merge conflicts" 0 (get "label.merge_conflicts"))
+
+(* Per-lane arena ownership: arenas are private to one lane; distinct
+   arenas solve concurrently without interference, and one arena is
+   reusable across sequential solves (the busy flag is released even
+   though results are copied out). *)
+let test_arena_isolation () =
+  (* a small diamond spec: 0,1 sources; 3 = sink side *)
+  let spec =
+    {
+      Flow.Kcut.n = 4;
+      edges = [| (0, 2); (1, 2); (0, 3); (2, 3) |];
+      sink_side = [| false; false; false; true |];
+      sources = [ 0; 1 ];
+    }
+  in
+  let expected = Flow.Kcut.find spec ~k:2 in
+  (* sequential reuse: the same arena across many solves *)
+  let arena = Flow.Kcut.new_arena () in
+  for _ = 1 to 10 do
+    Alcotest.(check bool) "arena reuse agrees" true
+      (Flow.Kcut.find ~arena spec ~k:2 = expected)
+  done;
+  (* cross-domain isolation: one arena per pool lane, concurrent solves *)
+  Pool.with_pool ~domains:4 (fun pool ->
+      let arenas = Array.init (Pool.size pool) (fun _ -> Flow.Kcut.new_arena ()) in
+      let results = Array.make 64 None in
+      Pool.run pool ~n:64 (fun worker i ->
+          results.(i) <- Some (Flow.Kcut.find ~arena:arenas.(worker) spec ~k:2));
+      Array.iteri
+        (fun i r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "lane solve %d agrees" i)
+            true (r = Some expected))
+        results);
+  (* same discipline for expansion arenas *)
+  let nl = pi_loop 6 2 in
+  let v = Option.get (Netlist.find_by_name nl "g0") in
+  let labels = Array.make (Netlist.n nl) Rat.one in
+  List.iter (fun p -> labels.(p) <- Rat.zero) (Netlist.pis nl);
+  let build arena =
+    Expanded.build ~arena nl ~root:v ~labels ~phi:Rat.one ~threshold:Rat.zero
+      ~extra_depth:2 ~max_nodes:100
+  in
+  let earena = Expanded.new_arena () in
+  let a = build earena in
+  let b = build earena in
+  Alcotest.(check bool) "expansion arena reuse agrees" true
+    (a.Expanded.nodes = b.Expanded.nodes && a.Expanded.internal = b.Expanded.internal)
+
 let test_pld_equivalence () =
   (* PLD on/off must agree on the minimum ratio *)
   let rng = Rng.create 444 in
@@ -474,6 +609,11 @@ let () =
             test_engine_equivalence;
           Alcotest.test_case "parallel jobs determinism" `Slow
             test_jobs_determinism;
+          Alcotest.test_case "intra-phi lane invariance" `Slow
+            test_intra_phi_invariance;
+          Alcotest.test_case "intra-phi scheduling counters" `Slow
+            test_intra_phi_counters;
+          Alcotest.test_case "arena isolation" `Quick test_arena_isolation;
         ] );
       ( "pld",
         [
