@@ -130,6 +130,54 @@ let restrict_many m f assigns =
   let assigns = List.sort (fun (a, _) (b, _) -> Int.compare a b) assigns in
   List.fold_left (fun acc (i, b) -> restrict m acc i b) f assigns
 
+let iter_cofactors m f bound k =
+  (* All 2^b cofactors of [f] over [bound], bit j of the visited mask
+     giving the value assigned to [bound.(j)] — the restriction tree
+     shares every partial restriction between the masks that extend it
+     (2^(b+1) - 2 single-variable restricts instead of b * 2^b, each on
+     an already-shrunk graph) and one memo serves the whole call.
+     Restriction order is ascending variable level, so each step only
+     walks the shallow part of the graph; substitutions of distinct
+     variables commute, so each visited cofactor equals the
+     [restrict_many] of its assignment.  [k] may raise to abort the
+     enumeration early (the multiplicity pre-check does). *)
+  let b = Array.length bound in
+  let order = Array.init b Fun.id in
+  Array.sort (fun i j -> Int.compare bound.(i) bound.(j)) order;
+  let memo = Hashtbl.create 256 in
+  let restrict1 g i bit =
+    let rec go g =
+      if g < 2 || m.level.(g) > i then g
+      else
+        let key = (g, i, bit) in
+        match Hashtbl.find_opt memo key with
+        | Some r -> r
+        | None ->
+            let r =
+              if m.level.(g) = i then (if bit then m.high.(g) else m.low.(g))
+              else mk m m.level.(g) (go m.low.(g)) (go m.high.(g))
+            in
+            Hashtbl.replace memo key r;
+            r
+    in
+    go g
+  in
+  let rec fill d g mask =
+    if d = b then k mask g
+    else begin
+      let p = order.(d) in
+      let i = bound.(p) in
+      fill (d + 1) (restrict1 g i false) mask;
+      fill (d + 1) (restrict1 g i true) (mask lor (1 lsl p))
+    end
+  in
+  fill 0 f 0
+
+let cofactors m f bound =
+  let out = Array.make (1 lsl Array.length bound) 0 in
+  iter_cofactors m f bound (fun mask g -> out.(mask) <- g);
+  out
+
 let compose m f i g =
   let memo = Hashtbl.create 64 in
   let rec go f =

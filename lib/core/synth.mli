@@ -49,8 +49,12 @@ type options = {
           byte-identical for every value) *)
   probe_jobs : int;
       (** domains for speculative ratio-search probes — whole probes in
-          parallel, the orthogonal axis to [jobs] (1 = sequential; the
-          result is identical for every value).  With [probe_jobs > 1]
+          parallel, the orthogonal axis to [jobs] (1 = sequential).  The
+          minimum ratio, clock period and every label are identical for
+          every value, and each value is individually deterministic; the
+          concrete cuts harvested for the mapping may differ between
+          values, because only driver-domain probes feed the cross-φ cut
+          memo ([Seqmap.Label_engine.cut_memo]).  With [probe_jobs > 1]
           and [jobs > 1] the axes compose multiplicatively in domain
           count: each probe spins up its own [jobs] lanes. *)
 }

@@ -8,11 +8,12 @@ let compute man f ~bound =
   let reps = ref [] in
   let nclasses = ref 0 in
   let seen = Hashtbl.create 16 in
+  (* one shared restriction tree for the whole cofactor family; mask
+     semantics (bit j assigns bound.(j)) and class numbering by first
+     occurrence are unchanged *)
+  let cofs = Bdd.cofactors man f bound in
   for m = 0 to count - 1 do
-    let assigns =
-      Array.to_list (Array.mapi (fun j v -> (v, m land (1 lsl j) <> 0)) bound)
-    in
-    let cof = Bdd.restrict_many man f assigns in
+    let cof = cofs.(m) in
     match Hashtbl.find_opt seen cof with
     | Some c -> class_of.(m) <- c
     | None ->
@@ -26,3 +27,22 @@ let compute man f ~bound =
 
 let multiplicity man f ~bound =
   Array.length (compute man f ~bound).representatives
+
+exception Too_many
+
+let multiplicity_at_most man f ~bound ~mu =
+  (* Early exit: most bound-set trials fail the µ test, and a failure
+     is established as soon as the (µ+1)-th distinct cofactor shows up —
+     usually within the first few leaves of the restriction tree, long
+     before all 2^|B| cofactors exist.  Hash-consing makes distinctness
+     a node-id comparison. *)
+  let seen = Hashtbl.create 16 in
+  match
+    Bdd.iter_cofactors man f bound (fun _ cof ->
+        if not (Hashtbl.mem seen cof) then begin
+          Hashtbl.replace seen cof ();
+          if Hashtbl.length seen > mu then raise Too_many
+        end)
+  with
+  | () -> true
+  | exception Too_many -> false

@@ -25,3 +25,9 @@ val compute : Bdd.man -> Bdd.t -> bound:int array -> t
 
 val multiplicity : Bdd.man -> Bdd.t -> bound:int array -> int
 (** Number of cofactor classes. *)
+
+val multiplicity_at_most : Bdd.man -> Bdd.t -> bound:int array -> mu:int -> bool
+(** [multiplicity_at_most man f ~bound ~mu] decides [multiplicity <= mu]
+    without materializing the full class table, aborting the cofactor
+    enumeration at the [(mu+1)]-th distinct cofactor — the fast path of
+    the bound-set search, where almost every trial fails the µ test. *)

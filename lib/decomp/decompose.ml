@@ -125,9 +125,12 @@ let decompose ?(exhaustive = false) ?(multi = false) man ~f ~vars ~arrivals ~k =
         Obs.Counter.incr c_trials;
         Obs.Histogram.observe_int h_bound_set (List.length bset);
         let bound = Array.of_list (List.map (fun l -> l.var) bset) in
-        let cls = Classes.compute man fn ~bound in
-        if Array.length cls.Classes.representatives <= max_mu then
-          Some (bset, cls)
+        (* Almost every trial fails the µ test; decide it with the
+           early-exit enumeration and only materialize the class table
+           for the (rare) winner.  multiplicity <= max_mu iff
+           representatives <= max_mu, so the decisions are identical. *)
+        if Classes.multiplicity_at_most man fn ~bound ~mu:max_mu then
+          Some (bset, Classes.compute man fn ~bound)
         else None
       in
       let rec first ~max_mu = function

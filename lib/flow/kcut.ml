@@ -81,7 +81,7 @@ let solve ?arena spec ~k =
       let reach = Maxflow.residual_reachable net ~s:s' in
       let cut = ref [] in
       for v = spec.n - 1 downto 0 do
-        if (not spec.sink_side.(v)) && reach.(2 * v) && not reach.((2 * v) + 1)
+        if (not spec.sink_side.(v)) && reach (2 * v) && not (reach ((2 * v) + 1))
         then cut := v :: !cut
       done;
       Cut !cut

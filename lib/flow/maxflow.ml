@@ -4,8 +4,10 @@ let c_networks = Obs.Counter.make "maxflow.networks"
 let c_nodes = Obs.Counter.make "maxflow.nodes"
 let c_edges = Obs.Counter.make "maxflow.edges"
 let c_aug = Obs.Counter.make "maxflow.augmenting_paths"
+let c_phases = Obs.Counter.make "maxflow.blocking_phases"
 let c_arena = Obs.Counter.make "maxflow.arena_reuses"
 let h_aug = Obs.Histogram.make "maxflow.augmenting_paths_per_flow"
+let h_phases = Obs.Histogram.make "maxflow.blocking_phases_per_flow"
 let h_net_nodes = Obs.Histogram.make "maxflow.network_nodes"
 
 type t = {
@@ -20,10 +22,11 @@ type t = {
      version this replaced) *)
   mutable first_arc : int array; (* node -> first outgoing arc or -1 *)
   mutable next_arc : int array; (* arc -> next arc of the same node or -1 *)
-  (* BFS scratch, reused across searches and cleared by generation stamps
-     instead of re-allocation (the augmenting-path hot loop) *)
-  mutable parent_arc : int array;
-  mutable visit : int array; (* visit.(v) = gen means visited *)
+  (* search scratch, reused across searches and cleared by generation
+     stamps instead of re-allocation (the blocking-flow hot loop) *)
+  mutable level : int array; (* BFS level, valid iff visit.(v) = gen *)
+  mutable cur : int array; (* current-arc iterator, valid iff stamped *)
+  mutable visit : int array; (* visit.(v) = gen means stamped this round *)
   mutable gen : int;
   mutable queue : int array; (* ring-free: BFS pushes at most n nodes *)
 }
@@ -34,7 +37,8 @@ let alloc_nodes t n =
   if n > Array.length t.first_arc then begin
     let cap = max n (2 * Array.length t.first_arc) in
     t.first_arc <- Array.make cap (-1);
-    t.parent_arc <- Array.make cap (-1);
+    t.level <- Array.make cap 0;
+    t.cur <- Array.make cap (-1);
     t.visit <- Array.make cap 0;
     t.queue <- Array.make cap 0;
     t.gen <- 0
@@ -54,7 +58,8 @@ let create n =
     orig_cap = Array.make 16 0;
     first_arc = Array.make m (-1);
     next_arc = Array.make 16 (-1);
-    parent_arc = Array.make m (-1);
+    level = Array.make m 0;
+    cur = Array.make m (-1);
     visit = Array.make m 0;
     gen = 0;
     queue = Array.make m 0;
@@ -106,13 +111,18 @@ let add_edge t ~src ~dst ~cap =
 
 let reset t = Array.blit t.orig_cap 0 t.cap 0 t.narcs
 
-(* BFS for an augmenting path over the scratch buffers; true iff t is
-   reachable, with parent arcs recorded in t.parent_arc for the stamped
-   nodes. *)
-let bfs t ~s ~t:tnode =
+(* Level-graph BFS over the scratch buffers (one Dinic phase); true iff
+   [tnode] is reachable.  Stamps every reached node with the new
+   generation, records its BFS level, and rewinds its current-arc
+   iterator.  Stops as soon as [tnode] is labeled: nodes labeled later
+   would sit at a level >= level(t) and cannot lie on a shortest s-t
+   path, so the blocking-flow DFS never consults them. *)
+let bfs_levels t ~s ~t:tnode =
   t.gen <- t.gen + 1;
   let gen = t.gen in
   t.visit.(s) <- gen;
+  t.level.(s) <- 0;
+  t.cur.(s) <- t.first_arc.(s);
   let q = t.queue in
   q.(0) <- s;
   let qlen = ref 1 and qhead = ref 0 in
@@ -126,7 +136,8 @@ let bfs t ~s ~t:tnode =
       let w = t.head.(arc) in
       if t.visit.(w) <> gen && t.cap.(arc) > 0 then begin
         t.visit.(w) <- gen;
-        t.parent_arc.(w) <- arc;
+        t.level.(w) <- t.level.(v) + 1;
+        t.cur.(w) <- t.first_arc.(w);
         if w = tnode then found := true
         else begin
           q.(!qlen) <- w;
@@ -138,44 +149,69 @@ let bfs t ~s ~t:tnode =
   done;
   !found
 
+(* One blocking-flow probe: push up to [pushed] units from [v] to [tnode]
+   along strictly level-increasing residual arcs, advancing the per-node
+   current-arc iterators past exhausted arcs so each arc is retired at
+   most once per phase. *)
+let rec dfs_push t ~tnode gen v pushed =
+  if v = tnode then pushed
+  else begin
+    let sent = ref 0 in
+    let a = ref t.cur.(v) in
+    while !sent = 0 && !a >= 0 do
+      let arc = !a in
+      let w = t.head.(arc) in
+      if t.cap.(arc) > 0 && t.visit.(w) = gen && t.level.(w) = t.level.(v) + 1
+      then begin
+        let d = dfs_push t ~tnode gen w (min pushed t.cap.(arc)) in
+        if d > 0 then begin
+          t.cap.(arc) <- t.cap.(arc) - d;
+          t.cap.(arc lxor 1) <- t.cap.(arc lxor 1) + d;
+          sent := d
+        end
+        else begin
+          (* dead end below this arc for the rest of the phase *)
+          a := t.next_arc.(arc);
+          t.cur.(v) <- !a
+        end
+      end
+      else begin
+        a := t.next_arc.(arc);
+        t.cur.(v) <- !a
+      end
+    done;
+    !sent
+  end
+
 let max_flow t ~s ~t:tnode ~limit =
   if s = tnode then invalid_arg "Maxflow.max_flow: s = t";
   let flow = ref 0 in
   let augmentations = ref 0 in
+  let phases = ref 0 in
   let continue = ref true in
   while !continue && !flow <= limit do
-    if not (bfs t ~s ~t:tnode) then continue := false
+    if not (bfs_levels t ~s ~t:tnode) then continue := false
     else begin
-      Obs.Counter.incr c_aug;
-      incr augmentations;
-      let parent = t.parent_arc in
-      (* the source of arc a is the head of its reverse arc (a lxor 1) *)
-      let arc_src a = t.head.(a lxor 1) in
-      let rec bottleneck v acc =
-        if v = s then acc
-        else
-          let a = parent.(v) in
-          bottleneck (arc_src a) (min acc t.cap.(a))
-      in
-      let b = bottleneck tnode max_int in
-      let rec push v =
-        if v <> s then begin
-          let a = parent.(v) in
-          t.cap.(a) <- t.cap.(a) - b;
-          t.cap.(a lxor 1) <- t.cap.(a lxor 1) + b;
-          push (arc_src a)
-        end
-      in
-      push tnode;
-      flow := !flow + b
+      Obs.Counter.incr c_phases;
+      incr phases;
+      let gen = t.gen in
+      let d = ref (dfs_push t ~tnode gen s infinity) in
+      while !d > 0 do
+        Obs.Counter.incr c_aug;
+        incr augmentations;
+        flow := !flow + !d;
+        d := (if !flow <= limit then dfs_push t ~tnode gen s infinity else 0)
+      done
     end
   done;
   Obs.Histogram.observe_int h_aug !augmentations;
+  Obs.Histogram.observe_int h_phases !phases;
   !flow
 
 let residual_reachable t ~s =
-  let visited = Array.make t.n false in
-  visited.(s) <- true;
+  t.gen <- t.gen + 1;
+  let gen = t.gen in
+  t.visit.(s) <- gen;
   let q = t.queue in
   q.(0) <- s;
   let qlen = ref 1 and qhead = ref 0 in
@@ -186,12 +222,12 @@ let residual_reachable t ~s =
     while !a >= 0 do
       let arc = !a in
       let w = t.head.(arc) in
-      if (not visited.(w)) && t.cap.(arc) > 0 then begin
-        visited.(w) <- true;
+      if t.visit.(w) <> gen && t.cap.(arc) > 0 then begin
+        t.visit.(w) <- gen;
         q.(!qlen) <- w;
         incr qlen
       end;
       a := t.next_arc.(arc)
     done
   done;
-  visited
+  fun v -> t.visit.(v) = gen

@@ -1,9 +1,19 @@
-(** Integer max-flow (Edmonds–Karp: BFS augmenting paths).
+(** Integer max-flow (Dinic: level-graph BFS + blocking-flow DFS with
+    current-arc iterators).
 
-    The flow networks in this project are tiny (one per K-feasible-cut
-    decision, with node-splitting) and the flow value is capped at K+1, so
-    BFS augmentation is the right tool: at most K+1 augmentations of O(E)
-    each. *)
+    The flow networks in this project are small (one per K-feasible-cut
+    decision, with node-splitting) and the flow value is capped at K+1,
+    but cut tests dominate the label-engine hot path, so the solver
+    matters: Dinic retires each arc at most once per phase instead of
+    rescanning the network per augmenting path, and the unit node
+    capacities bound the phase count by O(sqrt E).  All search state
+    lives in generation-stamped scratch arrays owned by the network, so
+    the arena-reuse protocol ([clear]) allocates nothing per decision.
+
+    The min cut read back by {!residual_reachable} is the canonical
+    source-side minimum cut (the residual-reachable set is the same for
+    every maximum flow), so switching augmentation strategies cannot
+    change which cut a caller observes. *)
 
 type t
 
@@ -24,13 +34,18 @@ val infinity : int
 
 val max_flow : t -> s:int -> t:int -> limit:int -> int
 (** [max_flow net ~s ~t ~limit] augments until no path remains or the flow
-    value exceeds [limit]; returns the flow found (at most [limit + 1]).
-    Mutates the network; call [reset] to reuse it. *)
+    value exceeds [limit]; returns the flow found (at most [limit + 1]
+    when all s-t paths have unit bottlenecks, as in the split-node cut
+    networks).  Mutates the network; call [reset] to reuse it. *)
 
 val reset : t -> unit
 (** Zero all flows. *)
 
-val residual_reachable : t -> s:int -> bool array
-(** Nodes reachable from [s] in the residual graph of the current flow —
-    the source side of a minimum cut once [max_flow] has run to
-    completion. *)
+val residual_reachable : t -> s:int -> int -> bool
+(** [residual_reachable net ~s] marks the nodes reachable from [s] in
+    the residual graph of the current flow — the source side of the
+    canonical minimum cut once [max_flow] has run to completion — and
+    returns the membership predicate.  The marks live in the network's
+    generation-stamped scratch (nothing is allocated); the predicate is
+    valid until the next [max_flow], [residual_reachable] or [clear] on
+    the same network. *)

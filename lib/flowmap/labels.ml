@@ -51,6 +51,11 @@ let cone_spec t labels v ~target =
   ( { Flow.Kcut.n = nn; edges = Array.of_list !edges; sink_side; sources },
     cone_arr )
 
+(* Same registry slots as the sequential engine's: both flows report
+   pre-filter effectiveness under one name (doc/OBSERVABILITY.md). *)
+let c_enum_hits = Obs.Counter.make "cut.enum_hits"
+let c_enum_misses = Obs.Counter.make "cut.enum_misses"
+
 let compute ?(resynthesize = false) ?(cmax = 15) ?(exhaustive = false) ?pool t
     ~k =
   if k < 2 || k > Logic.Truthtable.max_arity then invalid_arg "Labels: k";
@@ -84,7 +89,25 @@ let compute ?(resynthesize = false) ?(cmax = 15) ?(exhaustive = false) ?pool t
         end
         else begin
           let spec, cone_arr = cone_spec t labels v ~target:p in
-          match Flow.Kcut.find spec ~k with
+          (* Cut-engine layer 1: priority-cut enumeration gives small
+             cones a conclusive answer — an explicit cut or a proof that
+             none of width <= k exists — without building a flow
+             network; [Unknown] (budget exhausted) falls through to
+             max-flow.  An enumerated [Exceeds] is exact, so the resyn
+             branch below can still call [min_cut] directly. *)
+          let verdict =
+            match Flow.Pricut.decide spec ~k with
+            | Flow.Pricut.Cut c ->
+                Obs.Counter.incr c_enum_hits;
+                Flow.Kcut.Cut c
+            | Flow.Pricut.Exceeds ->
+                Obs.Counter.incr c_enum_hits;
+                Flow.Kcut.Exceeds
+            | Flow.Pricut.Unknown ->
+                Obs.Counter.incr c_enum_misses;
+                Flow.Kcut.find spec ~k
+          in
+          match verdict with
           | Flow.Kcut.Cut c ->
               labels.(v) <- p;
               impls.(v) <-

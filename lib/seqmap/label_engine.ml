@@ -16,10 +16,23 @@ let c_wpushes = Obs.Counter.make "label.worklist_pushes"
 let c_wskips = Obs.Counter.make "label.worklist_skips"
 let c_harvest_reuse = Obs.Counter.make "label.harvest_cut_reuses"
 let c_snap_reuse = Obs.Counter.make "label.snapshot_reuses"
+
+(* three-layer cut engine (doc/PERF.md): how each K-cut query was
+   answered — enumeration pre-filter, cross-phi memo, or max-flow *)
+let c_enum_hits = Obs.Counter.make "cut.enum_hits"
+let c_enum_misses = Obs.Counter.make "cut.enum_misses"
+let c_memo_hits = Obs.Counter.make "cut.memo_hits"
+let c_memo_misses = Obs.Counter.make "cut.memo_misses"
+let c_memo_stores = Obs.Counter.make "cut.memo_stores"
 let s_flow_test = Obs.Span.make "label.flow_test"
 let h_cut_test = Obs.Histogram.make "label.cut_test_seconds"
 let h_snap_trace = Obs.Histogram.make "label.snapshot_trace_len"
 let s_decomp = Obs.Span.make "label.decomp"
+let s_eval = Obs.Span.make "label.resyn_eval"
+let s_mincut = Obs.Span.make "label.resyn_mincut"
+let s_build = Obs.Span.make "label.expand_build"
+let s_cone = Obs.Span.make "label.cone_bdd"
+let s_dec = Obs.Span.make "label.decompose_call"
 let s_scc = Obs.Span.make "label.scc"
 
 (* intra-phi parallel scheduler (doc/CONCURRENCY.md); all three stay 0
@@ -115,10 +128,37 @@ exception Diverged
    permutation) and re-evaluate its level against the current arrivals on
    every hit — labels drift a little each iteration but rarely change the
    order, so this caches across iterations and probes. *)
+(* One memoized cone decomposition.  [tree_level ~arrivals t] only
+   depends on the arrivals through max_i (arrivals.(i) + depth_i) — the
+   maximum LUT-depth of each input position over its leaf occurrences is
+   pure tree shape — so the depths are computed once at store time and
+   every later level re-evaluation is integer arithmetic on the scaled
+   arrivals (Worklist engine), with no rational normalization and no
+   tree walk. *)
+type cone_entry = {
+  ce_tree : Decomp.Decompose.tree option;  (* None: decomposition failed *)
+  ce_depths : int array;  (* per input position; -1 when absent from tree *)
+  ce_const : int;  (* max depth of input-less LUT leaves; -1 when none *)
+}
+
+let cone_entry nvars tree =
+  match tree with
+  | None -> { ce_tree = None; ce_depths = [||]; ce_const = -1 }
+  | Some t ->
+      let d = Array.make nvars (-1) in
+      let cmax = ref (-1) in
+      let rec go depth t =
+        match t with
+        | Decomp.Decompose.Input i -> if depth > d.(i) then d.(i) <- depth
+        | Decomp.Decompose.Lut (_, [||]) ->
+            if depth > !cmax then cmax := depth
+        | Decomp.Decompose.Lut (_, ch) -> Array.iter (go (depth + 1)) ch
+      in
+      go 0 t;
+      { ce_tree = tree; ce_depths = d; ce_const = !cmax }
+
 type resyn_cache = {
-  tbl :
-    (int * (int * int) array * int array, Decomp.Decompose.tree option)
-    Hashtbl.t;
+  tbl : (int * (int * int) array * int array, cone_entry) Hashtbl.t;
   lock : Mutex.t;
       (* one cache is shared by every speculative probe domain of a
          parallel ratio search; the values are pure functions of the key,
@@ -160,16 +200,51 @@ let scaled_of_rat sc r = Rat.num r * (sc.pden / Rat.den r)
    scaled labels, replacing expansion + network + max-flow in the
    steady state of infeasible probes, where labels rise in lock-step
    with the threshold and the trace never changes. *)
+(* Recorded resynthesis candidates of one snapshot slot.  [c_complete]
+   distinguishes a fully materialized candidate list from one cut short
+   because the frontier cut decomposed before the lazy min cut was ever
+   computed: a replay that exhausts an incomplete list cannot conclude
+   the attempt failed and must fall back to the full evaluation. *)
+type cands = { c_pairs : (int * int) array list; c_complete : bool }
+
 type snap = {
   s_u : int array;  (* expansion trace: (u, w, internal) per local node *)
   s_w : int array;
   s_flag : bool array;
   s_overflow : bool;
   s_pass : (int * int) array option;  (* slot 0: the passing K-cut *)
-  mutable s_cands : (int * int) array list option;
+  mutable s_cands : cands option;
       (* resynthesis candidate cuts at this slot's threshold, widest
          first, already filtered; [None] until that attempt level runs *)
 }
+
+(* Cross-phi min-cut memo: the per-gate last-passing-cut table and the
+   per-gate expansion-snapshot table, made shareable across the probes
+   of one ratio search.  A cut's validity as a separating cut of a
+   gate's (infinite) expansion is structural — independent of labels,
+   thresholds and phi — so only its width (<= K) and the heights of its
+   inputs need rechecking at a new threshold, the same O(|cut|) check
+   the harvest pass already applies.  A snapshot's validity check
+   ([snap_valid]) likewise re-derives every trace flag under the
+   current scaled labels and phi, so a snapshot that validates at a new
+   probe proves the rebuild there would be verbatim identical — verdict,
+   passing cut and resynthesis candidates included — making reuse exact
+   at any phi.  Entries are overwritten by every fresh pass and
+   invalidated by those checks, so eviction is tied to the snapshot
+   validation itself rather than to any explicit policy; sharing is
+   sound only where the probe sequence is deterministic (the sequential
+   descent and the final run — speculative probe domains get a [None]
+   memo). *)
+type cut_memo = {
+  m_cuts : (int * int) array option array;
+  mutable m_snaps : snap option array array;
+      (* sized [n] x [resyn_depth + 1] by the first Worklist run that
+         adopts the memo (the constructor cannot know [resyn_depth]);
+         re-sized — dropping contents — if a later run disagrees *)
+}
+
+let new_cut_memo nl =
+  { m_cuts = Array.make (Netlist.n nl) None; m_snaps = [||] }
 
 (* Everything one label run reads and scribbles on.  The arenas make the
    per-cut-test allocations (expansion vectors, flow network, BFS scratch)
@@ -186,10 +261,13 @@ type ctx = {
      the pre-arena engine did, so benchmarks compare against it fairly *)
   karena : Flow.Kcut.arena option;
   earena : Expanded.arena option;
+  parena : Flow.Pricut.arena option;
   scaled : scaled option;
   mutable note : (int -> unit) option;
-  (* last passing K-cut per gate, recorded during iteration so harvest can
-     reuse it instead of re-running a fresh flow test *)
+  (* last passing K-cut per gate, recorded during iteration so both the
+     in-run memo check and the harvest can reuse it instead of re-running
+     a fresh flow test; aliases the caller's [cut_memo] when one is
+     supplied, carrying cuts across the probes of a ratio search *)
   recorded : (int * int) array option array;
   (* per-gate expansion snapshots, slot [h] for resynthesis attempt
      threshold [target - h]; slot 0 doubles as the K-cut test's *)
@@ -232,10 +310,11 @@ let build_expanded ctx v ~threshold =
         Some (fun u w -> sc.slab.(u) - (sc.pnum * w) + sc.pden > st)
   in
   let ex =
-    Expanded.build ?arena:ctx.earena ?internal_of ctx.nl ~root:v
-      ~labels:ctx.labels ~phi:ctx.phi ~threshold
-      ~extra_depth:(effective_depth ctx.opts)
-      ~max_nodes:ctx.opts.max_expansion
+    Obs.Span.time s_build (fun () ->
+        Expanded.build ?arena:ctx.earena ?internal_of ctx.nl ~root:v
+          ~labels:ctx.labels ~phi:ctx.phi ~threshold
+          ~extra_depth:(effective_depth ctx.opts)
+          ~max_nodes:ctx.opts.max_expansion)
   in
   note_expansion ctx ex;
   ex
@@ -339,14 +418,36 @@ let kcut_test ctx v ~threshold =
           match witness with
           | Some fr -> (ex, Some fr, None)
           | None -> (
-              match
-                Flow.Kcut.find ?arena:ctx.karena (Expanded.kcut_spec ex)
-                  ~k:kreq
-              with
-              | Flow.Kcut.Cut c when List.length c <= k -> (ex, Some c, None)
-              | Flow.Kcut.Cut c -> (ex, None, Some (Some c))
-              | Flow.Kcut.Exceeds ->
-                  (ex, None, if deep then Some None else None)))
+              let spec = Expanded.kcut_spec ex in
+              (* priority-cut pre-filter (doc/PERF.md): an enumerated
+                 witness or a proven infeasibility answers the query
+                 without building a flow network.  Skipped entirely
+                 under deep resynthesis: there a failing test must run
+                 the flow anyway for its canonical min cut (the resyn
+                 candidate), and a passing one is all but always caught
+                 by the frontier witness above — measured on the MCNC
+                 sweep the enumeration answered none of the deep-mode
+                 queries while costing more than the flows it shadowed. *)
+              let attempted = fast && not deep in
+              let enum =
+                if attempted then Flow.Pricut.decide ?arena:ctx.parena spec ~k
+                else Flow.Pricut.Unknown
+              in
+              match enum with
+              | Flow.Pricut.Cut c ->
+                  Obs.Counter.incr c_enum_hits;
+                  (ex, Some c, None)
+              | Flow.Pricut.Exceeds when not deep ->
+                  Obs.Counter.incr c_enum_hits;
+                  (ex, None, None)
+              | Flow.Pricut.Exceeds | Flow.Pricut.Unknown -> (
+                  (* a skipped enumeration (deep mode) is not a miss *)
+                  if attempted then Obs.Counter.incr c_enum_misses;
+                  match Flow.Kcut.find ?arena:ctx.karena spec ~k:kreq with
+                  | Flow.Kcut.Cut c when List.length c <= k -> (ex, Some c, None)
+                  | Flow.Kcut.Cut c -> (ex, None, Some (Some c))
+                  | Flow.Kcut.Exceeds ->
+                      (ex, None, if deep then Some None else None))))
   in
   if Obs.enabled () then
     Obs.Histogram.observe h_cut_test (Prelude.Timer.wall () -. t_start);
@@ -373,39 +474,98 @@ let resyn_test ?ex0 ?mc0 ?snap0 ctx v ~target =
      available, computes the cone's decomposition on a cache miss;
      without it a miss answers [`Miss] and the caller falls back to the
      full rebuild (rare: the cache hits on almost every evaluation). *)
+  let starget =
+    match ctx.scaled with
+    | Some sc -> scaled_of_rat sc target
+    | None -> 0
+  in
+  let decompose_miss ~cone key inputs arrivals =
+    match cone with
+    | None -> None
+    | Some build_cone ->
+        ctx.stats.decompositions <- ctx.stats.decompositions + 1;
+        let computed = build_cone ~arrivals in
+        let entry = cone_entry (Array.length inputs) computed in
+        (match ctx.cache with
+        | Some c -> cache_store c key entry
+        | None -> ());
+        Some entry
+  in
   let eval_candidate ~cone inputs =
-    let arrivals =
-      Array.map (fun (u, w) -> Rat.sub labels.(u) (Rat.mul_int phi w)) inputs
-    in
-    (* the root is part of the key: the same cut pairs under a different
-       root denote a different cone function *)
-    let key = (v, inputs, argsort arrivals) in
-    let tree =
-      match
-        match ctx.cache with
-        | Some c -> cache_find c key
-        | None -> None
-      with
-      | Some cached ->
-          Obs.Counter.incr c_cache_hits;
-          `Tree cached
-      | None -> (
-          match cone with
-          | None -> `Miss
-          | Some build_cone ->
-              ctx.stats.decompositions <- ctx.stats.decompositions + 1;
-              let computed = build_cone ~arrivals in
-              (match ctx.cache with
-              | Some c -> cache_store c key computed
-              | None -> ());
-              `Tree computed)
-    in
-    match tree with
-    | `Miss -> `Miss
-    | `Tree (Some t)
-      when Rat.( <= ) (Decomp.Decompose.tree_level ~arrivals t) target ->
-        `Impl (Resyn (t, inputs))
-    | `Tree _ -> `No
+   Obs.Span.time s_eval (fun () ->
+    match ctx.scaled with
+    | Some sc -> (
+        (* scaled fast path (Worklist): the arrivals, their sort order
+           (part of the cache key) and the level test against [target]
+           are exact integer arithmetic on [slab]; rational arrivals are
+           only materialized on a cache miss, for the decomposer *)
+        let n = Array.length inputs in
+        let sarr = Array.make n 0 in
+        for i = 0 to n - 1 do
+          let u, w = inputs.(i) in
+          sarr.(i) <- sc.slab.(u) - (sc.pnum * w)
+        done;
+        let perm = Array.init n Fun.id in
+        Array.stable_sort (fun a b -> Int.compare sarr.(a) sarr.(b)) perm;
+        (* the root is part of the key: the same cut pairs under a
+           different root denote a different cone function *)
+        let key = (v, inputs, perm) in
+        let entry =
+          match
+            match ctx.cache with
+            | Some c -> cache_find c key
+            | None -> None
+          with
+          | Some e ->
+              Obs.Counter.incr c_cache_hits;
+              Some e
+          | None ->
+              let arrivals =
+                Array.map
+                  (fun (u, w) -> Rat.sub labels.(u) (Rat.mul_int phi w))
+                  inputs
+              in
+              decompose_miss ~cone key inputs arrivals
+        in
+        match entry with
+        | None -> `Miss
+        | Some { ce_tree = None; _ } -> `No
+        | Some { ce_tree = Some t; ce_depths; ce_const } ->
+            let lvl = ref (if ce_const >= 0 then ce_const * sc.pden else min_int) in
+            Array.iteri
+              (fun i di ->
+                if di >= 0 then begin
+                  let c = sarr.(i) + (di * sc.pden) in
+                  if c > !lvl then lvl := c
+                end)
+              ce_depths;
+            if !lvl <= starget then `Impl (Resyn (t, inputs)) else `No)
+    | None -> (
+        (* Sweep baseline: rational arrivals and the level walk, as the
+           seed engine evaluated them *)
+        let arrivals =
+          Array.map
+            (fun (u, w) -> Rat.sub labels.(u) (Rat.mul_int phi w))
+            inputs
+        in
+        let key = (v, inputs, argsort arrivals) in
+        let entry =
+          match
+            match ctx.cache with
+            | Some c -> cache_find c key
+            | None -> None
+          with
+          | Some e ->
+              Obs.Counter.incr c_cache_hits;
+              Some e
+          | None -> decompose_miss ~cone key inputs arrivals
+        in
+        match entry with
+        | None -> `Miss
+        | Some { ce_tree = Some t; _ }
+          when Rat.( <= ) (Decomp.Decompose.tree_level ~arrivals t) target ->
+            `Impl (Resyn (t, inputs))
+        | Some _ -> `No))
   in
   let rec attempt h =
     if h > opts.resyn_depth then None
@@ -429,14 +589,21 @@ let resyn_test ?ex0 ?mc0 ?snap0 ctx v ~target =
              decomposition the most room (it is what FlowSYN sees at a
              block boundary); the minimum cut keeps the function narrow *)
           let frontier = Expanded.frontier_cut ex in
-          let min_c =
+          let candidate c =
+            if c <> [] && List.length c <= opts.cmax then
+              Some (c, cut_pairs ex c)
+            else None
+          in
+          let min_candidate () =
+           Obs.Span.time s_mincut (fun () ->
             let mc =
               match mc0 with
               | Some m when h = 0 && fast -> m
               | _ ->
-                  (* cuts wider than cmax are discarded below, so capping
-                     the flow at cmax is behavior-identical and skips the
-                     expensive part of wide min-cut computations *)
+                  (* cuts wider than cmax are discarded by [candidate],
+                     so capping the flow at cmax is behavior-identical
+                     and skips the expensive part of wide min-cut
+                     computations *)
                   if fast then
                     match
                       Flow.Kcut.find ?arena:ctx.karena (Expanded.kcut_spec ex)
@@ -447,47 +614,76 @@ let resyn_test ?ex0 ?mc0 ?snap0 ctx v ~target =
                   else
                     Flow.Kcut.min_cut ?arena:ctx.karena (Expanded.kcut_spec ex)
             in
-            match mc with Some c when c <> frontier -> [ c ] | _ -> []
+            match mc with Some c when c <> frontier -> candidate c | _ -> None)
           in
-          let candidates =
-            List.filter_map
-              (fun c ->
-                if c <> [] && List.length c <= opts.cmax then
-                  Some (c, cut_pairs ex c)
-                else None)
-              (frontier :: min_c)
+          let eval_cut (c, inputs) =
+            eval_candidate inputs
+              ~cone:
+                (Some
+                   (fun ~arrivals ->
+                     let man = Bdd.new_man () in
+                     let vars = Array.init (Array.length inputs) Fun.id in
+                     let f = Obs.Span.time s_cone (fun () -> Expanded.cone_bdd man ctx.nl ex ~cut:c ~vars) in
+                     Option.map
+                       (fun r -> r.Decomp.Decompose.tree)
+                       (Obs.Span.time s_dec (fun () -> Decomp.Decompose.decompose ~exhaustive:opts.exhaustive
+                          ~multi:opts.multi_output man ~f ~vars ~arrivals
+                          ~k:opts.k))))
           in
-          if fast then begin
-            let pairs = List.map snd candidates in
-            match ctx.snaps.(v).(h) with
-            | Some sn when h = 0 -> sn.s_cands <- Some pairs
-            | _ ->
-                let sn = snap_of ex ~pass:None in
-                sn.s_cands <- Some pairs;
-                ctx.snaps.(v).(h) <- Some sn
-          end;
-          let rec try_cuts = function
-            | [] -> attempt (h + 1)
-            | (c, inputs) :: rest -> (
-                match
-                  eval_candidate inputs
-                    ~cone:
-                      (Some
-                         (fun ~arrivals ->
-                           let man = Bdd.new_man () in
-                           let vars = Array.init (Array.length inputs) Fun.id in
-                           let f = Expanded.cone_bdd man ctx.nl ex ~cut:c ~vars in
-                           Option.map
-                             (fun r -> r.Decomp.Decompose.tree)
-                             (Decomp.Decompose.decompose
-                                ~exhaustive:opts.exhaustive
-                                ~multi:opts.multi_output man ~f ~vars ~arrivals
-                                ~k:opts.k)))
-                with
-                | `Impl impl -> Some (impl, h)
-                | _ -> try_cuts rest)
-          in
-          try_cuts candidates
+          if not fast then begin
+            (* Sweep baseline: eager candidates, as the seed engine
+               computed them (uncapped min cut, then the trial loop) *)
+            let candidates =
+              List.filter_map Fun.id [ candidate frontier; min_candidate () ]
+            in
+            let rec try_cuts = function
+              | [] -> attempt (h + 1)
+              | cand :: rest -> (
+                  match eval_cut cand with
+                  | `Impl impl -> Some (impl, h)
+                  | _ -> try_cuts rest)
+            in
+            try_cuts candidates
+          end
+          else begin
+            (* Lazy min cut (doc/PERF.md): evaluate the frontier cut
+               first and only materialize the min cut — a fresh capped
+               flow at every h >= 1 — when the frontier fails to
+               decompose, which the resynthesis cache makes the uncommon
+               case.  The trial order and every verdict are identical to
+               the eager loop; only unused work is skipped.  The
+               snapshot records whether the candidate list was completed
+               so a replay that exhausts it knows the attempt really
+               failed (complete) or must re-evaluate (incomplete). *)
+            let record pairs ~complete =
+              let cs = Some { c_pairs = pairs; c_complete = complete } in
+              match ctx.snaps.(v).(h) with
+              | Some sn when h = 0 -> sn.s_cands <- cs
+              | _ ->
+                  let sn = snap_of ex ~pass:None in
+                  sn.s_cands <- cs;
+                  ctx.snaps.(v).(h) <- Some sn
+            in
+            let try_min ~tried =
+              match min_candidate () with
+              | Some ((_, minputs) as mc) -> (
+                  record (tried @ [ minputs ]) ~complete:true;
+                  match eval_cut mc with
+                  | `Impl impl -> Some (impl, h)
+                  | _ -> attempt (h + 1))
+              | None ->
+                  record tried ~complete:true;
+                  attempt (h + 1)
+            in
+            match candidate frontier with
+            | Some ((_, finputs) as fc) -> (
+                match eval_cut fc with
+                | `Impl impl ->
+                    record [ finputs ] ~complete:false;
+                    Some (impl, h)
+                | _ -> try_min ~tried:[ finputs ])
+            | None -> try_min ~tried:[]
+          end
         end
       in
       let snapped =
@@ -501,7 +697,7 @@ let resyn_test ?ex0 ?mc0 ?snap0 ctx v ~target =
           else (
             match sn.s_cands with
             | None -> full ()
-            | Some pairs ->
+            | Some { c_pairs; c_complete } ->
                 let rec try_pairs = function
                   | [] -> `No
                   | inputs :: rest -> (
@@ -510,9 +706,13 @@ let resyn_test ?ex0 ?mc0 ?snap0 ctx v ~target =
                       | `No -> try_pairs rest
                       | `Miss -> `Miss)
                 in
-                (match try_pairs pairs with
+                (match try_pairs c_pairs with
                 | `Impl impl -> Some (impl, h)
-                | `No -> attempt (h + 1)
+                | `No ->
+                    (* an incomplete list ends where a past frontier
+                       success cut evaluation short; exhausting it
+                       proves nothing about the unmaterialized min cut *)
+                    if c_complete then attempt (h + 1) else full ()
                 | `Miss -> full ()))
       | None -> full ()
   in
@@ -520,6 +720,40 @@ let resyn_test ?ex0 ?mc0 ?snap0 ctx v ~target =
   let result = Obs.Span.time s_decomp (fun () -> attempt 0) in
   (match result with Some _ -> Obs.Counter.incr c_decomp_rescues | None -> ());
   result
+
+(* Memo layer of the cut engine: is the gate's remembered passing cut
+   still a witness at [threshold]?  Validity as a separating cut is
+   structural (all root-to-source paths cross it, at any phi), so only
+   the width bound and the input heights are rechecked — scaled-integer
+   compares, no expansion, no network.  On a hit the cut's inputs are
+   registered in the worklist read set: the decision stays [lv] exactly
+   while they hold still, so the no-op-skipping argument that makes the
+   worklist trajectory match the sweep's is unaffected. *)
+let memo_hit ctx v ~threshold =
+  match ctx.scaled with
+  | None -> None
+  | Some sc -> (
+      match ctx.recorded.(v) with
+      | None -> None
+      | Some cut ->
+          let st = scaled_of_rat sc threshold in
+          if
+            Array.length cut <= ctx.opts.k
+            && Array.for_all
+                 (fun (u, w) ->
+                   sc.slab.(u) - (sc.pnum * w) + sc.pden <= st)
+                 cut
+          then begin
+            Obs.Counter.incr c_memo_hits;
+            (match ctx.note with
+            | None -> ()
+            | Some f -> Array.iter (fun (u, _) -> f u) cut);
+            Some cut
+          end
+          else begin
+            Obs.Counter.incr c_memo_misses;
+            None
+          end)
 
 (* One label update; returns true if the label changed. *)
 let update ctx bound v =
@@ -532,6 +766,9 @@ let update ctx bound v =
   if Rat.( <= ) (Rat.add lv Rat.one) l_cur then false
   else begin
     let decision =
+      match memo_hit ctx v ~threshold:lv with
+      | Some _ -> lv (* the witness is already the recorded entry *)
+      | None -> (
       match snap_slot ctx v 0 ~threshold:lv with
       | Some sn -> (
           (* the last test's expansion would rebuild identically: its
@@ -539,6 +776,7 @@ let update ctx bound v =
           match sn.s_pass with
           | Some pairs ->
               ctx.recorded.(v) <- Some pairs;
+              Obs.Counter.incr c_memo_stores;
               lv
           | None ->
               let resyn =
@@ -550,7 +788,10 @@ let update ctx bound v =
       | None -> (
           match kcut_test ctx v ~threshold:lv with
           | _, Some pairs, _ ->
-              if ctx.opts.engine = Worklist then ctx.recorded.(v) <- Some pairs;
+              if ctx.opts.engine = Worklist then begin
+                ctx.recorded.(v) <- Some pairs;
+                Obs.Counter.incr c_memo_stores
+              end;
               lv
           | ex, None, mc0 ->
               let resyn =
@@ -558,7 +799,7 @@ let update ctx bound v =
                   resyn_test ~ex0:ex ?mc0 ctx v ~target:lv
                 else None
               in
-              (match resyn with Some _ -> lv | None -> Rat.add lv Rat.one))
+              (match resyn with Some _ -> lv | None -> Rat.add lv Rat.one)))
     in
     let l_new = Rat.max l_cur decision in
     (match bound with
@@ -917,6 +1158,7 @@ let run_parallel ctx pool ~bound ~succ ~(scc : Graphs.Scc.t) =
             ctx with
             karena = Some (Flow.Kcut.new_arena ());
             earena = Some (Expanded.new_arena ());
+            parena = Some (Flow.Pricut.new_arena ());
             note = None;
           })
   in
@@ -1059,7 +1301,7 @@ let run_parallel ctx pool ~bound ~succ ~(scc : Graphs.Scc.t) =
       (Infeasible, stats)
   end
 
-let run ?cache ?pool opts nl ~phi =
+let run ?cache ?cutmemo ?pool opts nl ~phi =
   Netlist.validate_exn ~k:opts.k nl;
   let n = Netlist.n nl in
   let stats = { iterations = 0; flow_tests = 0; decompositions = 0; pld_hits = 0 } in
@@ -1068,6 +1310,15 @@ let run ?cache ?pool opts nl ~phi =
     if Netlist.is_gate nl v then labels.(v) <- Rat.one
   done;
   let arenas = opts.engine = Worklist in
+  let recorded =
+    (* the cross-phi memo is the recorded-cut table shared across runs;
+       only the Worklist engine writes or validates it, so handing one to
+       a Sweep run is a harmless no-op *)
+    match cutmemo with
+    | Some m when Array.length m.m_cuts = n -> m.m_cuts
+    | Some _ -> invalid_arg "Label_engine.run: cut memo sized for another netlist"
+    | None -> Array.make n None
+  in
   let ctx =
     {
       opts;
@@ -1078,6 +1329,7 @@ let run ?cache ?pool opts nl ~phi =
       cache;
       karena = (if arenas then Some (Flow.Kcut.new_arena ()) else None);
       earena = (if arenas then Some (Expanded.new_arena ()) else None);
+      parena = (if arenas then Some (Flow.Pricut.new_arena ()) else None);
       scaled =
         (if arenas then
            let pden = Rat.den phi in
@@ -1089,11 +1341,25 @@ let run ?cache ?pool opts nl ~phi =
              }
          else None);
       note = None;
-      recorded = Array.make n None;
+      recorded;
       last_change = Array.make n 0;
       snaps =
+        (* like [recorded], the snapshot table aliases the caller's memo
+           so validated expansions carry across the probes of a ratio
+           search; [snap_slot] revalidates under the current phi before
+           any entry is trusted *)
         (if arenas then
-           Array.init n (fun _ -> Array.make (opts.resyn_depth + 1) None)
+           let fresh () =
+             Array.init n (fun _ -> Array.make (opts.resyn_depth + 1) None)
+           in
+           match cutmemo with
+           | Some m ->
+               if
+                 Array.length m.m_snaps <> n
+                 || (n > 0 && Array.length m.m_snaps.(0) <> opts.resyn_depth + 1)
+               then m.m_snaps <- fresh ();
+               m.m_snaps
+           | None -> fresh ()
          else [||]);
     }
   in

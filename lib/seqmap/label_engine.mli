@@ -126,8 +126,25 @@ type resyn_cache
 
 val new_cache : unit -> resyn_cache
 
+type cut_memo
+(** Cross-phi min-cut memo: the per-gate last-passing-cut table of the
+    Worklist engine, made shareable across the probes of one ratio
+    search.  A cut's validity as a separating cut of a gate's expansion
+    is structural — independent of labels and phi — so a run handed the
+    memo revalidates each entry with an O(|cut|) width/height check
+    before trusting it, skipping the expansion and the flow entirely on
+    a hit ([cut.memo_hits] / [cut.memo_misses]).  Stale entries are
+    overwritten by fresh passes; no explicit eviction exists or is
+    needed.  Share a memo only between runs whose sequence is itself
+    deterministic (the sequential descent's probes and the final run) —
+    speculative probe domains must not receive it, or the memo contents
+    would depend on probe timing. *)
+
+val new_cut_memo : Circuit.Netlist.t -> cut_memo
+
 val run :
   ?cache:resyn_cache ->
+  ?cutmemo:cut_memo ->
   ?pool:Prelude.Pool.t ->
   options -> Circuit.Netlist.t -> phi:Rat.t ->
   outcome * stats

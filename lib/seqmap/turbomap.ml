@@ -97,7 +97,7 @@ let speculative_frontier memo ~ub ~max_den ~jobs =
   done;
   List.rev !picked
 
-let minimum_ratio ?cache ?phi_max_den ?(jobs = 1) ?pool opts nl =
+let minimum_ratio ?cache ?cutmemo ?phi_max_den ?(jobs = 1) ?pool opts nl =
   let acc =
     {
       Label_engine.iterations = 0;
@@ -123,12 +123,18 @@ let minimum_ratio ?cache ?phi_max_den ?(jobs = 1) ?pool opts nl =
   in
   (* [use_pool = false] on speculative worker domains: the intra-phi pool
      (when one is supplied) belongs to the driver domain — Pool batches
-     are single-caller, so only the non-speculative probe may use it *)
+     are single-caller, so only the non-speculative probe may use it.
+     The cross-phi cut memo follows the same rule for a different
+     reason: the memo's contents must be a deterministic function of the
+     decisive probe sequence, and only the driver's probes replay the
+     sequential descent — a speculative domain writing cuts would make
+     them depend on scheduling (doc/CONCURRENCY.md). *)
   let run_probe ?(use_pool = true) cache phi =
     let pool = if use_pool then pool else None in
+    let cutmemo = if use_pool then cutmemo else None in
     let outcome, s =
       Obs.Span.time s_probe (fun () ->
-          Label_engine.run ?cache ?pool opts nl ~phi)
+          Label_engine.run ?cache ?cutmemo ?pool opts nl ~phi)
     in
     let ok =
       match outcome with
@@ -249,6 +255,10 @@ let map_full ?options ?phi_max_den ?jobs nl ~k =
     match options with Some o -> o | None -> Label_engine.default_options ~k
   in
   let cache = Label_engine.new_cache () in
+  (* cross-phi cut memo: cuts found by the search's decisive probes are
+     revalidated instead of recomputed at nearby phi and by the final
+     run; only the driver-domain probes see it (see [run_probe]) *)
+  let cutmemo = Label_engine.new_cut_memo nl in
   (* one shared intra-phi pool across every probe and the final run —
      but only when probes are not themselves speculated onto domains
      (the two parallelism axes compose multiplicatively in domain count;
@@ -265,11 +275,11 @@ let map_full ?options ?phi_max_den ?jobs nl ~k =
   @@ fun () ->
   let phi, probes, stats =
     Obs.Span.time s_search (fun () ->
-        minimum_ratio ~cache ?phi_max_den ?jobs ?pool opts nl)
+        minimum_ratio ~cache ~cutmemo ?phi_max_den ?jobs ?pool opts nl)
   in
   let outcome, s =
     Obs.Span.time s_final (fun () ->
-        Label_engine.run ~cache ?pool opts nl ~phi)
+        Label_engine.run ~cache ~cutmemo ?pool opts nl ~phi)
   in
   add_stats stats s;
   match outcome with

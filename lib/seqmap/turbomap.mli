@@ -27,6 +27,7 @@ type report = {
 
 val minimum_ratio :
   ?cache:Label_engine.resyn_cache ->
+  ?cutmemo:Label_engine.cut_memo ->
   ?phi_max_den:int ->
   ?jobs:int ->
   ?pool:Pool.t ->
@@ -55,7 +56,17 @@ val minimum_ratio :
     [doc/CONCURRENCY.md]); speculative probes on worker domains never
     touch it, since pool batches have a single caller.  [jobs] (probe
     speculation) and [pool] (intra-probe SCC parallelism) are
-    orthogonal axes; both preserve results exactly. *)
+    orthogonal axes; both preserve results exactly.
+
+    [cutmemo], when given, carries passing cuts across probes
+    ([doc/PERF.md], three-layer cut engine).  Like the pool it is handed
+    only to driver-domain probes: the memo's contents must be a
+    deterministic function of the decisive probe sequence, never of
+    domain scheduling.  Memo hits are verdict-exact, so the returned
+    [phi] — and the labels of any later run handed the same memo — are
+    unaffected; which probes populate the memo (and hence which
+    remembered cut a later harvest reuses) does depend on [jobs],
+    deterministically for each value. *)
 
 val map :
   ?options:Label_engine.options ->

@@ -41,7 +41,10 @@ let test_residual_cut () =
   Maxflow.add_edge net ~src:2 ~dst:3 ~cap:5;
   ignore (Maxflow.max_flow net ~s:0 ~t:3 ~limit:100);
   let r = Maxflow.residual_reachable net ~s:0 in
-  Alcotest.(check (array bool)) "cut after 0->1" [| true; false; false; false |] r
+  Alcotest.(check (list bool))
+    "cut after 0->1"
+    [ true; false; false; false ]
+    (List.init 4 r)
 
 (* --- Kcut --- *)
 
@@ -173,6 +176,67 @@ let cut_is_valid (spec : Kcut.spec) cut =
   done;
   ok_nodes && not !bad
 
+(* reference max-flow, independent of lib/flow: BFS augmenting paths on
+   a dense residual matrix — the solver the Dinic rewrite replaced, kept
+   here as the agreement oracle *)
+let ref_max_flow n edges ~s ~t =
+  let cap = Array.make_matrix n n 0 in
+  List.iter (fun (u, v, c) -> cap.(u).(v) <- cap.(u).(v) + c) edges;
+  let total = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let parent = Array.make n (-1) in
+    parent.(s) <- s;
+    let q = Queue.create () in
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      for w = 0 to n - 1 do
+        if parent.(w) < 0 && cap.(v).(w) > 0 then begin
+          parent.(w) <- v;
+          Queue.add w q
+        end
+      done
+    done;
+    if parent.(t) < 0 then continue := false
+    else begin
+      let b = ref max_int in
+      let v = ref t in
+      while !v <> s do
+        let p = parent.(!v) in
+        b := min !b cap.(p).(!v);
+        v := p
+      done;
+      let v = ref t in
+      while !v <> s do
+        let p = parent.(!v) in
+        cap.(p).(!v) <- cap.(p).(!v) - !b;
+        cap.(!v).(p) <- cap.(!v).(p) + !b;
+        v := p
+      done;
+      total := !total + !b
+    end
+  done;
+  !total
+
+(* the split-node network Kcut.solve builds, as an explicit edge list:
+   v_in = 2v, v_out = 2v+1, super-source 2n, sink 2n+1 *)
+let split_network (spec : Kcut.spec) ~inf =
+  let n' = (2 * spec.n) + 2 in
+  let s' = 2 * spec.n and t' = (2 * spec.n) + 1 in
+  let edges = ref [] in
+  for v = 0 to spec.n - 1 do
+    if not spec.sink_side.(v) then edges := (2 * v, (2 * v) + 1, 1) :: !edges
+  done;
+  Array.iter
+    (fun (u, v) ->
+      if not spec.sink_side.(u) then
+        if spec.sink_side.(v) then edges := ((2 * u) + 1, t', inf) :: !edges
+        else edges := ((2 * u) + 1, 2 * v, inf) :: !edges)
+    spec.edges;
+  List.iter (fun v -> edges := (s', 2 * v, inf) :: !edges) spec.sources;
+  (n', !edges, s', t')
+
 let qcheck_kcut =
   let open QCheck in
   (* random layered cone networks: nodes 0..n-1, edges only forward,
@@ -235,6 +299,43 @@ let qcheck_kcut =
               | Kcut.Exceeds -> if k >= size then ok := false
             done;
             !ok);
+    Test.make ~name:"dinic agrees with reference solver on split networks"
+      ~count:300 (make ~print gen)
+      (fun input ->
+        let spec = to_spec input in
+        let inf = 1000 in
+        let n', edges, s', t' = split_network spec ~inf in
+        let net = Maxflow.create n' in
+        List.iter
+          (fun (src, dst, cap) -> Maxflow.add_edge net ~src ~dst ~cap)
+          edges;
+        let full = Maxflow.max_flow net ~s:s' ~t:t' ~limit:(n' * inf) in
+        full = ref_max_flow n' edges ~s:s' ~t:t');
+    Test.make ~name:"enum conclusive implies flow verdict" ~count:300
+      (make ~print gen)
+      (fun input ->
+        let spec = to_spec input in
+        let arena = Pricut.new_arena () in
+        let ok = ref true in
+        for k = 0 to spec.n do
+          (* default budgets, and starved budgets that force truncation:
+             conclusive verdicts must agree with max-flow either way *)
+          List.iter
+            (fun verdict ->
+              match (verdict, Kcut.find spec ~k) with
+              | Pricut.Unknown, _ -> ()
+              | Pricut.Cut c, Kcut.Cut _ ->
+                  if not (cut_is_valid spec c && List.length c <= k) then
+                    ok := false
+              | Pricut.Exceeds, Kcut.Exceeds -> ()
+              | Pricut.Cut _, Kcut.Exceeds | Pricut.Exceeds, Kcut.Cut _ ->
+                  ok := false)
+            [
+              Pricut.decide ~arena spec ~k;
+              Pricut.decide ~max_cuts:1 ~cand_cap:2 spec ~k;
+            ]
+        done;
+        !ok);
   ]
 
 let () =

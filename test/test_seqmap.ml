@@ -414,6 +414,45 @@ let test_intra_phi_counters () =
         (get "label.domain_tasks" > 0);
       Alcotest.(check int) "no merge conflicts" 0 (get "label.merge_conflicts"))
 
+(* Cross-phi cut memo (cut-engine layer 2, doc/PERF.md): handing a memo
+   to the ratio search and then to label runs at phi* must not change
+   phi or any label — memo hits are verdict-exact — while the memo
+   itself demonstrably engages (cut.memo_hits > 0).  A memo sized for a
+   different netlist is rejected. *)
+let test_cut_memo () =
+  let nl = Workloads.Suite.build (Option.get (Workloads.Suite.find "bbara")) in
+  let opts =
+    { (Label_engine.default_options ~k:5) with Label_engine.resynthesize = true }
+  in
+  let phi_a, _, _ = Turbomap.minimum_ratio opts nl in
+  let memo = Label_engine.new_cut_memo nl in
+  let phi_b, _, _ = Turbomap.minimum_ratio ~cutmemo:memo opts nl in
+  Alcotest.(check bool) "phi invariant under the memo" true
+    (Rat.equal phi_a phi_b);
+  let labels_of ?cutmemo () =
+    match Label_engine.run ?cutmemo opts nl ~phi:phi_a with
+    | Label_engine.Feasible { labels; _ }, _ -> labels
+    | Label_engine.Infeasible, _ -> Alcotest.fail "infeasible at phi*"
+  in
+  Alcotest.(check bool) "labels invariant under the memo" true
+    (labels_of () = labels_of ~cutmemo:memo ());
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset ();
+      Obs.set_enabled false)
+    (fun () ->
+      ignore (Label_engine.run ~cutmemo:memo opts nl ~phi:phi_a);
+      let hits = Option.value ~default:0 (Obs.Counter.find "cut.memo_hits") in
+      Alcotest.(check bool) "memo hits recorded" true (hits > 0));
+  let other =
+    Workloads.Suite.build (Option.get (Workloads.Suite.find "dk16"))
+  in
+  Alcotest.check_raises "memo for another netlist rejected"
+    (Invalid_argument "Label_engine.run: cut memo sized for another netlist")
+    (fun () -> ignore (Label_engine.run ~cutmemo:memo opts other ~phi:phi_a))
+
 (* Per-lane arena ownership: arenas are private to one lane; distinct
    arenas solve concurrently without interference, and one arena is
    reusable across sequential solves (the busy flag is released even
@@ -613,6 +652,7 @@ let () =
             test_intra_phi_invariance;
           Alcotest.test_case "intra-phi scheduling counters" `Slow
             test_intra_phi_counters;
+          Alcotest.test_case "cross-phi cut memo" `Slow test_cut_memo;
           Alcotest.test_case "arena isolation" `Quick test_arena_isolation;
         ] );
       ( "pld",
