@@ -587,18 +587,22 @@ let stats_diff base_file cur_file =
 (* pressure — the listen backlog is the queue.                         *)
 (* ------------------------------------------------------------------ *)
 
-let http_post ~port ~path ~body =
+let http_request ~port ~meth ~path ?(headers = []) ~body () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let extra =
+        String.concat ""
+          (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+      in
       let req =
         Printf.sprintf
-          "POST %s HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Type: \
-           application/json\r\nContent-Length: %d\r\nConnection: \
+          "%s %s HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Type: \
+           application/json\r\nContent-Length: %d\r\n%sConnection: \
            close\r\n\r\n%s"
-          path (String.length body) body
+          meth path (String.length body) extra body
       in
       let b = Bytes.of_string req in
       let rec send off =
@@ -618,9 +622,71 @@ let http_post ~port ~path ~body =
       recv ();
       Buffer.contents buf)
 
+let http_post ~port ~path ?headers ~body () =
+  http_request ~port ~meth:"POST" ~path ?headers ~body ()
+
+let http_get ~port ~path =
+  http_request ~port ~meth:"GET" ~path ~body:"" ()
+
+(* raw-response accessors: status code, one (lower-cased) header, body *)
+let resp_status resp =
+  match String.split_on_char ' ' resp with
+  | _ :: code :: _ -> Option.value ~default:0 (int_of_string_opt code)
+  | _ -> 0
+
+let resp_header name resp =
+  let name = String.lowercase_ascii name in
+  String.split_on_char '\n' resp
+  |> List.find_map (fun line ->
+         match String.index_opt line ':' with
+         | Some i when String.lowercase_ascii (String.sub line 0 i) = name ->
+             Some
+               (String.trim
+                  (String.sub line (i + 1) (String.length line - i - 1)))
+         | _ -> None)
+
+let resp_body resp =
+  let rec find i =
+    if i + 3 >= String.length resp then None
+    else if
+      resp.[i] = '\r' && resp.[i + 1] = '\n' && resp.[i + 2] = '\r'
+      && resp.[i + 3] = '\n'
+    then Some (i + 4)
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i -> String.sub resp i (String.length resp - i)
+  | None -> ""
+
+(* server-side seconds per request id, joined from /debug/requests *)
+let server_side_seconds ~port =
+  let resp = http_get ~port ~path:"/debug/requests" in
+  match Obs.Json.of_string (resp_body resp) with
+  | Error _ -> None
+  | Ok doc -> (
+      match Obs.Json.member "requests" doc with
+      | Some (Obs.Json.List rs) ->
+          let tbl = Hashtbl.create 64 in
+          List.iter
+            (fun r ->
+              match
+                (Obs.Json.member "id" r, Obs.Json.member "seconds" r)
+              with
+              | Some (Obs.Json.Str id), Some (Obs.Json.Float s) ->
+                  Hashtbl.replace tbl id s
+              | Some (Obs.Json.Str id), Some (Obs.Json.Int s) ->
+                  Hashtbl.replace tbl id (float_of_int s)
+              | _ -> ())
+            rs;
+          Some tbl
+      | _ -> None)
+
 let serve_load ~jobs ~quick () =
   Obs.set_enabled true;
   Obs.reset ();
+  (* per-request access logs (64 info lines) would drown the report;
+     keep the threshold at warn so only slow/failed requests surface *)
+  Obs.Log.set_level Obs.Log.Warn;
   let server = Serve.Server.create ~port:0 () in
   let port = Serve.Server.port server in
   let srv = Domain.spawn (fun () -> Serve.Server.run server) in
@@ -634,37 +700,79 @@ let serve_load ~jobs ~quick () =
     "@.== serve-load: %d requests, %d client domain(s), port %d ==@."
     (per * jobs) jobs port;
   let failures = Atomic.make 0 in
+  let server_errors = Atomic.make 0 in
   let t0 = Prelude.Timer.wall () in
+  (* each request carries a unique client-chosen correlation id; the
+     echo proves propagation and keys the server-side latency join *)
   let workers =
-    List.init jobs (fun _ ->
+    List.init jobs (fun w ->
         Domain.spawn (fun () ->
-            Array.init per (fun _ ->
+            Array.init per (fun i ->
+                let id = Printf.sprintf "bench-%d-%d" w i in
                 let t = Prelude.Timer.wall () in
-                let resp = http_post ~port ~path:"/map" ~body in
+                let resp =
+                  http_post ~port ~path:"/map"
+                    ~headers:[ ("X-Request-Id", id) ]
+                    ~body ()
+                in
+                let client = Prelude.Timer.wall () -. t in
+                let status = resp_status resp in
+                if status >= 500 then Atomic.incr server_errors;
                 if
-                  not
-                    (String.length resp >= 15
-                    && String.sub resp 0 15 = "HTTP/1.1 200 OK")
+                  status <> 200
+                  || resp_header "x-request-id" resp <> Some id
                 then Atomic.incr failures;
-                Prelude.Timer.wall () -. t)))
+                (id, client))))
   in
-  let lats =
+  let results =
     List.concat_map (fun d -> Array.to_list (Domain.join d)) workers
   in
   let elapsed = Prelude.Timer.wall () -. t0 in
+  let joined =
+    match server_side_seconds ~port with
+    | None ->
+        Format.printf "warning: /debug/requests join failed@.";
+        []
+    | Some tbl ->
+        List.filter_map
+          (fun (id, client) ->
+            Option.map (fun srv -> (client, srv)) (Hashtbl.find_opt tbl id))
+          results
+  in
   Serve.Server.stop server;
   Domain.join srv;
-  let lats = List.sort Float.compare lats in
-  let n = List.length lats in
-  let pct p = List.nth lats (min (n - 1) (int_of_float (p *. float_of_int n))) in
-  Format.printf "requests: %d ok, %d failed@." (n - Atomic.get failures)
-    (Atomic.get failures);
+  let pct_line label lats =
+    let lats = List.sort Float.compare lats in
+    let n = List.length lats in
+    if n > 0 then begin
+      let pct p =
+        List.nth lats (min (n - 1) (int_of_float (p *. float_of_int n)))
+      in
+      Format.printf
+        "%s latency: p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms@." label
+        (pct 0.50 *. 1e3) (pct 0.90 *. 1e3) (pct 0.99 *. 1e3)
+        (List.nth lats (n - 1) *. 1e3)
+    end
+  in
+  let n = List.length results in
+  Format.printf "requests: %d ok, %d failed (%d server errors)@."
+    (n - Atomic.get failures)
+    (Atomic.get failures) (Atomic.get server_errors);
   Format.printf "sustained throughput: %.1f req/s over %.2fs@."
     (float_of_int n /. elapsed) elapsed;
-  Format.printf "client latency: p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms@."
-    (pct 0.50 *. 1e3) (pct 0.90 *. 1e3) (pct 0.99 *. 1e3)
-    (List.nth lats (n - 1) *. 1e3);
+  pct_line "client" (List.map snd results);
+  pct_line "server" (List.map snd joined);
+  (* client-minus-server is time spent queued in the listen backlog
+     (plus connection setup): the cost of the serialized accept loop *)
+  (match joined with
+  | [] -> ()
+  | _ ->
+      let waits = List.map (fun (c, s) -> Float.max 0. (c -. s)) joined in
+      let mean = List.fold_left ( +. ) 0. waits /. float_of_int n in
+      Format.printf "queue wait (client - server): mean %.1fms  (%d/%d joined)@."
+        (mean *. 1e3) (List.length joined) n);
   Obs.set_enabled false;
+  if Atomic.get server_errors > 0 then exit 3;
   if Atomic.get failures > 0 then exit 2
 
 (* ------------------------------------------------------------------ *)

@@ -114,9 +114,56 @@ let audit_arg =
                  certificate, retiming witness, label provenance; see \
                  doc/AUDIT.md) to $(docv).")
 
+let log_level_arg =
+  Arg.(value & opt (some string) None
+       & info [ "log-level" ] ~docv:"LEVEL"
+           ~doc:"Structured-log threshold: $(b,debug), $(b,info), $(b,warn) \
+                 or $(b,error) (default info).  Lines below the threshold \
+                 are dropped.")
+
+let log_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "log-file" ] ~docv:"FILE"
+           ~doc:"Append structured JSON log lines (schema turbosyn-log/1, \
+                 doc/OBSERVABILITY.md) to $(docv) instead of stderr.")
+
 let exit_err msg =
   Format.eprintf "error: %s@." msg;
   exit 1
+
+(* Route the structured logger per the common --log-level/--log-file
+   flags.  [outputs] lists every (flag, destination) this invocation
+   will write machine-readable documents to; sending log lines into the
+   same file would corrupt both, so the collision is refused up front. *)
+let setup_logging ~log_level ~log_file ~outputs =
+  (match log_level with
+  | None -> ()
+  | Some s -> (
+      match Obs.Log.level_of_string s with
+      | Some lvl -> Obs.Log.set_level lvl
+      | None ->
+          exit_err
+            (Printf.sprintf
+               "unknown --log-level %S (debug, info, warn, error)" s)));
+  match log_file with
+  | None -> Obs.Log.to_stderr ()
+  | Some path -> (
+      if path = "-" then
+        exit_err "--log-file does not accept -: stdout is reserved for \
+                  machine-readable output (logs go to stderr by default)";
+      List.iter
+        (fun (flag, dest) ->
+          match dest with
+          | Some d when d <> "-" && d = path ->
+              exit_err
+                (Printf.sprintf
+                   "--log-file and %s both name %s; interleaving JSON log \
+                    lines with a report would corrupt both — pick distinct \
+                    files" flag d)
+          | _ -> ())
+        outputs;
+      try Obs.Log.to_file path
+      with Sys_error e -> exit_err e)
 
 let list_cmd =
   let run () =
@@ -165,7 +212,17 @@ let stats_cmd =
 
 let map_cmd =
   let run input workload algo k output verilog verify no_pld no_area multi exact
-      jobs probe_jobs sweep stats trace timeline audit =
+      jobs probe_jobs sweep stats trace timeline audit log_level log_file =
+    setup_logging ~log_level ~log_file
+      ~outputs:
+        [
+          ("--stats", stats);
+          ("--trace", trace);
+          ("--timeline", timeline);
+          ("--audit", audit);
+          ("--output", output);
+          ("--verilog", verilog);
+        ];
     match load ~input ~workload with
     | Error e -> exit_err e
     | Ok nl -> (
@@ -193,9 +250,32 @@ let map_cmd =
           if stats = Some "-" then Format.err_formatter
           else Format.std_formatter
         in
+        let algo_name =
+          match algo with
+          | `Turbosyn -> "turbosyn"
+          | `Turbomap -> "turbomap"
+          | `Flowsyn_s -> "flowsyn-s"
+        in
+        Obs.Log.debug "map.start"
+          [
+            ("circuit", Obs.Json.Str (Circuit.Netlist.name nl));
+            ("algo", Obs.Json.Str algo_name);
+            ("k", Obs.Json.Int k);
+            ("jobs", Obs.Json.Int (max 1 jobs));
+          ];
         match Turbosyn.Synth.run ~options algo nl with
         | exception Invalid_argument msg -> exit_err msg
         | r ->
+            Obs.Log.debug "map.done"
+              [
+                ("circuit", Obs.Json.Str (Circuit.Netlist.name nl));
+                ("algo", Obs.Json.Str algo_name);
+                ( "phi",
+                  Obs.Json.Str (Prelude.Rat.to_string r.Turbosyn.Synth.phi) );
+                ("clock_period", Obs.Json.Int r.Turbosyn.Synth.clock_period);
+                ("luts", Obs.Json.Int r.Turbosyn.Synth.luts);
+                ("seconds", Obs.Json.Float r.Turbosyn.Synth.cpu_seconds);
+              ];
             Format.fprintf out "algorithm: %s@."
               (match r.Turbosyn.Synth.algo with
               | `Turbosyn -> "TurboSYN"
@@ -301,7 +381,7 @@ let map_cmd =
       const run $ input_arg $ workload_arg $ algo_arg $ k_arg $ output_arg
       $ verilog_arg $ verify_arg $ no_pld_arg $ no_area_arg $ multi_arg
       $ exact_arg $ jobs_arg $ probe_jobs_arg $ sweep_arg $ stats_arg
-      $ trace_arg $ timeline_arg $ audit_arg)
+      $ trace_arg $ timeline_arg $ audit_arg $ log_level_arg $ log_file_arg)
 
 let audit_cmd =
   let run check input workload algo k sweep out seed =
@@ -444,12 +524,13 @@ let equiv_cmd =
     Term.(const run $ a_arg $ b_arg $ mapped_arg)
 
 let serve_cmd =
-  let run port =
+  let run port slow_seconds log_level log_file =
+    setup_logging ~log_level ~log_file ~outputs:[];
     (* metrics must be live for /metrics to have content; never reset
        between requests so scrape counters stay monotone *)
     Obs.set_enabled true;
     Obs.reset ();
-    match Serve.Server.create ~port () with
+    match Serve.Server.create ~port ~slow_seconds () with
     | exception Unix.Unix_error (e, _, _) ->
         exit_err
           (Printf.sprintf "cannot listen on port %d: %s" port
@@ -457,21 +538,107 @@ let serve_cmd =
     | server ->
         Format.eprintf
           "turbosyn serve: listening on http://127.0.0.1:%d (routes: /map, \
-           /metrics, /healthz)@."
+           /metrics, /healthz, /debug/requests, /debug/trace/<id>)@."
           (Serve.Server.port server);
+        Obs.Log.info "serve.start"
+          [
+            ("port", Obs.Json.Int (Serve.Server.port server));
+            ("slow_seconds", Obs.Json.Float slow_seconds);
+          ];
         Serve.Server.run server
   in
   let port_arg =
     Arg.(value & opt int 8080 & info [ "port"; "p" ] ~docv:"PORT"
            ~doc:"TCP port to listen on (0 picks an ephemeral port).")
   in
+  let slow_arg =
+    Arg.(value & opt float 1.0 & info [ "slow-seconds" ] ~docv:"SECONDS"
+           ~doc:"Requests slower than $(docv) additionally log a \
+                 $(b,serve.slow) warning with per-phase timings.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve the mapping pipeline over HTTP: POST /map runs a request \
              ({\"circuit\": ..., \"k\": ..., \"algo\": ...}), GET /metrics \
              answers a Prometheus text-exposition scrape, GET /healthz a \
-             liveness probe.  Runs until interrupted.")
-    Term.(const run $ port_arg)
+             liveness probe; GET /debug/requests and /debug/trace/<id> \
+             introspect the recent-request ring.  Every request carries a \
+             correlation id (X-Request-Id or traceparent, echoed back) and \
+             emits a structured access-log line.  Runs until interrupted.")
+    Term.(const run $ port_arg $ slow_arg $ log_level_arg $ log_file_arg)
+
+let flame_cmd =
+  let run trace_file input workload algo k jobs output log_level log_file =
+    setup_logging ~log_level ~log_file ~outputs:[ ("--output", Some output) ];
+    let write_folded text =
+      match Obs.Flame.write output text with
+      | () ->
+          if output <> "-" then Format.eprintf "wrote %s@." output
+      | exception Sys_error e -> exit_err e
+    in
+    match trace_file with
+    | Some path ->
+        (* fold an existing Chrome-trace document: --timeline output or a
+           /debug/trace/<id>?format=chrome body *)
+        let text =
+          match path with
+          | "-" -> In_channel.input_all In_channel.stdin
+          | _ -> (
+              try In_channel.with_open_bin path In_channel.input_all
+              with Sys_error e -> exit_err e)
+        in
+        (match Obs.Json.of_string text with
+        | Error e -> exit_err (Printf.sprintf "%s: %s" path e)
+        | Ok doc -> (
+            match Obs.Flame.slices_of_timeline_json doc with
+            | Error e -> exit_err (Printf.sprintf "%s: %s" path e)
+            | Ok slices -> write_folded (Obs.Flame.of_slices slices)))
+    | None -> (
+        (* whole-run mode: map the circuit with the timeline live and
+           fold the recorded span activations *)
+        match load ~input ~workload with
+        | Error e -> exit_err e
+        | Ok nl -> (
+            let options =
+              {
+                (Turbosyn.Synth.default_options ~k ()) with
+                Turbosyn.Synth.jobs = max 1 jobs;
+              }
+            in
+            Obs.set_enabled true;
+            Obs.reset ();
+            match Turbosyn.Synth.run ~options algo nl with
+            | exception Invalid_argument msg -> exit_err msg
+            | _ ->
+                if Obs.Timeline.dropped () > 0 then
+                  Format.eprintf
+                    "flame: timeline ring dropped %d slices; deep stacks may \
+                     fold with missing parents@."
+                    (Obs.Timeline.dropped ());
+                write_folded (Obs.Flame.of_slices (Obs.Timeline.slices ()))))
+  in
+  let trace_file_arg =
+    Arg.(value & opt (some string) None & info [ "from-timeline"; "t" ]
+           ~docv:"FILE"
+           ~doc:"Fold an existing Chrome-trace document ($(b,map --timeline) \
+                 output, or a /debug/trace/<id>?format=chrome body) instead \
+                 of running a mapping; - reads stdin.")
+  in
+  let out_arg =
+    Arg.(value & opt string "-" & info [ "output"; "o" ] ~docv:"FILE"
+           ~doc:"Write the folded stacks to $(docv) (default stdout).")
+  in
+  Cmd.v
+    (Cmd.info "flame"
+       ~doc:"Fold the span timeline into flamegraph.pl-compatible folded \
+             stacks (one $(i,stack weight) line per distinct stack, weighted \
+             by self time in microseconds).  Either run a mapping \
+             ($(b,--workload)/$(b,--input)) and fold the whole run, or fold \
+             an existing Chrome-trace document ($(b,--from-timeline)).  \
+             Render with: flamegraph.pl out.folded > flame.svg.")
+    Term.(
+      const run $ trace_file_arg $ input_arg $ workload_arg $ algo_arg $ k_arg
+      $ jobs_arg $ out_arg $ log_level_arg $ log_file_arg)
 
 let promlint_cmd =
   let run file =
@@ -512,6 +679,7 @@ let () =
         simulate_cmd;
         equiv_cmd;
         serve_cmd;
+        flame_cmd;
         promlint_cmd;
       ]
   in

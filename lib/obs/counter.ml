@@ -29,6 +29,8 @@ let shard_key : shard option Domain.DLS.key =
 let new_shard () : shard = Hashtbl.create 32
 let install_shard sh = Domain.DLS.set shard_key (Some sh)
 let uninstall_shard () = Domain.DLS.set shard_key None
+let current_shard () = Domain.DLS.get shard_key
+let restore_shard s = Domain.DLS.set shard_key s
 
 let cell_of sh name =
   match Hashtbl.find_opt sh name with
@@ -38,14 +40,35 @@ let cell_of sh name =
       Hashtbl.replace sh name cell;
       cell
 
+(* Merging folds into the calling domain's installed sink: an enclosing
+   shard (an Obs.Scope wrapping a parallel phase — lane work then stays
+   attributed to the scope and reaches the registry when the scope
+   itself merges) or, with none installed, the global registry.  Adds
+   merge by sum and peaks by max in both directions, so the nesting
+   depth never changes final registry values. *)
 let merge_shard sh =
-  Hashtbl.iter
-    (fun name cell ->
-      let c = make name in
-      c.n <- c.n + cell.adds;
-      if cell.peak > c.n then c.n <- cell.peak)
-    sh;
+  (match Domain.DLS.get shard_key with
+  | Some dst when dst != sh ->
+      Hashtbl.iter
+        (fun name cell ->
+          let d = cell_of dst name in
+          d.adds <- d.adds + cell.adds;
+          if cell.peak > d.peak then d.peak <- cell.peak)
+        sh
+  | _ ->
+      Hashtbl.iter
+        (fun name cell ->
+          let c = make name in
+          c.n <- c.n + cell.adds;
+          if cell.peak > c.n then c.n <- cell.peak)
+        sh);
   Hashtbl.reset sh
+
+let shard_contents (sh : shard) =
+  Hashtbl.fold
+    (fun name cell acc -> (name, max cell.adds cell.peak) :: acc)
+    sh []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let incr c =
   if State.on () then

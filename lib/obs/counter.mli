@@ -63,6 +63,19 @@ val uninstall_shard : unit -> unit
 (** Restore direct registry writes on this domain. *)
 
 val merge_shard : shard -> unit
-(** Fold the shard's cells into the global registry and empty it.
-    Call from a domain the shard is not installed on (the coordinator,
-    after the barrier). *)
+(** Fold the shard's cells into the calling domain's installed sink —
+    an enclosing shard (so an {!Obs.Scope} wrapping a parallel phase
+    keeps lane work attributed to the scope) or, with none installed,
+    the global registry — and empty it.  Call from a domain the shard
+    is not installed on (the coordinator, after the barrier). *)
+
+val current_shard : unit -> shard option
+(** The shard installed on the calling domain, if any. *)
+
+val restore_shard : shard option -> unit
+(** Reinstate a previously saved installation state (used by
+    {!Obs.Shard.wrap} to nest installations). *)
+
+val shard_contents : shard -> (string * int) list
+(** The shard's local counter values (adds folded with peaks), sorted
+    by name, without merging or emptying it. *)

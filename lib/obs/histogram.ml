@@ -75,6 +75,8 @@ let shard_key : shard option Domain.DLS.key =
 let new_shard () : shard = Hashtbl.create 16
 let install_shard sh = Domain.DLS.set shard_key (Some sh)
 let uninstall_shard () = Domain.DLS.set shard_key None
+let current_shard () = Domain.DLS.get shard_key
+let restore_shard s = Domain.DLS.set shard_key s
 
 let cell_of sh name =
   match Hashtbl.find_opt sh name with
@@ -93,18 +95,24 @@ let cell_of sh name =
       Hashtbl.replace sh name h;
       h
 
+(* Merging folds into the calling domain's installed sink: an enclosing
+   shard (an Obs.Scope wrapping a parallel phase) or the registry.
+   Bucket counts merge exactly either way; [sum] is a float fold, so
+   nesting can move its last bits (doc/OBSERVABILITY.md §Sharding). *)
 let merge_shard sh =
-  Hashtbl.iter
-    (fun name local ->
-      let h = make name in
-      for i = 0 to nbuckets - 1 do
-        h.counts.(i) <- h.counts.(i) + local.counts.(i)
-      done;
-      h.n <- h.n + local.n;
-      h.sum <- h.sum +. local.sum;
-      if local.mn < h.mn then h.mn <- local.mn;
-      if local.mx > h.mx then h.mx <- local.mx)
-    sh;
+  let fold_into (h : t) (local : t) =
+    for i = 0 to nbuckets - 1 do
+      h.counts.(i) <- h.counts.(i) + local.counts.(i)
+    done;
+    h.n <- h.n + local.n;
+    h.sum <- h.sum +. local.sum;
+    if local.mn < h.mn then h.mn <- local.mn;
+    if local.mx > h.mx then h.mx <- local.mx
+  in
+  (match Domain.DLS.get shard_key with
+  | Some dst when dst != sh ->
+      Hashtbl.iter (fun name local -> fold_into (cell_of dst name) local) sh
+  | _ -> Hashtbl.iter (fun name local -> fold_into (make name) local) sh);
   Hashtbl.reset sh
 
 let observe h v =
@@ -171,6 +179,10 @@ let snapshot_quantile s q =
   end
 
 let quantile h q = snapshot_quantile (snapshot h) q
+
+let shard_contents (sh : shard) =
+  Hashtbl.fold (fun name h acc -> (name, snapshot h) :: acc) sh []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 let min_value h = if h.n = 0 then None else Some h.mn
 let max_value h = if h.n = 0 then None else Some h.mx
 

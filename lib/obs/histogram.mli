@@ -84,5 +84,13 @@ val new_shard : unit -> shard
 val install_shard : shard -> unit
 val uninstall_shard : unit -> unit
 val merge_shard : shard -> unit
-(** Fold the shard's local histograms into the registry and empty it.
-    Call from the coordinator, after the barrier. *)
+(** Fold the shard's local histograms into the calling domain's
+    installed sink (an enclosing shard, else the registry) and empty
+    it.  Call from the coordinator, after the barrier. *)
+
+val current_shard : unit -> shard option
+val restore_shard : shard option -> unit
+
+val shard_contents : shard -> (string * snapshot) list
+(** Snapshots of the shard's local histograms, sorted by name, without
+    merging or emptying it. *)

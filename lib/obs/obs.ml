@@ -8,6 +8,9 @@ module Timeline = Timeline
 module Report = Report
 module Prometheus = Prometheus
 module Shard = Shard
+module Scope = Scope
+module Log = Log
+module Flame = Flame
 
 let set_enabled = State.set_enabled
 let enabled = State.enabled

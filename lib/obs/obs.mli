@@ -39,6 +39,9 @@ module Timeline = Timeline
 module Report = Report
 module Prometheus = Prometheus
 module Shard = Shard
+module Scope = Scope
+module Log = Log
+module Flame = Flame
 
 val set_enabled : bool -> unit
 (** Master switch for all collection ({!Counter}, {!Span}, {!Trace}).

@@ -64,9 +64,11 @@ let write_stats ?extra dest =
    process/track; "X" complete events for span activations (they nest in
    time on the single thread), "i" instants for trace events.  Timestamps
    are microseconds relative to the earliest recorded point. *)
-let timeline_json () =
-  let slices = Timeline.slices () in
-  let events = Trace.events () in
+let timeline_json ?slices ?events () =
+  let slices =
+    match slices with Some s -> s | None -> Timeline.slices ()
+  in
+  let events = match events with Some e -> e | None -> Trace.events () in
   let t0 =
     List.fold_left
       (fun acc (s : Timeline.slice) -> Float.min acc s.start)

@@ -1,0 +1,139 @@
+(* Request-scoped telemetry: one Scope captures every counter, span,
+   histogram and timeline slice recorded during one unit of work (one
+   /map request, one CLI run) and folds it into the global registries
+   on close.
+
+   Built on the Shard machinery (doc/CONCURRENCY.md): a scope owns one
+   shard, installed on the serving domain for the duration of the work.
+   A parallel phase inside the scope creates its own lane shards as
+   always; their barrier merge resolves through the domain-local sink,
+   so lane work lands in the scope and reaches the registries when the
+   scope itself merges — counters by sum, peaks by max, histogram
+   buckets pointwise, all associative, so global totals are the same
+   whether a scope interposes or not, for every --jobs N. *)
+
+type t = {
+  id : string;
+  shard : Shard.t;
+  started : float;
+  mutable closed : bool;
+}
+
+type summary = {
+  sc_id : string;
+  sc_started : float;
+  sc_finished : float;
+  sc_counters : (string * int) list;
+  sc_spans : (string * float * int) list;
+  sc_histograms : (string * Histogram.snapshot) list;
+  sc_slices : Timeline.slice list;
+  sc_dropped_slices : int;
+}
+
+(* Correlation ids: 16 lower-case hex chars (the shape of a traceparent
+   span-id).  A per-process random prefix (hashed from the startup
+   clock) plus an atomic sequence number — unique within a process,
+   collision-unlikely across concurrent processes. *)
+let seq = Atomic.make 0
+
+let id_prefix =
+  lazy
+    (Printf.sprintf "%07x"
+       (Hashtbl.hash (Prelude.Timer.wall ()) land 0xFFFFFFF))
+
+let fresh_id () =
+  Printf.sprintf "%s%09x" (Lazy.force id_prefix)
+    (Atomic.fetch_and_add seq 1 land 0xFFFFFFFFF)
+
+let create ?id () =
+  let id =
+    match id with Some s when s <> "" -> s | _ -> fresh_id ()
+  in
+  {
+    id;
+    shard = Shard.create ();
+    started = Prelude.Timer.wall ();
+    closed = false;
+  }
+
+let id t = t.id
+let started t = t.started
+
+let run t f =
+  if t.closed then invalid_arg "Obs.Scope.run: scope already closed";
+  Log.with_request_id t.id (fun () -> Shard.wrap t.shard f)
+
+let close t =
+  if t.closed then invalid_arg "Obs.Scope.close: scope already closed";
+  t.closed <- true;
+  let finished = Prelude.Timer.wall () in
+  let summary =
+    {
+      sc_id = t.id;
+      sc_started = t.started;
+      sc_finished = finished;
+      sc_counters = Counter.shard_contents (Shard.counters t.shard);
+      sc_spans =
+        List.map
+          (fun (n, s, e, _gc) -> (n, s, e))
+          (Span.shard_contents (Shard.spans t.shard));
+      sc_histograms = Histogram.shard_contents (Shard.histograms t.shard);
+      sc_slices = Timeline.shard_slices (Shard.timeline t.shard);
+      sc_dropped_slices = Timeline.shard_dropped (Shard.timeline t.shard);
+    }
+  in
+  Shard.merge t.shard;
+  Shard.release t.shard;
+  summary
+
+let wrap ?id f =
+  let t = create ?id () in
+  match run t (fun () -> f t) with
+  | v -> (v, close t)
+  | exception e ->
+      ignore (close t);
+      raise e
+
+let span_seconds summary name =
+  List.find_map
+    (fun (n, s, _) -> if String.equal n name then Some s else None)
+    summary.sc_spans
+
+let summary_json s =
+  Json.Obj
+    [
+      ("id", Json.Str s.sc_id);
+      ("started", Json.Float s.sc_started);
+      ("finished", Json.Float s.sc_finished);
+      ("seconds", Json.Float (s.sc_finished -. s.sc_started));
+      ( "counters",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.sc_counters) );
+      ( "spans",
+        Json.Obj
+          (List.map
+             (fun (n, secs, entries) ->
+               ( n,
+                 Json.Obj
+                   [
+                     ("seconds", Json.Float secs);
+                     ("entries", Json.Int entries);
+                   ] ))
+             s.sc_spans) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (n, snap) -> (n, Histogram.snapshot_to_json snap))
+             s.sc_histograms) );
+      ( "slices",
+        Json.List
+          (List.map
+             (fun (sl : Timeline.slice) ->
+               Json.Obj
+                 [
+                   ("name", Json.Str sl.Timeline.name);
+                   ("start", Json.Float sl.Timeline.start);
+                   ("stop", Json.Float sl.Timeline.stop);
+                 ])
+             s.sc_slices) );
+      ("dropped_slices", Json.Int s.sc_dropped_slices);
+    ]

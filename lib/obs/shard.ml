@@ -50,9 +50,28 @@ let uninstall () =
   Span.uninstall_shard ();
   Timeline.uninstall_shard ()
 
+(* wrap saves and restores the previous installation instead of
+   unconditionally uninstalling: a lane task wrapped inside an
+   Obs.Scope (whose own shard is installed on this domain) must hand
+   the domain back to the scope, not to the global registries *)
 let wrap t f =
+  let prev_c = Counter.current_shard () in
+  let prev_h = Histogram.current_shard () in
+  let prev_s = Span.current_shard () in
+  let prev_t = Timeline.current_shard () in
   install t;
-  Fun.protect ~finally:uninstall f
+  Fun.protect
+    ~finally:(fun () ->
+      Counter.restore_shard prev_c;
+      Histogram.restore_shard prev_h;
+      Span.restore_shard prev_s;
+      Timeline.restore_shard prev_t)
+    f
+
+let counters t = t.counters
+let histograms t = t.histograms
+let spans t = t.spans
+let timeline t = t.timeline
 
 let merge t =
   Counter.merge_shard t.counters;

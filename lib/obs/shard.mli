@@ -24,9 +24,12 @@ val create : unit -> t
 
 val wrap : t -> (unit -> 'a) -> 'a
 (** [wrap t f] installs [t] into the calling domain's local storage,
-    runs [f], and uninstalls (exception-safely).  All observability
-    hooks hit by [f] on this domain write into [t].  Do not wrap one
-    shard on two domains at once. *)
+    runs [f], and restores whatever was installed before
+    (exception-safely) — so wraps nest: a lane task wrapped inside an
+    {!Obs.Scope} hands the domain back to the scope's shard, not to
+    the global registries.  All observability hooks hit by [f] on this
+    domain write into [t].  Do not wrap one shard on two domains at
+    once. *)
 
 val install : t -> unit
 (** Low-level: route this domain's hooks into [t] until
@@ -36,10 +39,23 @@ val uninstall : unit -> unit
 (** Low-level: restore direct global writes on this domain. *)
 
 val merge : t -> unit
-(** Fold the shard's local state into the global registries and empty
-    it.  Call on the coordinator, after the barrier, while the shard is
-    installed on no domain.  A shard may be wrapped and merged again
-    afterwards (per-level reuse). *)
+(** Fold the shard's local state into the calling domain's installed
+    sink — the enclosing shard when one is installed (e.g. an
+    {!Obs.Scope} wrapping a parallel phase), the global registries
+    otherwise — and empty it.  Call on the coordinator, after the
+    barrier, while the shard is installed on no domain.  A shard may be
+    wrapped and merged again afterwards (per-level reuse). *)
+
+(** {2 Component access}
+
+    Read-only views into the shard's four mirrors, for {!Obs.Scope}'s
+    per-request summaries.  Read them only while no domain has the
+    shard installed. *)
+
+val counters : t -> Counter.shard
+val histograms : t -> Histogram.shard
+val spans : t -> Span.shard
+val timeline : t -> Timeline.shard
 
 val release : t -> unit
 (** Mark the shard dead: decrements the live count that gates

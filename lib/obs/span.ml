@@ -63,6 +63,8 @@ let shard_key : shard option Domain.DLS.key =
 let new_shard () : shard = Hashtbl.create 16
 let install_shard sh = Domain.DLS.set shard_key (Some sh)
 let uninstall_shard () = Domain.DLS.set shard_key None
+let current_shard () = Domain.DLS.get shard_key
+let restore_shard s = Domain.DLS.set shard_key s
 
 let cell_of sh name =
   match Hashtbl.find_opt sh name with
@@ -82,21 +84,31 @@ let cell_of sh name =
       Hashtbl.replace sh name s;
       s
 
+(* Merging folds into the calling domain's installed sink: an enclosing
+   shard (an Obs.Scope wrapping a parallel phase) or the registry. *)
 let merge_shard sh =
-  Hashtbl.iter
-    (fun name local ->
-      let s = make name in
-      s.total <- s.total +. local.total;
-      s.entries <- s.entries + local.entries;
-      s.gc <-
-        {
-          minor_words = s.gc.minor_words +. local.gc.minor_words;
-          promoted_words = s.gc.promoted_words +. local.gc.promoted_words;
-          major_words = s.gc.major_words +. local.gc.major_words;
-          compactions = s.gc.compactions + local.gc.compactions;
-        })
-    sh;
+  let fold_into (s : t) (local : t) =
+    s.total <- s.total +. local.total;
+    s.entries <- s.entries + local.entries;
+    s.gc <-
+      {
+        minor_words = s.gc.minor_words +. local.gc.minor_words;
+        promoted_words = s.gc.promoted_words +. local.gc.promoted_words;
+        major_words = s.gc.major_words +. local.gc.major_words;
+        compactions = s.gc.compactions + local.gc.compactions;
+      }
+  in
+  (match Domain.DLS.get shard_key with
+  | Some dst when dst != sh ->
+      Hashtbl.iter (fun name local -> fold_into (cell_of dst name) local) sh
+  | _ -> Hashtbl.iter (fun name local -> fold_into (make name) local) sh);
   Hashtbl.reset sh
+
+let shard_contents (sh : shard) =
+  Hashtbl.fold
+    (fun name s acc -> (name, s.total, s.entries, s.gc) :: acc)
+    sh []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b)
 
 let resolve s =
   match Domain.DLS.get shard_key with

@@ -37,6 +37,8 @@ let shard_key : shard option Domain.DLS.key =
 let new_shard () = { q = Queue.create (); drops = 0 }
 let install_shard sh = Domain.DLS.set shard_key (Some sh)
 let uninstall_shard () = Domain.DLS.set shard_key None
+let current_shard () = Domain.DLS.get shard_key
+let restore_shard s = Domain.DLS.set shard_key s
 
 let push_global s =
   if Queue.length buffer >= !capacity then begin
@@ -56,11 +58,32 @@ let record name ~start ~stop =
         end;
         Queue.add { name; start; stop } sh.q
 
+(* Merging replays into the calling domain's installed sink: an
+   enclosing shard (an Obs.Scope wrapping a parallel phase) or the
+   global ring, the same capacity bound either way. *)
 let merge_shard sh =
-  if !capacity > 0 then Queue.iter push_global sh.q;
-  dropped_count := !dropped_count + sh.drops;
+  (match Domain.DLS.get shard_key with
+  | Some dst when dst != sh ->
+      if !capacity > 0 then
+        Queue.iter
+          (fun s ->
+            if Queue.length dst.q >= !capacity then begin
+              ignore (Queue.pop dst.q);
+              dst.drops <- dst.drops + 1
+            end;
+            Queue.add s dst.q)
+          sh.q;
+      dst.drops <- dst.drops + sh.drops
+  | _ ->
+      if !capacity > 0 then Queue.iter push_global sh.q;
+      dropped_count := !dropped_count + sh.drops);
   Queue.clear sh.q;
   sh.drops <- 0
+
+let shard_slices sh =
+  List.rev (Queue.fold (fun acc s -> s :: acc) [] sh.q)
+
+let shard_dropped sh = sh.drops
 
 let slices () = List.rev (Queue.fold (fun acc s -> s :: acc) [] buffer)
 let length () = Queue.length buffer

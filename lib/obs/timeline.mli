@@ -38,5 +38,15 @@ val new_shard : unit -> shard
 val install_shard : shard -> unit
 val uninstall_shard : unit -> unit
 val merge_shard : shard -> unit
-(** Replay the shard's slices into the ring (oldest first, re-applying
-    the capacity bound) and empty it. *)
+(** Replay the shard's slices into the calling domain's installed sink
+    (an enclosing shard, else the global ring), oldest first,
+    re-applying the capacity bound, and empty the shard. *)
+
+val current_shard : unit -> shard option
+val restore_shard : shard option -> unit
+
+val shard_slices : shard -> slice list
+(** The shard's buffered slices, oldest first, without merging or
+    emptying it. *)
+
+val shard_dropped : shard -> int

@@ -1,16 +1,24 @@
 (* A dependency-free HTTP/1.1 listener over [Unix] exposing the mapping
    pipeline as a service: POST /map runs a synthesis request, /metrics
    is a Prometheus scrape of the Obs registries, /healthz a liveness
-   probe.
+   probe, and /debug/requests + /debug/trace/<id> introspect the
+   recent-request ring.
 
    The accept loop is deliberately single-threaded: the Obs registries
    and the synthesis pipeline are process-global and not thread-safe, so
    requests are serialized at the accept point and concurrent clients
    queue in the listen backlog.  "Per-request isolation" therefore means
    exception containment (a failing request answers 4xx/5xx and never
-   tears down the loop or leaves a span open) rather than state
-   partitioning; metric state intentionally persists across requests so
-   scrape counters are monotone over the process lifetime. *)
+   tears down the loop or leaves a span open) plus telemetry scoping:
+   each /map request runs inside an Obs.Scope keyed by its correlation
+   id, whose close folds the request's counters/spans/slices into the
+   global registries — so scrape counters stay monotone over the process
+   lifetime while every request keeps its own attributable slice.
+
+   Correlation ids: the client may supply one (X-Request-Id, or the
+   trace-id field of a W3C traceparent header); otherwise the server
+   generates one.  Every response echoes it as X-Request-Id, and every
+   access-log line, ring entry and per-request trace carries it. *)
 
 module J = Obs.Json
 
@@ -46,6 +54,118 @@ let request_family () =
     ftype = `Counter;
     samples;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Correlation ids                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sane_id_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> true
+  | _ -> false
+
+(* oversized ids are rejected, not truncated: a truncated echo would no
+   longer match what the client logged, defeating the join *)
+let sanitize_id s =
+  if s <> "" && String.length s <= 64 && String.for_all sane_id_char s then
+    Some s
+  else None
+
+let is_hex s = String.for_all (function
+  | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+  | _ -> false) s
+
+(* W3C traceparent: "00-<32 hex trace-id>-<16 hex parent-id>-<flags>";
+   the trace-id becomes our correlation id *)
+let id_of_traceparent v =
+  match String.split_on_char '-' (String.trim v) with
+  | [ _version; trace_id; _parent; _flags ]
+    when String.length trace_id = 32 && is_hex trace_id ->
+      Some (String.lowercase_ascii trace_id)
+  | _ -> None
+
+let request_id_of_headers headers =
+  match
+    Option.bind (List.assoc_opt "x-request-id" headers) sanitize_id
+  with
+  | Some id -> id
+  | None -> (
+      match
+        Option.bind (List.assoc_opt "traceparent" headers) id_of_traceparent
+      with
+      | Some id -> id
+      | None -> Obs.Scope.fresh_id ())
+
+(* ------------------------------------------------------------------ *)
+(* Recent-request ring (/debug/requests, /debug/trace/<id>)            *)
+(* ------------------------------------------------------------------ *)
+
+type req_record = {
+  rr_id : string;
+  rr_route : string;
+  rr_status : int;
+  rr_outcome : string;
+  rr_started : float;
+  rr_seconds : float;
+  rr_summary : Obs.Scope.summary option; (* scoped routes (/map) only *)
+}
+
+let debug_ring_default_capacity = 256
+let debug_ring_capacity = ref debug_ring_default_capacity
+let debug_ring : req_record Queue.t = Queue.create ()
+
+let remember rr =
+  if !debug_ring_capacity > 0 then begin
+    if Queue.length debug_ring >= !debug_ring_capacity then
+      ignore (Queue.pop debug_ring);
+    Queue.add rr debug_ring
+  end
+
+let find_request id =
+  Queue.fold
+    (fun acc rr -> if String.equal rr.rr_id id then Some rr else acc)
+    None debug_ring
+
+(* outcome vocabulary (doc/OBSERVABILITY.md §Request scopes): "served"
+   for success; "rejected" for client errors; "failed" for server
+   errors.  Serve v2 adds "cached" and "shed" when the result cache and
+   admission control land. *)
+let outcome_of_status status =
+  if status < 400 then "served"
+  else if status < 500 then "rejected"
+  else "failed"
+
+let phases_json (summary : Obs.Scope.summary) =
+  J.Obj
+    (List.map
+       (fun (name, seconds, _entries) -> (name, J.Float seconds))
+       summary.Obs.Scope.sc_spans)
+
+let request_json rr =
+  J.Obj
+    ([
+       ("id", J.Str rr.rr_id);
+       ("route", J.Str rr.rr_route);
+       ("status", J.Int rr.rr_status);
+       ("outcome", J.Str rr.rr_outcome);
+       ("started", J.Float rr.rr_started);
+       ("seconds", J.Float rr.rr_seconds);
+     ]
+    @
+    match rr.rr_summary with
+    | None -> []
+    | Some s -> [ ("phases", phases_json s) ])
+
+let debug_requests_json () =
+  let newest_first =
+    Queue.fold (fun acc rr -> request_json rr :: acc) [] debug_ring
+  in
+  J.Obj
+    [
+      ("schema", J.Str "turbosyn-debug-requests/1");
+      ("capacity", J.Int !debug_ring_capacity);
+      ("count", J.Int (Queue.length debug_ring));
+      ("requests", J.List newest_first);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Mapping requests                                                    *)
@@ -151,6 +271,7 @@ let parse_map_request ~query ~body =
 type t = {
   listen : Unix.file_descr;
   port : int;
+  slow_seconds : float;
   mutable stopped : bool;
 }
 
@@ -172,21 +293,25 @@ let write_all fd s =
   in
   go 0
 
-let respond fd ~status ~content_type body =
+let respond fd ?(headers = []) ~status ~content_type body =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+  in
   let head =
     Printf.sprintf
-      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%s\
        Connection: close\r\n\r\n"
-      status (status_text status) content_type (String.length body)
+      status (status_text status) content_type (String.length body) extra
   in
   write_all fd (head ^ body)
 
-let respond_json fd ~status json =
-  respond fd ~status ~content_type:"application/json"
+let respond_json fd ?headers ~status json =
+  respond fd ?headers ~status ~content_type:"application/json"
     (J.to_string json ^ "\n")
 
-let respond_error fd ~status msg =
-  respond_json fd ~status (J.Obj [ ("error", J.Str msg) ])
+let respond_error fd ?headers ~status msg =
+  respond_json fd ?headers ~status (J.Obj [ ("error", J.Str msg) ])
 
 (* read until the header terminator, then Content-Length body bytes *)
 let read_request fd =
@@ -257,7 +382,7 @@ let read_request fd =
       in
       fill ();
       (match String.split_on_char ' ' request_line with
-      | meth :: target :: _ -> Some (meth, target, Buffer.contents body)
+      | meth :: target :: _ -> Some (meth, target, headers, Buffer.contents body)
       | _ -> None)
 
 let parse_target target =
@@ -279,65 +404,175 @@ let parse_target target =
       in
       (path, query)
 
-let handle_map fd ~query ~body =
+let handle_map fd ~headers ~query ~body =
   match parse_map_request ~query ~body with
   | Error e ->
-      respond_error fd ~status:400 e;
+      respond_error fd ~headers ~status:400 e;
       400
   | Ok (circuit, k, algo) -> (
       match map_response ~circuit ~k ~algo with
       | Ok json ->
-          respond_json fd ~status:200 json;
+          respond_json fd ~headers ~status:200 json;
           200
       | Error e ->
-          respond_error fd ~status:400 e;
+          respond_error fd ~headers ~status:400 e;
           400)
 
-let handle_connection fd =
+(* /map inside a request scope: the scope's shard captures the
+   request's counters, spans, histograms and timeline slices; closing
+   folds them into the globals (keeping scrape counters monotone) and
+   yields the summary the ring, access log and /debug/trace serve. *)
+let handle_map_scoped fd ~req_id ~headers ~query ~body =
+  let scope = Obs.Scope.create ~id:req_id () in
+  let status = ref 500 in
+  let summary =
+    match
+      Obs.Scope.run scope (fun () ->
+          Obs.Gauge.incr g_inflight;
+          let t0 = Prelude.Timer.wall () in
+          Fun.protect
+            ~finally:(fun () ->
+              Obs.Gauge.decr g_inflight;
+              Obs.Histogram.observe h_request (Prelude.Timer.wall () -. t0))
+            (fun () ->
+              Obs.Span.time s_request (fun () ->
+                  try handle_map fd ~headers ~query ~body
+                  with e ->
+                    (try
+                       respond_error fd ~headers ~status:500
+                         (Printexc.to_string e)
+                     with _ -> ());
+                    500)))
+    with
+    | s ->
+        status := s;
+        Obs.Scope.close scope
+    | exception e ->
+        (* handle_map contains its exceptions; this is a scope-level
+           failure (e.g. the response write raised) — still close, so
+           the shard never leaks *)
+        ignore (Obs.Scope.close scope);
+        raise e
+  in
+  (!status, summary)
+
+let handle_debug_trace fd ~req_id ~path ~query =
+  let id = String.sub path 13 (String.length path - 13) in
+  match find_request id with
+  | Some { rr_summary = Some summary; _ } -> (
+      match List.assoc_opt "format" query with
+      | Some "folded" ->
+          respond fd
+            ~headers:[ ("X-Request-Id", req_id) ]
+            ~status:200 ~content_type:"text/plain"
+            (Obs.Flame.of_slices summary.Obs.Scope.sc_slices);
+          200
+      | Some "chrome" ->
+          respond_json fd
+            ~headers:[ ("X-Request-Id", req_id) ]
+            ~status:200
+            (Obs.Report.timeline_json
+               ~slices:summary.Obs.Scope.sc_slices ~events:[] ());
+          200
+      | None | Some _ ->
+          respond_json fd
+            ~headers:[ ("X-Request-Id", req_id) ]
+            ~status:200
+            (J.Obj
+               [
+                 ("schema", J.Str "turbosyn-debug-trace/1");
+                 ("request", Obs.Scope.summary_json summary);
+               ]);
+          200)
+  | Some { rr_summary = None; _ } | None ->
+      respond_error fd
+        ~headers:[ ("X-Request-Id", req_id) ]
+        ~status:404
+        (Printf.sprintf "no traced request %S in the ring" id);
+      404
+
+let handle_connection t fd =
   match read_request fd with
-  | None -> ignore (count_request ~route:"malformed" ~status:400)
-  | Some (meth, target, body) ->
+  | None -> count_request ~route:"malformed" ~status:400
+  | Some (meth, target, headers, body) ->
       let path, query = parse_target target in
-      let route, status =
+      let req_id = request_id_of_headers headers in
+      let started = Prelude.Timer.wall () in
+      Obs.Log.with_request_id req_id @@ fun () ->
+      let echo = [ ("X-Request-Id", req_id) ] in
+      let route, status, summary =
         match (meth, path) with
         | "GET", "/healthz" ->
-            respond fd ~status:200 ~content_type:"text/plain" "ok\n";
-            ("healthz", 200)
+            respond fd ~headers:echo ~status:200 ~content_type:"text/plain"
+              "ok\n";
+            ("healthz", 200, None)
         | "GET", "/metrics" ->
             let scrape =
               Obs.Prometheus.render ~extra:[ request_family () ] ()
             in
-            respond fd ~status:200
+            respond fd ~headers:echo ~status:200
               ~content_type:"text/plain; version=0.0.4" scrape;
-            ("metrics", 200)
+            ("metrics", 200, None)
         | ("POST" | "GET"), "/map" ->
-            Obs.Gauge.incr g_inflight;
-            let t0 = Prelude.Timer.wall () in
-            let status =
-              Fun.protect
-                ~finally:(fun () ->
-                  Obs.Gauge.decr g_inflight;
-                  Obs.Histogram.observe h_request (Prelude.Timer.wall () -. t0))
-                (fun () ->
-                  Obs.Span.time s_request (fun () ->
-                      try handle_map fd ~query ~body
-                      with e ->
-                        (try
-                           respond_error fd ~status:500 (Printexc.to_string e)
-                         with _ -> ());
-                        500))
+            let status, summary =
+              handle_map_scoped fd ~req_id ~headers:echo ~query ~body
             in
-            ("map", status)
-        | _, ("/healthz" | "/metrics" | "/map") ->
-            respond_error fd ~status:405 "method not allowed";
-            ("method", 405)
+            ("map", status, Some summary)
+        | "GET", "/debug/requests" ->
+            respond_json fd ~headers:echo ~status:200
+              (debug_requests_json ());
+            ("debug", 200, None)
+        | "GET", _
+          when String.length path > 13
+               && String.sub path 0 13 = "/debug/trace/" ->
+            let status = handle_debug_trace fd ~req_id ~path ~query in
+            ("debug", status, None)
+        | _, ("/healthz" | "/metrics" | "/map" | "/debug/requests") ->
+            respond_error fd ~headers:echo ~status:405 "method not allowed";
+            ("method", 405, None)
         | _ ->
-            respond_error fd ~status:404 "not found";
-            ("other", 404)
+            respond_error fd ~headers:echo ~status:404 "not found";
+            ("other", 404, None)
       in
-      count_request ~route ~status
+      count_request ~route ~status;
+      let seconds = Prelude.Timer.wall () -. started in
+      let outcome = outcome_of_status status in
+      remember
+        {
+          rr_id = req_id;
+          rr_route = route;
+          rr_status = status;
+          rr_outcome = outcome;
+          rr_started = started;
+          rr_seconds = seconds;
+          rr_summary = summary;
+        };
+      let phase_fields =
+        match summary with
+        | None -> []
+        | Some s -> [ ("phases", phases_json s) ]
+      in
+      Obs.Log.info "serve.access"
+        ([
+           ("route", J.Str route);
+           ("method", J.Str meth);
+           ("path", J.Str path);
+           ("status", J.Int status);
+           ("outcome", J.Str outcome);
+           ("seconds", J.Float seconds);
+         ]
+        @ phase_fields);
+      if seconds > t.slow_seconds then
+        Obs.Log.warn "serve.slow"
+          ([
+             ("route", J.Str route);
+             ("status", J.Int status);
+             ("seconds", J.Float seconds);
+             ("threshold_seconds", J.Float t.slow_seconds);
+           ]
+          @ phase_fields)
 
-let create ?(port = 0) () =
+let create ?(port = 0) ?(slow_seconds = 1.0) () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -347,7 +582,7 @@ let create ?(port = 0) () =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> port
   in
-  { listen = fd; port; stopped = false }
+  { listen = fd; port; slow_seconds; stopped = false }
 
 let port t = t.port
 
@@ -360,7 +595,7 @@ let run t =
     | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> if not t.stopped then loop ()
     | fd, _ ->
-        (try handle_connection fd
+        (try handle_connection t fd
          with Unix.Unix_error (_, _, _) -> () (* client went away *));
         (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
         if not t.stopped then loop ()

@@ -1,6 +1,6 @@
 (** The mapping pipeline as an HTTP service.
 
-    A dependency-free HTTP/1.1 listener over [Unix] with three routes:
+    A dependency-free HTTP/1.1 listener over [Unix]:
 
     - [POST /map] (or [GET /map?circuit=...&k=...&algo=...]) runs a
       mapping request — JSON body
@@ -10,6 +10,31 @@
     - [GET /metrics] answers a Prometheus text-exposition scrape of the
       {!Obs} registries plus the server's own request counters.
     - [GET /healthz] answers [ok].
+    - [GET /debug/requests] answers the recent-request ring
+      ([turbosyn-debug-requests/1]): id, route, status, outcome,
+      wall-clock timings and per-phase span seconds, newest first.
+    - [GET /debug/trace/<id>] answers the retained per-request telemetry
+      of one ring entry ([turbosyn-debug-trace/1] with the full
+      {!Obs.Scope.summary_json}); [?format=chrome] renders the request's
+      timeline slices as a Chrome-trace document, [?format=folded] as
+      flamegraph.pl folded stacks.  [404] when the id has been evicted
+      from the ring (or never existed).
+
+    {b Correlation ids.}  Every request carries a correlation id: the
+    client's [X-Request-Id] header when present (up to 64 chars of
+    [[A-Za-z0-9_-]]), else the trace-id field of a W3C [traceparent]
+    header, else a server-generated {!Obs.Scope.fresh_id}.  Every
+    response echoes it back as [X-Request-Id], every access-log line
+    ([serve.access], plus [serve.slow] over the threshold) carries it as
+    [request_id], and [/debug/trace/<id>] retrieves by it — so one id
+    follows a request through client, server log and trace.
+
+    Each [/map] request runs inside an {!Obs.Scope} keyed by its id:
+    the scope's close folds the request's telemetry into the global
+    registries (scrape counters stay monotone, and φ/labels/stats
+    documents are byte-identical to unscoped runs) and its summary
+    feeds the ring, the access log's phase timings and the per-request
+    flamegraph.
 
     The accept loop is single-threaded (the Obs registries and the
     pipeline are process-global); concurrent clients queue in the listen
@@ -19,9 +44,11 @@
 
 type t
 
-val create : ?port:int -> unit -> t
+val create : ?port:int -> ?slow_seconds:float -> unit -> t
 (** Bind and listen on [127.0.0.1:port].  [port] defaults to [0]: the
-    kernel picks an ephemeral port, readable via {!port}.  Raises
+    kernel picks an ephemeral port, readable via {!port}.
+    [slow_seconds] (default [1.0]) is the threshold above which a
+    request additionally logs a [serve.slow] warning.  Raises
     [Unix.Unix_error] when binding fails (e.g. port in use). *)
 
 val port : t -> int
@@ -52,3 +79,11 @@ val map_response :
   (Obs.Json.t, string) result
 (** Resolve the circuit, run the mapping, render the response; [Error]
     on unknown circuits or out-of-range [k]. *)
+
+val request_id_of_headers : (string * string) list -> string
+(** The correlation id for a request with the given (lower-cased)
+    header assoc: sanitized [x-request-id], else [traceparent] trace-id,
+    else a fresh id. *)
+
+val outcome_of_status : int -> string
+(** ["served"] below 400, ["rejected"] for 4xx, ["failed"] for 5xx. *)

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Validate a turbosyn-log/1 JSON-lines file (doc/OBSERVABILITY.md
+# §Logging): every line is one JSON object that starts with the
+# reserved members in order — ts (number), level (one of four names),
+# event (dotted lower-case) — optionally followed by request_id and
+# the payload fields.  Pure-shell structural check; the full parse
+# round-trip is locked by test/test_obs.ml (log group).
+#
+# Usage: scripts/check_log_schema.sh FILE...
+set -eu
+
+status=0
+for file in "$@"; do
+  if ! test -s "$file"; then
+    echo "check_log_schema: $file is missing or empty" >&2
+    status=1
+    continue
+  fi
+  bad=$(grep -cvE '^\{"ts":[0-9]+(\.[0-9eE+-]+)?,"level":"(debug|info|warn|error)","event":"[a-z0-9_.-]+"(,"request_id":"[^"]+")?([,}]|$)' "$file" || true)
+  if [ "$bad" != "0" ]; then
+    echo "check_log_schema: $file has $bad line(s) violating turbosyn-log/1:" >&2
+    grep -vE '^\{"ts":[0-9]+(\.[0-9eE+-]+)?,"level":"(debug|info|warn|error)","event":"[a-z0-9_.-]+"(,"request_id":"[^"]+")?([,}]|$)' "$file" | head -5 >&2
+    status=1
+    continue
+  fi
+  # every line must close its object
+  if grep -qv '}$' "$file"; then
+    echo "check_log_schema: $file has lines not ending in }" >&2
+    status=1
+    continue
+  fi
+  echo "check_log_schema: $file OK ($(wc -l < "$file") lines)"
+done
+exit $status

@@ -497,6 +497,474 @@ let test_histogram_json () =
              in
              direct && through_text)))
 
+(* ---------------------------------------------------------------- *)
+(* Scopes: request-scoped capture, merge routing, close semantics    *)
+(* ---------------------------------------------------------------- *)
+
+let test_scope_capture () =
+  with_obs (fun () ->
+      let c = Obs.Counter.make "test.scope-counter" in
+      let s = Obs.Span.make "test.scope-span" in
+      let scope = Obs.Scope.create ~id:"req-1" () in
+      Alcotest.(check string) "explicit id" "req-1" (Obs.Scope.id scope);
+      Obs.Scope.run scope (fun () ->
+          Obs.Counter.add c 3;
+          Obs.Span.time s (fun () -> ());
+          (* buffered in the scope, not yet global *)
+          Alcotest.(check int) "global untouched inside" 0
+            (Obs.Counter.value c);
+          Alcotest.(check (option string))
+            "ambient request id" (Some "req-1")
+            (Obs.Log.current_request_id ()));
+      Alcotest.(check (option string)) "request id restored" None
+        (Obs.Log.current_request_id ());
+      (* a live scope holds a shard: reset refuses *)
+      Alcotest.(check bool) "reset refused while open" true
+        (match Obs.reset () with
+        | exception Invalid_argument _ -> true
+        | () -> false);
+      let summary = Obs.Scope.close scope in
+      Alcotest.(check int) "global after close" 3 (Obs.Counter.value c);
+      Alcotest.(check int) "span merged" 1 (Obs.Span.count s);
+      Alcotest.(check (option int)) "summary counter" (Some 3)
+        (List.assoc_opt "test.scope-counter" summary.Obs.Scope.sc_counters);
+      Alcotest.(check bool) "summary span" true
+        (Obs.Scope.span_seconds summary "test.scope-span" <> None);
+      Alcotest.(check bool) "summary slice" true
+        (List.exists
+           (fun (sl : Obs.Timeline.slice) -> sl.name = "test.scope-span")
+           summary.Obs.Scope.sc_slices);
+      (* the summary renders as JSON *)
+      (match
+         Obs.Json.of_string
+           (Obs.Json.to_string (Obs.Scope.summary_json summary))
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "summary does not round trip: %s" e);
+      Alcotest.(check bool) "double close refused" true
+        (match Obs.Scope.close scope with
+        | exception Invalid_argument _ -> true
+        | _ -> false);
+      Alcotest.(check bool) "run after close refused" true
+        (match Obs.Scope.run scope (fun () -> ()) with
+        | exception Invalid_argument _ -> true
+        | () -> false))
+
+(* the same instrumented work, bare vs inside a scope, leaves the
+   global registries identical — the byte-identity the stats/audit
+   gates rely on *)
+let test_scope_transparency () =
+  with_obs (fun () ->
+      let work () =
+        let c = Obs.Counter.make "test.scope-id-counter" in
+        let p = Obs.Counter.make "test.scope-id-peak" in
+        let h = Obs.Histogram.make "test.scope-id-hist" in
+        let s = Obs.Span.make "test.scope-id-span" in
+        Obs.Counter.add c 5;
+        Obs.Counter.record_max p 9;
+        Obs.Counter.record_max p 4;
+        List.iter (Obs.Histogram.observe h) [ 0.001; 0.5; 70.; 3.2 ];
+        Obs.Span.time s (fun () -> Obs.Counter.incr c)
+      in
+      work ();
+      let bare_counters = Obs.Counter.all () in
+      let bare_hists = Obs.Histogram.all () in
+      Obs.reset ();
+      let (), _summary = Obs.Scope.wrap (fun _ -> work ()) in
+      Alcotest.(check bool) "counters identical" true
+        (Obs.Counter.all () = bare_counters);
+      Alcotest.(check bool) "histograms identical" true
+        (Obs.Histogram.all () = bare_hists))
+
+(* nesting: an inner scope closed inside an outer [run] folds into the
+   outer scope, not the globals; lane shards inside a scope do too *)
+let test_scope_nesting () =
+  with_obs (fun () ->
+      let c = Obs.Counter.make "test.scope-nest" in
+      let outer = Obs.Scope.create () in
+      Obs.Scope.run outer (fun () ->
+          let (), inner_summary =
+            Obs.Scope.wrap (fun _ -> Obs.Counter.add c 2)
+          in
+          Alcotest.(check (option int)) "inner summary sees its adds"
+            (Some 2)
+            (List.assoc_opt "test.scope-nest"
+               inner_summary.Obs.Scope.sc_counters);
+          Alcotest.(check int) "inner close lands in outer, not global" 0
+            (Obs.Counter.value c);
+          (* a lane shard (the parallel-phase protocol) inside the scope:
+             merge resolves to the enclosing scope as well *)
+          let lane = Obs.Shard.create () in
+          Obs.Shard.wrap lane (fun () -> Obs.Counter.add c 7);
+          Obs.Shard.merge lane;
+          Obs.Shard.release lane;
+          Alcotest.(check int) "lane merge lands in outer" 0
+            (Obs.Counter.value c));
+      let summary = Obs.Scope.close outer in
+      Alcotest.(check (option int)) "outer summary accumulated" (Some 9)
+        (List.assoc_opt "test.scope-nest" summary.Obs.Scope.sc_counters);
+      Alcotest.(check int) "globals after outer close" 9
+        (Obs.Counter.value c))
+
+let test_scope_fresh_ids () =
+  let a = Obs.Scope.fresh_id () in
+  let b = Obs.Scope.fresh_id () in
+  Alcotest.(check bool) "distinct" true (a <> b);
+  List.iter
+    (fun id ->
+      Alcotest.(check int) "16 chars" 16 (String.length id);
+      Alcotest.(check bool) "lower-case hex" true
+        (String.for_all
+           (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+           id))
+    [ a; b ]
+
+(* Concurrent scopes on worker domains, closed by the coordinator in an
+   arbitrary order: the integer merges (sums, peaks, histogram counts)
+   are associative and commutative, so the global totals depend only on
+   the multiset of operations — never on the interleaving or the close
+   order. *)
+let test_scope_concurrent_merge () =
+  with_obs (fun () ->
+      let c = Obs.Counter.make "test.scope-conc" in
+      let p = Obs.Counter.make "test.scope-conc-peak" in
+      let h = Obs.Histogram.make "test.scope-conc-hist" in
+      let gen =
+        QCheck.Gen.(
+          pair
+            (list_size (1 -- 4) (list_size (0 -- 16) (0 -- 100)))
+            bool)
+      in
+      let print (per_scope, rev) =
+        Printf.sprintf "%s close_reversed=%b"
+          (String.concat " | "
+             (List.map
+                (fun l -> String.concat "," (List.map string_of_int l))
+                per_scope))
+          rev
+      in
+      run_qcheck
+        (QCheck.Test.make ~count:30
+           ~name:"concurrent scopes merge to the op multiset"
+           (QCheck.make ~print gen)
+           (fun (per_scope, reverse_close) ->
+             Obs.Counter.reset_all ();
+             Obs.Histogram.reset_all ();
+             let scopes =
+               List.map
+                 (fun adds ->
+                   let scope = Obs.Scope.create () in
+                   let d =
+                     Domain.spawn (fun () ->
+                         Obs.Scope.run scope (fun () ->
+                             List.iter
+                               (fun v ->
+                                 Obs.Counter.add c v;
+                                 Obs.Counter.record_max p v;
+                                 Obs.Histogram.observe h (float_of_int v))
+                               adds))
+                   in
+                   Domain.join d;
+                   scope)
+                 per_scope
+             in
+             (* close order must not matter *)
+             let scopes =
+               if reverse_close then List.rev scopes else scopes
+             in
+             List.iter (fun s -> ignore (Obs.Scope.close s)) scopes;
+             let want_sum =
+               List.fold_left
+                 (fun acc l -> List.fold_left ( + ) acc l)
+                 0 per_scope
+             in
+             let want_peak =
+               List.fold_left
+                 (fun acc l -> List.fold_left max acc l)
+                 0 per_scope
+             in
+             let want_count =
+               List.fold_left (fun acc l -> acc + List.length l) 0 per_scope
+             in
+             Obs.Counter.value c = want_sum
+             && Obs.Counter.value p = want_peak
+             && (Obs.Histogram.snapshot h).Obs.Histogram.s_count
+                = want_count)))
+
+(* ---------------------------------------------------------------- *)
+(* Flamegraph folding                                                *)
+(* ---------------------------------------------------------------- *)
+
+let folded_well_formed text =
+  String.split_on_char '\n' text
+  |> List.for_all (fun line ->
+         line = ""
+         ||
+         match String.rindex_opt line ' ' with
+         | None -> false
+         | Some i -> (
+             let stack = String.sub line 0 i in
+             let weight =
+               String.sub line (i + 1) (String.length line - i - 1)
+             in
+             stack <> ""
+             && List.for_all
+                  (fun fr -> fr <> "" && not (String.contains fr ' '))
+                  (String.split_on_char ';' stack)
+             &&
+             match int_of_string_opt weight with
+             | Some w -> w > 0
+             | None -> false))
+
+let slice name start stop = { Obs.Timeline.name; start; stop }
+
+let test_flame_fold () =
+  (* A contains B contains C, and sibling D; self times are durations
+     minus direct children *)
+  let folded =
+    Obs.Flame.fold_slices
+      [
+        slice "A" 0. 10.;
+        slice "B" 2. 6.;
+        slice "C" 3. 4.;
+        slice "D" 7. 9.;
+      ]
+  in
+  let get k = List.assoc_opt k folded in
+  Alcotest.(check (option (float 1e-9))) "A self" (Some 4.) (get "A");
+  Alcotest.(check (option (float 1e-9))) "A;B self" (Some 3.) (get "A;B");
+  Alcotest.(check (option (float 1e-9))) "A;B;C self" (Some 1.) (get "A;B;C");
+  Alcotest.(check (option (float 1e-9))) "A;D self" (Some 2.) (get "A;D");
+  Alcotest.(check int) "no other stacks" 4 (List.length folded);
+  let text = Obs.Flame.to_string folded in
+  Alcotest.(check bool) "well-formed" true (folded_well_formed text);
+  Alcotest.(check string) "exact lines"
+    "A 4000000\nA;B 3000000\nA;B;C 1000000\nA;D 2000000\n" text;
+  (* overlapping (parallel-lane) slices fold as siblings *)
+  let overlap =
+    Obs.Flame.fold_slices [ slice "X" 0. 4.; slice "Y" 2. 6. ]
+  in
+  Alcotest.(check (option (float 1e-9))) "X sibling" (Some 4.)
+    (List.assoc_opt "X" overlap);
+  Alcotest.(check (option (float 1e-9))) "Y sibling" (Some 4.)
+    (List.assoc_opt "Y" overlap);
+  (* frame names are sanitized: separators cannot corrupt the format *)
+  let dirty = Obs.Flame.fold_slices [ slice "a;b c\nd" 0. 1. ] in
+  Alcotest.(check bool) "frame sanitized" true
+    (List.mem_assoc "a_b_c_d" dirty);
+  (* repeated identical stacks accumulate *)
+  let acc =
+    Obs.Flame.fold_slices [ slice "R" 0. 1.; slice "R" 5. 7. ]
+  in
+  Alcotest.(check (option (float 1e-9))) "accumulated" (Some 3.)
+    (List.assoc_opt "R" acc)
+
+let test_flame_timeline_round_trip () =
+  with_obs (fun () ->
+      let outer = Obs.Span.make "test.flame-outer" in
+      let inner = Obs.Span.make "test.flame-inner" in
+      Obs.Span.time outer (fun () ->
+          Obs.Span.time inner (fun () -> Unix.sleepf 0.002));
+      let slices = Obs.Timeline.slices () in
+      Alcotest.(check int) "two slices" 2 (List.length slices);
+      let direct = Obs.Flame.of_slices slices in
+      (* through the Chrome-trace document, as `flame --from-timeline`
+         consumes it *)
+      let doc = Obs.Report.timeline_json () in
+      match Obs.Flame.slices_of_timeline_json doc with
+      | Error e -> Alcotest.failf "trace does not parse back: %s" e
+      | Ok recovered ->
+          Alcotest.(check int) "slice count preserved" 2
+            (List.length recovered);
+          let through = Obs.Flame.of_slices recovered in
+          Alcotest.(check bool) "both well-formed" true
+            (folded_well_formed direct && folded_well_formed through);
+          Alcotest.(check bool) "nesting preserved" true
+            (let mem sub s =
+               let n = String.length sub in
+               let rec go i =
+                 i + n <= String.length s
+                 && (String.sub s i n = sub || go (i + 1))
+               in
+               go 0
+             in
+             mem "test.flame-outer;test.flame-inner" through))
+
+(* ring overflow: with parents or children evicted, the fold and the
+   Chrome-trace document both stay well-formed *)
+let test_timeline_overflow_flame () =
+  with_obs (fun () ->
+      Obs.Timeline.set_capacity 8;
+      Fun.protect
+        ~finally:(fun () -> Obs.Timeline.set_capacity 65536)
+        (fun () ->
+          (* innermost-first recording (real exit order): eviction drops
+             the innermost frames, keeping parents *)
+          for i = 31 downto 0 do
+            Obs.Timeline.record
+              (Printf.sprintf "deep%d" i)
+              ~start:(float_of_int i)
+              ~stop:(float_of_int (64 - i))
+          done;
+          Alcotest.(check int) "ring bounded" 8 (Obs.Timeline.length ());
+          Alcotest.(check int) "drops counted" 24 (Obs.Timeline.dropped ());
+          let text = Obs.Flame.of_slices (Obs.Timeline.slices ()) in
+          Alcotest.(check bool) "fold well-formed after child eviction"
+            true (folded_well_formed text);
+          (* outermost-first recording: eviction drops the PARENTS; the
+             orphaned children must still fold cleanly *)
+          Obs.Timeline.clear ();
+          for i = 0 to 31 do
+            Obs.Timeline.record
+              (Printf.sprintf "deep%d" i)
+              ~start:(float_of_int i)
+              ~stop:(float_of_int (64 - i))
+          done;
+          let slices = Obs.Timeline.slices () in
+          let text = Obs.Flame.of_slices slices in
+          Alcotest.(check bool) "fold well-formed after parent eviction"
+            true (folded_well_formed text);
+          Alcotest.(check bool) "deepest surviving frame is a root" true
+            (String.length text >= 6 && String.sub text 0 6 = "deep24");
+          (* the /debug/trace document over the same slices parses *)
+          match
+            Obs.Json.of_string
+              (Obs.Json.to_string (Obs.Report.timeline_json ~slices ()))
+          with
+          | Ok doc -> (
+              match Obs.Flame.slices_of_timeline_json doc with
+              | Ok r ->
+                  Alcotest.(check int) "document carries the ring" 8
+                    (List.length r)
+              | Error e -> Alcotest.failf "trace parse: %s" e)
+          | Error e -> Alcotest.failf "trace document: %s" e))
+
+(* ---------------------------------------------------------------- *)
+(* Structured logging                                                *)
+(* ---------------------------------------------------------------- *)
+
+(* route to the null sink and restore defaults afterwards *)
+let with_log f =
+  Obs.Log.to_null ();
+  Obs.Log.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.set_ring_capacity Obs.Log.default_ring_capacity;
+      Obs.Log.set_level Obs.Log.Info;
+      Obs.Log.clear ();
+      Obs.Log.to_stderr ())
+    f
+
+let test_log_levels_and_ring () =
+  with_log (fun () ->
+      (* logging is independent of the metrics switch *)
+      Obs.set_enabled false;
+      Obs.Log.set_level Obs.Log.Warn;
+      Obs.Log.info "test.below" [];
+      Alcotest.(check int) "below threshold dropped" 0 (Obs.Log.length ());
+      Obs.Log.error "test.above" [];
+      Alcotest.(check int) "above threshold kept" 1 (Obs.Log.length ());
+      Alcotest.(check bool) "enabled_for" true
+        ((not (Obs.Log.enabled_for Obs.Log.Debug))
+        && Obs.Log.enabled_for Obs.Log.Error);
+      (* bounded ring *)
+      Obs.Log.clear ();
+      Obs.Log.set_level Obs.Log.Debug;
+      Obs.Log.set_ring_capacity 4;
+      for i = 0 to 5 do
+        Obs.Log.debug "test.tick" [ ("i", Obs.Json.Int i) ]
+      done;
+      Alcotest.(check int) "ring bounded" 4 (Obs.Log.length ());
+      Alcotest.(check int) "ring drops counted" 2 (Obs.Log.dropped ());
+      (match Obs.Log.recent () with
+      | first :: _ ->
+          Alcotest.(check bool) "oldest surviving record" true
+            (first.Obs.Log.fields = [ ("i", Obs.Json.Int 2) ])
+      | [] -> Alcotest.fail "ring empty");
+      (* level names round trip, and "warning" is accepted *)
+      List.iter
+        (fun lvl ->
+          Alcotest.(check (option bool)) (Obs.Log.level_name lvl) (Some true)
+            (Option.map
+               (fun l -> l = lvl)
+               (Obs.Log.level_of_string (Obs.Log.level_name lvl))))
+        [ Obs.Log.Debug; Obs.Log.Info; Obs.Log.Warn; Obs.Log.Error ];
+      Alcotest.(check bool) "warning alias" true
+        (Obs.Log.level_of_string "WARNING" = Some Obs.Log.Warn);
+      Alcotest.(check bool) "unknown level" true
+        (Obs.Log.level_of_string "loud" = None))
+
+let test_log_schema_and_request_id () =
+  with_log (fun () ->
+      Obs.Log.with_request_id "outer-req" (fun () ->
+          Alcotest.(check (option string)) "ambient" (Some "outer-req")
+            (Obs.Log.current_request_id ());
+          Obs.Log.with_request_id "inner-req" (fun () ->
+              Alcotest.(check (option string)) "shadowed" (Some "inner-req")
+                (Obs.Log.current_request_id ()));
+          Alcotest.(check (option string)) "restored" (Some "outer-req")
+            (Obs.Log.current_request_id ());
+          Obs.Log.info "test.rid" [ ("answer", Obs.Json.Int 42) ]);
+      Alcotest.(check (option string)) "cleared outside" None
+        (Obs.Log.current_request_id ());
+      match List.rev (Obs.Log.recent ()) with
+      | [] -> Alcotest.fail "no record ringed"
+      | record :: _ ->
+          Alcotest.(check (option string)) "record carries request id"
+            (Some "outer-req") record.Obs.Log.request_id;
+          (* the JSON line matches the documented turbosyn-log/1 shape *)
+          let line = Obs.Json.to_string (Obs.Log.record_json record) in
+          (match Obs.Json.of_string line with
+          | Error e -> Alcotest.failf "log line does not parse: %s" e
+          | Ok doc ->
+              let str k =
+                match Obs.Json.member k doc with
+                | Some (Obs.Json.Str s) -> Some s
+                | _ -> None
+              in
+              Alcotest.(check bool) "ts is a number" true
+                (match Obs.Json.member "ts" doc with
+                | Some (Obs.Json.Float _) | Some (Obs.Json.Int _) -> true
+                | _ -> false);
+              Alcotest.(check (option string)) "level" (Some "info")
+                (str "level");
+              Alcotest.(check (option string)) "event" (Some "test.rid")
+                (str "event");
+              Alcotest.(check (option string)) "request_id"
+                (Some "outer-req") (str "request_id");
+              Alcotest.(check bool) "field spliced" true
+                (Obs.Json.member "answer" doc = Some (Obs.Json.Int 42))))
+
+let test_log_file_sink () =
+  let path = Filename.temp_file "turbosyn-log" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.to_stderr ();
+      Obs.Log.clear ();
+      Obs.Log.set_level Obs.Log.Info;
+      Sys.remove path)
+    (fun () ->
+      Obs.Log.to_file path;
+      Alcotest.(check (option string)) "output path" (Some path)
+        (Obs.Log.output_path ());
+      Obs.Log.info "test.file" [ ("n", Obs.Json.Int 1) ];
+      Obs.Log.info "test.file" [ ("n", Obs.Json.Int 2) ];
+      Obs.Log.to_stderr ();
+      Alcotest.(check (option string)) "path cleared" None
+        (Obs.Log.output_path ());
+      let lines =
+        In_channel.with_open_bin path In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check int) "one line per record" 2 (List.length lines);
+      List.iter
+        (fun l ->
+          match Obs.Json.of_string l with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "unparseable line %S: %s" l e)
+        lines)
+
 let () =
   Alcotest.run "obs"
     [
@@ -541,5 +1009,32 @@ let () =
           Alcotest.test_case "merge" `Quick test_histogram_merge;
           Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
           Alcotest.test_case "json round trip" `Quick test_histogram_json;
+        ] );
+      ( "scope",
+        [
+          Alcotest.test_case "capture and close" `Quick test_scope_capture;
+          Alcotest.test_case "transparent merge" `Quick
+            test_scope_transparency;
+          Alcotest.test_case "nesting and lane shards" `Quick
+            test_scope_nesting;
+          Alcotest.test_case "fresh ids" `Quick test_scope_fresh_ids;
+          Alcotest.test_case "concurrent merge associativity" `Quick
+            test_scope_concurrent_merge;
+        ] );
+      ( "flame",
+        [
+          Alcotest.test_case "containment fold" `Quick test_flame_fold;
+          Alcotest.test_case "timeline round trip" `Quick
+            test_flame_timeline_round_trip;
+          Alcotest.test_case "ring overflow" `Quick
+            test_timeline_overflow_flame;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "levels and ring" `Quick
+            test_log_levels_and_ring;
+          Alcotest.test_case "schema and request id" `Quick
+            test_log_schema_and_request_id;
+          Alcotest.test_case "file sink" `Quick test_log_file_sink;
         ] );
     ]

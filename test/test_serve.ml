@@ -27,20 +27,24 @@ let recv_all fd =
   go ();
   Buffer.contents buf
 
-(* [http ~port ~meth ~path ()] returns (status code, body).  The server
-   answers Connection: close, so the body is everything after the blank
-   line up to EOF. *)
-let http ~port ~meth ~path ?(body = "") () =
+(* [http_full ~port ~meth ~path ()] returns (status code, lower-cased
+   response headers, body).  The server answers Connection: close, so
+   the body is everything after the blank line up to EOF. *)
+let http_full ~port ~meth ~path ?(headers = []) ?(body = "") () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let extra =
+        String.concat ""
+          (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+      in
       send_all fd
         (Printf.sprintf
-           "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\n\
+           "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\n%s\
             Connection: close\r\n\r\n%s"
-           meth path (String.length body) body);
+           meth path (String.length body) extra body);
       let resp = recv_all fd in
       let status =
         match String.split_on_char ' ' resp with
@@ -53,8 +57,27 @@ let http ~port ~meth ~path ?(body = "") () =
         else blank (i + 1)
       in
       let start = blank 0 in
+      let resp_headers =
+        String.sub resp 0 (max 0 (start - 4))
+        |> String.split_on_char '\n'
+        |> List.filter_map (fun line ->
+               match String.index_opt line ':' with
+               | Some i ->
+                   Some
+                     ( String.lowercase_ascii
+                         (String.trim (String.sub line 0 i)),
+                       String.trim
+                         (String.sub line (i + 1)
+                            (String.length line - i - 1)) )
+               | None -> None)
+      in
       ( Option.value ~default:0 status,
+        resp_headers,
         String.sub resp start (String.length resp - start) ))
+
+let http ~port ~meth ~path ?(body = "") () =
+  let status, _, body = http_full ~port ~meth ~path ~body () in
+  (status, body)
 
 (* Value of one exposition series by exact name match (no label block),
    e.g. the [_count] series of a histogram family. *)
@@ -74,12 +97,16 @@ let series_value body name =
 let with_server f =
   Obs.set_enabled true;
   Obs.reset ();
+  (* keep per-request access-log lines out of the test output; the
+     records still reach the in-memory ring and the request ring *)
+  Obs.Log.to_null ();
   let server = Serve.Server.create ~port:0 () in
   let srv = Domain.spawn (fun () -> Serve.Server.run server) in
   Fun.protect
     ~finally:(fun () ->
       Serve.Server.stop server;
       Domain.join srv;
+      Obs.Log.to_stderr ();
       Obs.reset ();
       Obs.set_enabled false)
     (fun () -> f (Serve.Server.port server))
@@ -207,6 +234,173 @@ let test_scrape () =
           | None -> Alcotest.failf "counter %s vanished" series)
         before)
 
+(* ---------------------------------------------------------------- *)
+(* Correlation ids: header extraction, echo, ring, per-request trace *)
+(* ---------------------------------------------------------------- *)
+
+let test_request_id_extraction () =
+  (* pure header logic, no server needed *)
+  Alcotest.(check string) "x-request-id wins" "client-id-1"
+    (Serve.Server.request_id_of_headers
+       [
+         ("traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01");
+         ("x-request-id", "client-id-1");
+       ]);
+  Alcotest.(check string) "traceparent trace-id"
+    "4bf92f3577b34da6a3ce929d0e0e4736"
+    (Serve.Server.request_id_of_headers
+       [ ("traceparent", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01") ]);
+  (* malformed ids are replaced, not propagated *)
+  List.iter
+    (fun bad ->
+      let id = Serve.Server.request_id_of_headers [ ("x-request-id", bad) ] in
+      Alcotest.(check bool)
+        (Printf.sprintf "bad id %S regenerated" bad)
+        true
+        (id <> bad && String.length id = 16))
+    [ ""; "has space"; "semi;colon"; String.make 80 'a' ];
+  Alcotest.(check bool) "generated without headers" true
+    (String.length (Serve.Server.request_id_of_headers []) = 16);
+  Alcotest.(check string) "outcomes" "served,rejected,failed"
+    (String.concat ","
+       (List.map Serve.Server.outcome_of_status [ 200; 400; 500 ]))
+
+let test_request_tracing () =
+  with_server (fun port ->
+      (* client-supplied id round-trips through /map *)
+      let status, hdrs, _ =
+        http_full ~port ~meth:"POST" ~path:"/map"
+          ~headers:[ ("X-Request-Id", "itest-map-1") ]
+          ~body:(map_body ~circuit:"bbara" ~algo:"turbomap")
+          ()
+      in
+      Alcotest.(check int) "map status" 200 status;
+      Alcotest.(check (option string)) "id echoed" (Some "itest-map-1")
+        (List.assoc_opt "x-request-id" hdrs);
+      (* server-generated ids are distinct per request *)
+      let _, h1, _ = http_full ~port ~meth:"GET" ~path:"/healthz" () in
+      let _, h2, _ = http_full ~port ~meth:"GET" ~path:"/healthz" () in
+      let gen h = List.assoc_opt "x-request-id" h in
+      Alcotest.(check bool) "generated ids present and distinct" true
+        (gen h1 <> None && gen h1 <> gen h2);
+      (* a failing request keeps its id and lands as "rejected" *)
+      let status, hdrs, _ =
+        http_full ~port ~meth:"POST" ~path:"/map"
+          ~headers:[ ("X-Request-Id", "itest-bad-1") ]
+          ~body:(map_body ~circuit:"no-such" ~algo:"turbomap")
+          ()
+      in
+      Alcotest.(check int) "bad map status" 400 status;
+      Alcotest.(check (option string)) "id echoed on error"
+        (Some "itest-bad-1")
+        (List.assoc_opt "x-request-id" hdrs);
+      (* the ring lists both, newest first, with outcomes and phases *)
+      let status, _, body =
+        http_full ~port ~meth:"GET" ~path:"/debug/requests" ()
+      in
+      Alcotest.(check int) "debug requests status" 200 status;
+      let doc =
+        match Obs.Json.of_string body with
+        | Ok d -> d
+        | Error e -> Alcotest.failf "/debug/requests: %s" e
+      in
+      Alcotest.(check bool) "ring schema" true
+        (Obs.Json.member "schema" doc
+        = Some (Obs.Json.Str "turbosyn-debug-requests/1"));
+      let requests =
+        match Obs.Json.member "requests" doc with
+        | Some (Obs.Json.List rs) -> rs
+        | _ -> Alcotest.fail "no requests array"
+      in
+      let find id =
+        List.find_opt
+          (fun r -> Obs.Json.member "id" r = Some (Obs.Json.Str id))
+          requests
+      in
+      (match find "itest-map-1" with
+      | None -> Alcotest.fail "map request missing from ring"
+      | Some r ->
+          Alcotest.(check bool) "served outcome" true
+            (Obs.Json.member "outcome" r = Some (Obs.Json.Str "served"));
+          Alcotest.(check bool) "has phases" true
+            (match Obs.Json.member "phases" r with
+            | Some (Obs.Json.Obj phases) ->
+                List.mem_assoc "synth.total" phases
+            | _ -> false));
+      (match find "itest-bad-1" with
+      | None -> Alcotest.fail "rejected request missing from ring"
+      | Some r ->
+          Alcotest.(check bool) "rejected outcome" true
+            (Obs.Json.member "outcome" r = Some (Obs.Json.Str "rejected")));
+      (* per-request trace: summary document *)
+      let status, _, body =
+        http_full ~port ~meth:"GET" ~path:"/debug/trace/itest-map-1" ()
+      in
+      Alcotest.(check int) "trace status" 200 status;
+      (match Obs.Json.of_string body with
+      | Error e -> Alcotest.failf "/debug/trace: %s" e
+      | Ok doc -> (
+          Alcotest.(check bool) "trace schema" true
+            (Obs.Json.member "schema" doc
+            = Some (Obs.Json.Str "turbosyn-debug-trace/1"));
+          match Obs.Json.member "request" doc with
+          | Some req ->
+              Alcotest.(check bool) "trace id" true
+                (Obs.Json.member "id" req
+                = Some (Obs.Json.Str "itest-map-1"));
+              Alcotest.(check bool) "trace has slices" true
+                (match Obs.Json.member "slices" req with
+                | Some (Obs.Json.List (_ :: _)) -> true
+                | _ -> false)
+          | None -> Alcotest.fail "no request member"));
+      (* folded form: well-formed stacks rooted at serve.request *)
+      let status, _, folded =
+        http_full ~port ~meth:"GET"
+          ~path:"/debug/trace/itest-map-1?format=folded" ()
+      in
+      Alcotest.(check int) "folded status" 200 status;
+      Alcotest.(check bool) "folded rooted at serve.request" true
+        (String.length folded >= 13
+        && String.sub folded 0 13 = "serve.request");
+      String.split_on_char '\n' folded
+      |> List.iter (fun line ->
+             if line <> "" then
+               match String.rindex_opt line ' ' with
+               | None -> Alcotest.failf "malformed folded line %S" line
+               | Some i -> (
+                   match
+                     int_of_string_opt
+                       (String.sub line (i + 1) (String.length line - i - 1))
+                   with
+                   | Some w when w > 0 -> ()
+                   | _ -> Alcotest.failf "bad weight in %S" line));
+      (* chrome form parses as a trace document *)
+      let status, _, chrome =
+        http_full ~port ~meth:"GET"
+          ~path:"/debug/trace/itest-map-1?format=chrome" ()
+      in
+      Alcotest.(check int) "chrome status" 200 status;
+      (match Obs.Json.of_string chrome with
+      | Ok doc ->
+          Alcotest.(check bool) "chrome traceEvents" true
+            (match Obs.Json.member "traceEvents" doc with
+            | Some (Obs.Json.List _) -> true
+            | _ -> false)
+      | Error e -> Alcotest.failf "chrome trace: %s" e);
+      (* unknown and evicted ids answer 404 *)
+      let status, _, _ =
+        http_full ~port ~meth:"GET" ~path:"/debug/trace/nonexistent" ()
+      in
+      Alcotest.(check int) "unknown trace id" 404 status;
+      (* non-map ring entries have no retained trace *)
+      let healthz_id = Option.get (gen h1) in
+      let status, _, _ =
+        http_full ~port ~meth:"GET"
+          ~path:("/debug/trace/" ^ healthz_id)
+          ()
+      in
+      Alcotest.(check int) "untraced route answers 404" 404 status)
+
 let () =
   Alcotest.run "serve"
     [
@@ -215,5 +409,8 @@ let () =
           Alcotest.test_case "concurrent mapping requests" `Quick
             test_concurrent_map;
           Alcotest.test_case "prometheus scrape" `Quick test_scrape;
+          Alcotest.test_case "request id extraction" `Quick
+            test_request_id_extraction;
+          Alcotest.test_case "request tracing" `Quick test_request_tracing;
         ] );
     ]
