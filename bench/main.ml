@@ -578,13 +578,24 @@ let stats_diff base_file cur_file =
       if not t.Audit.Diff.ok then exit 3
 
 (* ------------------------------------------------------------------ *)
-(* serve-load: sustained-throughput probe of `turbosyn serve`.         *)
-(* Boots the server in-process on an ephemeral port, drives it with    *)
-(* --jobs concurrent client domains issuing mapping requests over      *)
-(* fresh connections, and reports throughput and client-side tail      *)
-(* latency.  The server accept loop is single-threaded, so this        *)
-(* measures the serialized pipeline under concurrent connection        *)
-(* pressure — the listen backlog is the queue.                         *)
+(* serve-load: scenario-driven load probe of the concurrent server.    *)
+(* Boots `turbosyn serve` in-process on an ephemeral port and drives   *)
+(* four scenarios with concurrent client domains over fresh            *)
+(* connections:                                                        *)
+(*   baseline — one worker, cache disabled, one serial client: the     *)
+(*              single-threaded reference throughput;                  *)
+(*   hot      — N workers, cache on, one repeated request: after the   *)
+(*              first miss the LRU serves, X-Cache proves it;          *)
+(*   mix      — N workers, cache on, 50% hot key + cold keys spread    *)
+(*              over circuits x k: the measured-hit-rate scenario;     *)
+(*   overload — one worker, queue depth 1, cache off, many clients:    *)
+(*              admission control must shed with 429 + Retry-After     *)
+(*              (never 5xx) while /healthz stays answerable.           *)
+(* Emits a turbosyn-serve-perf/1 document (--out, default              *)
+(* BENCH_serve_perf.json) and exits nonzero when a gate fails: any     *)
+(* 5xx (exit 3); no cache hits in hot/mix, no sheds or a missing       *)
+(* Retry-After in overload, an invalid /metrics scrape, or — on        *)
+(* multicore hosts — hot throughput below 3x baseline (exit 2).        *)
 (* ------------------------------------------------------------------ *)
 
 let http_request ~port ~meth ~path ?(headers = []) ~body () =
@@ -681,99 +692,302 @@ let server_side_seconds ~port =
           Some tbl
       | _ -> None)
 
-let serve_load ~jobs ~quick () =
-  Obs.set_enabled true;
+(* one client-side request observation *)
+type req_obs = {
+  ro_status : int;
+  ro_cache : string option; (* X-Cache marker *)
+  ro_retry_after : bool;
+  ro_id_echoed : bool;
+  ro_seconds : float;
+}
+
+type scenario_report = {
+  sr_name : string;
+  sr_workers : int;
+  sr_queue_depth : int;
+  sr_cache_entries : int;
+  sr_client_jobs : int;
+  sr_requests : int;
+  sr_ok : int;
+  sr_shed : int; (* 429s *)
+  sr_client_errors : int; (* other 4xx, or a dropped id echo *)
+  sr_server_errors : int; (* 5xx *)
+  sr_hits : int;
+  sr_misses : int;
+  sr_retry_after_missing : int; (* 429s without a Retry-After header *)
+  sr_seconds : float;
+  sr_throughput : float; (* requests (all statuses) per second *)
+  sr_p50 : float; (* client-side latency of 200s, seconds *)
+  sr_p99 : float;
+  sr_max : float;
+  sr_queue_wait_mean : float option; (* client minus server, joined *)
+  sr_healthz_ok : bool; (* /healthz answered 200 mid-load *)
+  sr_scrape_ok : bool; (* post-load /metrics passed promlint *)
+}
+
+let run_scenario ~name ~workers ~queue_depth ~cache_entries ~client_jobs
+    ~total ~body_of () =
   Obs.reset ();
-  (* per-request access logs (64 info lines) would drown the report;
-     keep the threshold at warn so only slow/failed requests surface *)
-  Obs.Log.set_level Obs.Log.Warn;
-  let server = Serve.Server.create ~port:0 () in
+  let server =
+    Serve.Server.create ~port:0 ~workers ~queue_depth ~cache_entries ()
+  in
   let port = Serve.Server.port server in
   let srv = Domain.spawn (fun () -> Serve.Server.run server) in
-  let jobs = max 1 jobs in
-  let total = if quick then 16 else 64 in
-  let per = (total + jobs - 1) / jobs in
-  (* turbomap: the full ratio search without decomposition, fast enough
-     to sustain a meaningful request rate on one core *)
-  let body = {|{"circuit":"bbara","k":5,"algo":"turbomap"}|} in
+  let per = (total + client_jobs - 1) / client_jobs in
+  let total = per * client_jobs in
   Format.printf
-    "@.== serve-load: %d requests, %d client domain(s), port %d ==@."
-    (per * jobs) jobs port;
-  let failures = Atomic.make 0 in
-  let server_errors = Atomic.make 0 in
+    "-- %-8s  %d requests, %d client domain(s), %d worker(s), queue %d, \
+     cache %d@."
+    name total client_jobs
+    (Serve.Server.workers server)
+    queue_depth cache_entries;
   let t0 = Prelude.Timer.wall () in
   (* each request carries a unique client-chosen correlation id; the
      echo proves propagation and keys the server-side latency join *)
-  let workers =
-    List.init jobs (fun w ->
+  let clients =
+    List.init client_jobs (fun w ->
         Domain.spawn (fun () ->
             Array.init per (fun i ->
-                let id = Printf.sprintf "bench-%d-%d" w i in
+                let g = (w * per) + i in
+                let id = Printf.sprintf "bench-%s-%d-%d" name w i in
                 let t = Prelude.Timer.wall () in
                 let resp =
                   http_post ~port ~path:"/map"
                     ~headers:[ ("X-Request-Id", id) ]
-                    ~body ()
+                    ~body:(body_of g) ()
                 in
-                let client = Prelude.Timer.wall () -. t in
-                let status = resp_status resp in
-                if status >= 500 then Atomic.incr server_errors;
-                if
-                  status <> 200
-                  || resp_header "x-request-id" resp <> Some id
-                then Atomic.incr failures;
-                (id, client))))
+                ( id,
+                  {
+                    ro_status = resp_status resp;
+                    ro_cache = resp_header "x-cache" resp;
+                    ro_retry_after = resp_header "retry-after" resp <> None;
+                    ro_id_echoed = resp_header "x-request-id" resp = Some id;
+                    ro_seconds = Prelude.Timer.wall () -. t;
+                  } ))))
   in
+  (* liveness probe while the load is in flight: the accept lane must
+     keep answering /healthz even when every worker is busy *)
+  let healthz_ok = resp_status (http_get ~port ~path:"/healthz") = 200 in
   let results =
-    List.concat_map (fun d -> Array.to_list (Domain.join d)) workers
+    List.concat_map (fun d -> Array.to_list (Domain.join d)) clients
   in
   let elapsed = Prelude.Timer.wall () -. t0 in
   let joined =
     match server_side_seconds ~port with
-    | None ->
-        Format.printf "warning: /debug/requests join failed@.";
-        []
+    | None -> []
     | Some tbl ->
         List.filter_map
-          (fun (id, client) ->
-            Option.map (fun srv -> (client, srv)) (Hashtbl.find_opt tbl id))
+          (fun (id, ro) ->
+            if ro.ro_status <> 200 then None
+            else
+              Option.map
+                (fun srv -> Float.max 0. (ro.ro_seconds -. srv))
+                (Hashtbl.find_opt tbl id))
           results
+  in
+  let scrape_ok =
+    match
+      Obs.Prometheus.validate (resp_body (http_get ~port ~path:"/metrics"))
+    with
+    | Ok () -> true
+    | Error _ -> false
   in
   Serve.Server.stop server;
   Domain.join srv;
-  let pct_line label lats =
-    let lats = List.sort Float.compare lats in
-    let n = List.length lats in
-    if n > 0 then begin
-      let pct p =
-        List.nth lats (min (n - 1) (int_of_float (p *. float_of_int n)))
-      in
-      Format.printf
-        "%s latency: p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms@." label
-        (pct 0.50 *. 1e3) (pct 0.90 *. 1e3) (pct 0.99 *. 1e3)
-        (List.nth lats (n - 1) *. 1e3)
-    end
+  let obs = List.map snd results in
+  let count p = List.length (List.filter p obs) in
+  let ok = count (fun o -> o.ro_status = 200) in
+  let lats =
+    List.filter_map
+      (fun o -> if o.ro_status = 200 then Some o.ro_seconds else None)
+      obs
+    |> List.sort Float.compare |> Array.of_list
   in
-  let n = List.length results in
-  Format.printf "requests: %d ok, %d failed (%d server errors)@."
-    (n - Atomic.get failures)
-    (Atomic.get failures) (Atomic.get server_errors);
-  Format.printf "sustained throughput: %.1f req/s over %.2fs@."
-    (float_of_int n /. elapsed) elapsed;
-  pct_line "client" (List.map snd results);
-  pct_line "server" (List.map snd joined);
-  (* client-minus-server is time spent queued in the listen backlog
-     (plus connection setup): the cost of the serialized accept loop *)
-  (match joined with
-  | [] -> ()
-  | _ ->
-      let waits = List.map (fun (c, s) -> Float.max 0. (c -. s)) joined in
-      let mean = List.fold_left ( +. ) 0. waits /. float_of_int n in
-      Format.printf "queue wait (client - server): mean %.1fms  (%d/%d joined)@."
-        (mean *. 1e3) (List.length joined) n);
+  let pct p =
+    let n = Array.length lats in
+    if n = 0 then 0.
+    else lats.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let report =
+    {
+      sr_name = name;
+      sr_workers = Serve.Server.workers server;
+      sr_queue_depth = queue_depth;
+      sr_cache_entries = cache_entries;
+      sr_client_jobs = client_jobs;
+      sr_requests = total;
+      sr_ok = ok;
+      sr_shed = count (fun o -> o.ro_status = 429);
+      sr_client_errors =
+        count (fun o ->
+            (o.ro_status >= 400 && o.ro_status < 500 && o.ro_status <> 429)
+            || (o.ro_status = 200 && not o.ro_id_echoed));
+      sr_server_errors = count (fun o -> o.ro_status >= 500);
+      sr_hits = count (fun o -> o.ro_cache = Some "hit");
+      sr_misses = count (fun o -> o.ro_cache = Some "miss");
+      sr_retry_after_missing =
+        count (fun o -> o.ro_status = 429 && not o.ro_retry_after);
+      sr_seconds = elapsed;
+      sr_throughput = float_of_int total /. elapsed;
+      sr_p50 = pct 0.50;
+      sr_p99 = pct 0.99;
+      sr_max = (if Array.length lats = 0 then 0. else lats.(Array.length lats - 1));
+      sr_queue_wait_mean =
+        (match joined with
+        | [] -> None
+        | ws ->
+            Some
+              (List.fold_left ( +. ) 0. ws /. float_of_int (List.length ws)));
+      sr_healthz_ok = healthz_ok;
+      sr_scrape_ok = scrape_ok;
+    }
+  in
+  Format.printf
+    "   %d ok, %d shed, %d client err, %d server err; %d hit / %d miss; \
+     %.1f req/s over %.2fs; p50 %.1fms p99 %.1fms max %.1fms@."
+    report.sr_ok report.sr_shed report.sr_client_errors
+    report.sr_server_errors report.sr_hits report.sr_misses
+    report.sr_throughput report.sr_seconds (report.sr_p50 *. 1e3)
+    (report.sr_p99 *. 1e3) (report.sr_max *. 1e3);
+  report
+
+let scenario_json sr =
+  let open Obs.Json in
+  Obj
+    [
+      ("name", Str sr.sr_name);
+      ("workers", Int sr.sr_workers);
+      ("queue_depth", Int sr.sr_queue_depth);
+      ("cache_entries", Int sr.sr_cache_entries);
+      ("client_jobs", Int sr.sr_client_jobs);
+      ("requests", Int sr.sr_requests);
+      ("ok", Int sr.sr_ok);
+      ("shed", Int sr.sr_shed);
+      ("client_errors", Int sr.sr_client_errors);
+      ("server_errors", Int sr.sr_server_errors);
+      ("cache_hits", Int sr.sr_hits);
+      ("cache_misses", Int sr.sr_misses);
+      ( "cache_hit_rate",
+        if sr.sr_hits + sr.sr_misses = 0 then Null
+        else
+          Float
+            (float_of_int sr.sr_hits
+            /. float_of_int (sr.sr_hits + sr.sr_misses)) );
+      ( "shed_rate",
+        if sr.sr_requests = 0 then Null
+        else Float (float_of_int sr.sr_shed /. float_of_int sr.sr_requests) );
+      ("retry_after_missing", Int sr.sr_retry_after_missing);
+      ("seconds", Float sr.sr_seconds);
+      ("throughput_rps", Float sr.sr_throughput);
+      ("client_p50_seconds", Float sr.sr_p50);
+      ("client_p99_seconds", Float sr.sr_p99);
+      ("client_max_seconds", Float sr.sr_max);
+      ( "queue_wait_mean_seconds",
+        match sr.sr_queue_wait_mean with None -> Null | Some w -> Float w );
+      ("healthz_ok", Bool sr.sr_healthz_ok);
+      ("scrape_ok", Bool sr.sr_scrape_ok);
+    ]
+
+let serve_load ~jobs ~quick ~out () =
+  Obs.set_enabled true;
+  (* per-request access logs would drown the report; keep the threshold
+     at warn so only slow/failed requests surface *)
+  Obs.Log.set_level Obs.Log.Warn;
+  let host_domains = Domain.recommended_domain_count () in
+  let multicore = host_domains > 1 in
+  let auto_workers = max 1 (min 4 (host_domains - 1)) in
+  let client_jobs = max 4 (max 1 jobs) in
+  (* turbomap: the full ratio search without decomposition, fast enough
+     to sustain a meaningful request rate on one core *)
+  let hot_body = {|{"circuit":"bbara","k":5,"algo":"turbomap"}|} in
+  let cold_keys =
+    [|
+      ("bbara", 4); ("bbara", 6); ("s298", 4); ("s298", 5); ("s298", 6);
+    |]
+  in
+  let cold_body g =
+    let c, k = cold_keys.(g mod Array.length cold_keys) in
+    Printf.sprintf {|{"circuit":%S,"k":%d,"algo":"turbomap"}|} c k
+  in
+  Format.printf "@.== serve-load: %d host domain(s), %d client domain(s) ==@."
+    host_domains client_jobs;
+  let baseline =
+    run_scenario ~name:"baseline" ~workers:1 ~queue_depth:64 ~cache_entries:0
+      ~client_jobs:1
+      ~total:(if quick then 6 else 12)
+      ~body_of:(fun _ -> hot_body)
+      ()
+  in
+  let hot =
+    run_scenario ~name:"hot" ~workers:auto_workers ~queue_depth:64
+      ~cache_entries:256 ~client_jobs
+      ~total:(if quick then 48 else 160)
+      ~body_of:(fun _ -> hot_body)
+      ()
+  in
+  let mix =
+    run_scenario ~name:"mix" ~workers:auto_workers ~queue_depth:64
+      ~cache_entries:256 ~client_jobs
+      ~total:(if quick then 24 else 64)
+      ~body_of:(fun g -> if g mod 2 = 0 then hot_body else cold_body (g / 2))
+      ()
+  in
+  let overload =
+    run_scenario ~name:"overload" ~workers:1 ~queue_depth:1 ~cache_entries:0
+      ~client_jobs:(max client_jobs 8)
+      ~total:(if quick then 24 else 48)
+      ~body_of:(fun _ -> hot_body)
+      ()
+  in
+  let scenarios = [ baseline; hot; mix; overload ] in
+  let speedup = hot.sr_throughput /. Float.max 1e-9 baseline.sr_throughput in
+  let gates =
+    [
+      ( "no_5xx",
+        List.for_all (fun s -> s.sr_server_errors = 0) scenarios );
+      ("no_client_errors",
+        List.for_all (fun s -> s.sr_client_errors = 0) scenarios );
+      ("hot_hits_nonzero", hot.sr_hits > 0);
+      ("mix_hits_nonzero", mix.sr_hits > 0);
+      ("overload_sheds", overload.sr_shed > 0);
+      ( "retry_after_on_429",
+        List.for_all (fun s -> s.sr_retry_after_missing = 0) scenarios );
+      ("healthz_under_overload", overload.sr_healthz_ok);
+      ("scrapes_valid", List.for_all (fun s -> s.sr_scrape_ok) scenarios);
+      ("hot_speedup_3x", (not multicore) || speedup >= 3.0);
+    ]
+  in
+  let doc =
+    let open Obs.Json in
+    Obj
+      [
+        ("schema", Str "turbosyn-serve-perf/1");
+        ("quick", Bool quick);
+        ("host", Obj [ ("recommended_domains", Int host_domains) ]);
+        ("baseline_throughput_rps", Float baseline.sr_throughput);
+        ("hot_speedup_vs_baseline", Float speedup);
+        ("hot_speedup_floor", Float 3.0);
+        ("hot_speedup_gated", Bool multicore);
+        ("scenarios", List (List.map scenario_json scenarios));
+        ( "gates",
+          Obj
+            (List.map (fun (n, ok) -> (n, Bool ok)) gates
+            @ [ ("ok", Bool (List.for_all snd gates)) ]) );
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Obs.Json.to_pretty_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Format.printf "hot speedup vs baseline: %.1fx (floor 3.0x, %s)@." speedup
+    (if multicore then "gated" else "not gated: single-core host");
+  Format.printf "wrote %s@." out;
+  List.iter
+    (fun (n, ok) -> if not ok then Format.printf "GATE FAILED: %s@." n)
+    gates;
   Obs.set_enabled false;
-  if Atomic.get server_errors > 0 then exit 3;
-  if Atomic.get failures > 0 then exit 2
+  if List.exists (fun s -> s.sr_server_errors > 0) scenarios then exit 3;
+  if not (List.for_all snd gates) then exit 2
 
 (* ------------------------------------------------------------------ *)
 (* Perf mode: (a) the worklist+arena label engine vs the seed sweep    *)
@@ -1139,9 +1353,11 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  (* flags: --quick, --jobs N, --out FILE (perf mode); --json FILE,
-     --circuit NAME, --algo NAME, --diff A B (stats mode) *)
-  let quick = ref false and jobs = ref 1 and out = ref "BENCH_perf.json" in
+  (* flags: --quick, --jobs N, --out FILE (perf and serve-load modes);
+     --json FILE, --circuit NAME, --algo NAME, --diff A B (stats mode).
+     --out defaults per mode: BENCH_perf.json (perf),
+     BENCH_serve_perf.json (serve-load). *)
+  let quick = ref false and jobs = ref 1 and out = ref "" in
   let json = ref None and circuit = ref "bbara" and diff = ref None in
   let algo = ref "turbosyn" and write_baseline = ref false in
   let rec strip = function
@@ -1203,8 +1419,14 @@ let () =
             | Some (a, b), _ -> stats_diff a b
             | None, Some f -> stats_json ~circuit:!circuit ~algo:!algo ~out:f ()
             | None, None -> stats_mode ())
-      | "serve-load" -> serve_load ~jobs:!jobs ~quick:!quick ()
-      | "perf" -> perf ~quick:!quick ~jobs:!jobs ~out:!out ()
+      | "serve-load" ->
+          serve_load ~jobs:!jobs ~quick:!quick
+            ~out:(if !out = "" then "BENCH_serve_perf.json" else !out)
+            ()
+      | "perf" ->
+          perf ~quick:!quick ~jobs:!jobs
+            ~out:(if !out = "" then "BENCH_perf.json" else !out)
+            ()
       | "micro" -> micro ()
       | other -> Format.eprintf "unknown mode %s@." other)
     modes

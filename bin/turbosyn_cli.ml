@@ -524,25 +524,37 @@ let equiv_cmd =
     Term.(const run $ a_arg $ b_arg $ mapped_arg)
 
 let serve_cmd =
-  let run port slow_seconds log_level log_file =
+  let run port slow_seconds workers queue_depth cache_entries log_level
+      log_file =
     setup_logging ~log_level ~log_file ~outputs:[];
     (* metrics must be live for /metrics to have content; never reset
        between requests so scrape counters stay monotone *)
     Obs.set_enabled true;
     Obs.reset ();
-    match Serve.Server.create ~port ~slow_seconds () with
+    if queue_depth < 0 then exit_err "--queue-depth must be >= 0";
+    if cache_entries < 0 then exit_err "--cache-entries must be >= 0";
+    match
+      Serve.Server.create ~port ~slow_seconds ?workers ~queue_depth
+        ~cache_entries ()
+    with
     | exception Unix.Unix_error (e, _, _) ->
         exit_err
           (Printf.sprintf "cannot listen on port %d: %s" port
              (Unix.error_message e))
     | server ->
         Format.eprintf
-          "turbosyn serve: listening on http://127.0.0.1:%d (routes: /map, \
+          "turbosyn serve: listening on http://127.0.0.1:%d (%d worker \
+           domain(s), queue depth %d, cache %d entries; routes: /map, \
            /metrics, /healthz, /debug/requests, /debug/trace/<id>)@."
-          (Serve.Server.port server);
+          (Serve.Server.port server)
+          (Serve.Server.workers server)
+          queue_depth cache_entries;
         Obs.Log.info "serve.start"
           [
             ("port", Obs.Json.Int (Serve.Server.port server));
+            ("workers", Obs.Json.Int (Serve.Server.workers server));
+            ("queue_depth", Obs.Json.Int queue_depth);
+            ("cache_entries", Obs.Json.Int cache_entries);
             ("slow_seconds", Obs.Json.Float slow_seconds);
           ];
         Serve.Server.run server
@@ -556,16 +568,39 @@ let serve_cmd =
            ~doc:"Requests slower than $(docv) additionally log a \
                  $(b,serve.slow) warning with per-phase timings.")
   in
+  let workers_arg =
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains draining the /map queue (default: \
+                 host-derived, between 1 and 4; clamped to at least 1).")
+  in
+  let queue_depth_arg =
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N"
+           ~doc:"Admission bound: /map jobs queued beyond the in-flight \
+                 ones before the server sheds with 429 + Retry-After \
+                 (0 sheds every /map request).")
+  in
+  let cache_entries_arg =
+    Arg.(value & opt int 256 & info [ "cache-entries" ] ~docv:"N"
+           ~doc:"LRU capacity of the canonical-hash result cache \
+                 (0 disables caching; responses then carry \
+                 $(b,X-Cache: bypass)).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve the mapping pipeline over HTTP: POST /map runs a request \
-             ({\"circuit\": ..., \"k\": ..., \"algo\": ...}), GET /metrics \
-             answers a Prometheus text-exposition scrape, GET /healthz a \
-             liveness probe; GET /debug/requests and /debug/trace/<id> \
-             introspect the recent-request ring.  Every request carries a \
-             correlation id (X-Request-Id or traceparent, echoed back) and \
-             emits a structured access-log line.  Runs until interrupted.")
-    Term.(const run $ port_arg $ slow_arg $ log_level_arg $ log_file_arg)
+             ({\"circuit\": ..., \"k\": ..., \"algo\": ...}) on a pool of \
+             worker domains behind a bounded queue with a canonical-hash \
+             result cache (X-Cache: hit|miss marker, 429 + Retry-After \
+             load shedding), GET /metrics answers a Prometheus \
+             text-exposition scrape, GET /healthz a liveness probe with \
+             pool and cache gauges; GET /debug/requests and \
+             /debug/trace/<id> introspect the recent-request ring.  Every \
+             request carries a correlation id (X-Request-Id or traceparent, \
+             echoed back) and emits a structured access-log line.  Runs \
+             until interrupted.")
+    Term.(
+      const run $ port_arg $ slow_arg $ workers_arg $ queue_depth_arg
+      $ cache_entries_arg $ log_level_arg $ log_file_arg)
 
 let flame_cmd =
   let run trace_file input workload algo k jobs output log_level log_file =

@@ -1,0 +1,110 @@
+(* Canonical structural digests via Weisfeiler-Lehman refinement.
+
+   Names and declaration order must not influence the digest, so no
+   node id, wire name or circuit name ever enters a hash.  What does:
+
+     - per node, a local signature: kind tag, and for gates the
+       truth-table arity and bits;
+     - per refinement round, the position-ordered (j, weight, fanin
+       signature) triples of every fanin edge — fanin position is
+       semantic (truth-table input j is fanin j), so the fold is
+       ordered, which also makes the hash stronger than a sorted-WL;
+     - at the end, the *sorted* multiset of final node signatures (and
+       the PI/PO/gate counts), which is where permutation invariance
+       comes from.
+
+   Sequential circuits are cyclic (FF edges close loops), so a
+   structural hash cannot recurse over the DAG; refinement iterates a
+   local absorb step instead and stops when the partition induced by
+   the signatures stops refining (one extra round absorbs the final
+   neighborhood, and rounds are capped at the node count, the WL
+   stabilization bound). *)
+
+(* splitmix64 finalizer: the 64-bit mixer everything below builds on *)
+let mix64 (z : int64) : int64 =
+  let open Int64 in
+  let z = add z 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let combine (h : int64) (v : int64) : int64 =
+  mix64 (Int64.add (Int64.mul h 0x100000001B3L) v)
+
+let tag_pi = 0x5049L (* "PI" *)
+let tag_po = 0x504FL
+let tag_gate = 0x4754L
+
+let local_signature kinds i =
+  match kinds.(i) with
+  | Netlist.Pi -> mix64 tag_pi
+  | Netlist.Po -> mix64 tag_po
+  | Netlist.Gate f ->
+      let h = combine tag_gate (Int64.of_int (Logic.Truthtable.arity f)) in
+      combine h (Logic.Truthtable.bits f)
+
+(* distinct-signature count: the partition proxy that drives the
+   stopping rule.  Hash-set over a sorted copy would allocate; a sort +
+   linear scan is O(n log n) per round and n is circuit-sized. *)
+let distinct_count (a : int64 array) =
+  let b = Array.copy a in
+  Array.sort Int64.unsigned_compare b;
+  let d = ref (if Array.length b = 0 then 0 else 1) in
+  for i = 1 to Array.length b - 1 do
+    if not (Int64.equal b.(i) b.(i - 1)) then incr d
+  done;
+  !d
+
+let refine nl =
+  let n = Netlist.n nl in
+  let kinds = Array.init n (Netlist.kind nl) in
+  let fanins = Array.init n (Netlist.fanins nl) in
+  let h = Array.init n (local_signature kinds) in
+  let h' = Array.make n 0L in
+  let absorb () =
+    for v = 0 to n - 1 do
+      let acc = ref h.(v) in
+      Array.iteri
+        (fun j (drv, w) ->
+          let e = combine (Int64.of_int j) (Int64.of_int w) in
+          acc := combine !acc (combine e h.(drv)))
+        fanins.(v);
+      h'.(v) <- mix64 !acc
+    done;
+    Array.blit h' 0 h 0 n
+  in
+  let rec go rounds classes =
+    absorb ();
+    let classes' = distinct_count h in
+    (* refinement is monotone: once the class count stops growing the
+       partition is stable; one more absorb has already folded the
+       stable neighborhood in, so stop here *)
+    if classes' > classes && rounds < n then go (rounds + 1) classes'
+  in
+  if n > 0 then go 1 (distinct_count h);
+  h
+
+let digest_pair nl =
+  let h = refine nl in
+  Array.sort Int64.unsigned_compare h;
+  let stats =
+    let s = Netlist.stats nl in
+    combine
+      (combine (Int64.of_int s.Netlist.n_pi) (Int64.of_int s.Netlist.n_po))
+      (Int64.of_int s.Netlist.n_gates)
+  in
+  (* two independent folds over the same sorted signatures: different
+     seeds and a per-step decorrelating constant give 128 bits that do
+     not degrade to 64 under simple relations *)
+  let fold seed salt =
+    Array.fold_left (fun acc v -> combine acc (Int64.logxor v salt)) seed h
+  in
+  let a = combine (fold 0x74757262_6F73796EL 0L) stats in
+  let b = combine (fold 0x63616E6F_6E696361L 0xA5A5A5A5_A5A5A5A5L) stats in
+  (mix64 a, mix64 b)
+
+let digest nl =
+  let a, b = digest_pair nl in
+  Printf.sprintf "%016Lx%016Lx" a b
+
+let digest64 nl = fst (digest_pair nl)

@@ -1,0 +1,33 @@
+(** Canonical circuit digests.
+
+    {!digest} hashes a circuit's {e structure}: the digest is invariant
+    under gate/wire renaming, node-declaration order (any permutation of
+    gate ids) and the circuit's name, while any structural change — a
+    flipped truth-table bit, a moved flip-flop, a rewired fanin — yields
+    a different digest with overwhelming probability.  Two circuits that
+    are isomorphic as retiming graphs (same gates, same functions, same
+    weighted wiring, up to renaming) digest identically.
+
+    This is the key of the serve-layer result cache
+    ([doc/CONCURRENCY.md] §Serving): identical submissions — however
+    they name their wires or order their declarations — dedupe to one
+    computation.
+
+    The digest is a Weisfeiler–Lehman-style refinement hash: every node
+    starts from a local signature (node kind; truth-table bits and arity
+    for gates) and repeatedly absorbs the position-ordered signatures of
+    its fanins together with the edge weights, until the induced
+    partition of nodes stops refining; the circuit digest folds the
+    sorted multiset of final node signatures through two independent
+    64-bit mixers.  Refinement hashing is not a complete isomorphism
+    test, but a collision between distinct circuits requires either a
+    64-bit×2 hash collision or two structures WL-refinement cannot
+    separate — neither occurs on non-adversarial workloads (the test
+    suite asserts all suite circuits digest pairwise distinctly). *)
+
+val digest : Netlist.t -> string
+(** 32 lower-case hex characters (128 bits). *)
+
+val digest64 : Netlist.t -> int64
+(** The first half of {!digest}, as a raw value (for tests and cheap
+    in-process keying). *)

@@ -72,16 +72,26 @@ let add_family buf ~name ~help ~mtype samples =
         (Printf.sprintf "%s%s%s %s\n" name suffix labels_s (fmt_value v)))
     samples
 
-let render ?(extra = []) () =
+let render ?(exclude_prefixes = []) ?(extra = []) () =
   let buf = Buffer.create 8192 in
-  (* event counters, one family each *)
+  let excluded name =
+    List.exists
+      (fun p ->
+        String.length name >= String.length p
+        && String.sub name 0 (String.length p) = p)
+      exclude_prefixes
+  in
+  (* event counters, one family each; [exclude_prefixes] skips counter
+     namespaces a caller re-renders as a labeled family via [extra]
+     (e.g. the serve layer's per-route/status request counters) *)
   List.iter
     (fun (name, v) ->
-      add_family buf
-        ~name:(prefix ^ sanitize name ^ "_total")
-        ~help:(Printf.sprintf "Event counter %s." name)
-        ~mtype:"counter"
-        [ ("", [], float_of_int v) ])
+      if not (excluded name) then
+        add_family buf
+          ~name:(prefix ^ sanitize name ^ "_total")
+          ~help:(Printf.sprintf "Event counter %s." name)
+          ~mtype:"counter"
+          [ ("", [], float_of_int v) ])
     (Counter.all ());
   (* gauges *)
   List.iter

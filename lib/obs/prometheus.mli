@@ -17,9 +17,14 @@ type family = {
   samples : sample list;
 }
 
-val render : ?extra:family list -> unit -> string
+val render :
+  ?exclude_prefixes:string list -> ?extra:family list -> unit -> string
 (** Render a full scrape body.  [extra] appends caller-maintained
-    families (e.g. the serve layer's labeled request counters). *)
+    families (e.g. the serve layer's labeled request counters);
+    [exclude_prefixes] suppresses the generic one-family-per-counter
+    rendering for counter-name prefixes a caller re-renders through
+    [extra] instead, so one underlying registry counter never produces
+    two exposition series. *)
 
 val validate : string -> (unit, string list) result
 (** Check a scrape body against the exposition format: HELP/TYPE shape

@@ -1,0 +1,58 @@
+(* Bounded MPMC blocking queue: one mutex, one condition variable.
+   Producers never wait (full = reject, the caller's admission-control
+   decision); only consumers block, so the condition only signals
+   "nonempty or closed". *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  cap : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Bqueue.create: negative capacity";
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    cap = capacity;
+    closed = false;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let try_push t x =
+  with_lock t (fun () ->
+      if t.closed || Queue.length t.items >= t.cap then false
+      else begin
+        Queue.add x t.items;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.items) then Some (Queue.pop t.items)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  with_lock t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Condition.broadcast t.nonempty
+      end)
+
+let length t = with_lock t (fun () -> Queue.length t.items)
+let capacity t = t.cap
+let is_closed t = with_lock t (fun () -> t.closed)

@@ -1,0 +1,37 @@
+(** A bounded multi-producer/multi-consumer blocking queue — the
+    admission-controlled hand-off between the serve layer's accept lane
+    and its worker domains ([doc/CONCURRENCY.md] §Serving).
+
+    The queue never blocks producers: {!try_push} fails immediately
+    when the queue is at capacity (the caller sheds the work — e.g.
+    answers [429 Retry-After] — instead of queueing unboundedly).
+    Consumers block in {!pop} until an item or {!close} arrives;
+    items already queued at close time are still drained, so closing
+    is a graceful stop, not an abort. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity >= 0].  A zero-capacity queue rejects every push — useful
+    for forcing the shed path in tests.
+    @raise Invalid_argument on a negative capacity. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Enqueue and return [true]; [false] when the queue is full or
+    closed (the item is not retained in either case). *)
+
+val pop : 'a t -> 'a option
+(** Dequeue the oldest item, blocking while the queue is empty and
+    open.  [None] once the queue is closed {e and} drained. *)
+
+val close : 'a t -> unit
+(** Reject subsequent pushes and wake every blocked {!pop}.  Idempotent.
+    Queued items remain poppable. *)
+
+val length : 'a t -> int
+(** Items currently queued (a racy snapshot under concurrency, exact
+    when quiescent). *)
+
+val capacity : 'a t -> int
+
+val is_closed : 'a t -> bool

@@ -1,19 +1,41 @@
-(* A dependency-free HTTP/1.1 listener over [Unix] exposing the mapping
-   pipeline as a service: POST /map runs a synthesis request, /metrics
-   is a Prometheus scrape of the Obs registries, /healthz a liveness
-   probe, and /debug/requests + /debug/trace/<id> introspect the
-   recent-request ring.
+(* A dependency-free HTTP/1.1 serving stack over [Unix] exposing the
+   mapping pipeline as a service: POST /map runs a synthesis request,
+   /metrics is a Prometheus scrape of the Obs registries, /healthz a
+   liveness probe with pool/cache gauges, and /debug/requests +
+   /debug/trace/<id> introspect the recent-request ring.
 
-   The accept loop is deliberately single-threaded: the Obs registries
-   and the synthesis pipeline are process-global and not thread-safe, so
-   requests are serialized at the accept point and concurrent clients
-   queue in the listen backlog.  "Per-request isolation" therefore means
-   exception containment (a failing request answers 4xx/5xx and never
-   tears down the loop or leaves a span open) plus telemetry scoping:
-   each /map request runs inside an Obs.Scope keyed by its correlation
-   id, whose close folds the request's counters/spans/slices into the
-   global registries — so scrape counters stay monotone over the process
-   lifetime while every request keeps its own attributable slice.
+   Serve v2 architecture (doc/CONCURRENCY.md §Serving):
+
+     accept lane ──> bounded Bqueue ──> N worker domains
+          │                                  │
+          │ inline: /healthz /metrics        │ /map: parse, canonical
+          │         /debug/*  (cheap)        │ digest, cache lookup,
+          │ full queue: shed 429             │ Synth.run on miss
+          └──────────── one Prelude.Pool ────┘
+
+   The accept lane owns the listen socket and the request *read*: it
+   parses the HTTP envelope, answers the cheap routes inline, and hands
+   /map jobs (fd + parsed request) to the queue.  Worker domains own
+   the /map compute and the response write.  Admission control is the
+   queue bound: a full queue sheds with 429 + Retry-After instead of
+   queueing unboundedly, and the monitoring routes stay answerable
+   from the accept lane even under full overload.
+
+   Result cache: /map responses are cached under a canonical circuit
+   digest (Circuit.Canon — invariant under wire renaming and
+   declaration order) plus (algo, k).  Lookups are single-flight
+   (Cache): concurrent identical submissions compute once, and every
+   /map response carries an [X-Cache: hit|miss|bypass] marker.
+
+   Observability under concurrency: each /map request runs inside an
+   Obs.Scope on its worker domain, so every counter/span/histogram
+   write lands in the request's shard.  The process-global registries
+   are only ever touched under [registry_mutex]: scope closes (the
+   shard merge), the accept lane's inline-route counters, and the
+   /metrics render all serialize there — scrape counters stay monotone
+   and torn reads cannot happen.  Gauges are point-in-time: they are
+   written at scrape time from the server's atomics, never from
+   workers.
 
    Correlation ids: the client may supply one (X-Request-Id, or the
    trace-id field of a W3C traceparent header); otherwise the server
@@ -24,28 +46,75 @@ module J = Obs.Json
 
 let s_request = Obs.Span.make "serve.request"
 let h_request = Obs.Histogram.make "serve.request_seconds"
+let h_queue_wait = Obs.Histogram.make "serve.queue_wait_seconds"
 let g_inflight = Obs.Gauge.make "serve.inflight"
+let g_queue_depth = Obs.Gauge.make "serve.queue_depth"
+let g_workers = Obs.Gauge.make "serve.workers"
+let g_workers_busy = Obs.Gauge.make "serve.workers_busy"
+let g_cache_size = Obs.Gauge.make "serve.cache_size"
+let g_cache_capacity = Obs.Gauge.make "serve.cache_capacity"
+let c_cache_hits = Obs.Counter.make "serve.cache_hits"
+let c_cache_misses = Obs.Counter.make "serve.cache_misses"
+let c_cache_joins = Obs.Counter.make "serve.cache_joins"
+let c_shed = Obs.Counter.make "serve.shed"
 
-(* requests by (route, status), rendered as an extra Prometheus family;
-   a plain assoc-count table, only touched from the accept loop *)
-let request_counts : (string * int, int) Hashtbl.t = Hashtbl.create 16
+(* Everything process-global in Obs (counters, spans, histograms,
+   timeline) is unsynchronized; with worker domains closing scopes
+   concurrently, every direct registry touch — merge, render, inline
+   counter bump — must hold this mutex.  Shard-local writes inside a
+   scope need no lock (doc/CONCURRENCY.md §Serving ownership rules). *)
+let registry_mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+(* ------------------------------------------------------------------ *)
+(* Request counters: sharded Obs counters, one per (route, status)     *)
+(* ------------------------------------------------------------------ *)
+
+(* [serve.requests.<route>.<status>] counters; incremented from inside
+   a request scope they land in the request's shard (merged under
+   [registry_mutex] at close), from the accept lane they are bumped
+   under the lock — either way worker domains never race the registry.
+   The scrape re-renders them as one labeled family
+   ([turbosyn_serve_requests_total{route=...,status=...}]) and
+   suppresses the flat per-counter families via [exclude_prefixes]. *)
+let requests_prefix = "serve.requests."
 
 let count_request ~route ~status =
-  let key = (route, status) in
-  Hashtbl.replace request_counts key
-    (1 + Option.value ~default:0 (Hashtbl.find_opt request_counts key))
+  Obs.Counter.incr
+    (Obs.Counter.make (Printf.sprintf "%s%s.%d" requests_prefix route status))
+
+let count_request_unscoped ~route ~status =
+  with_registry (fun () -> count_request ~route ~status)
 
 let request_family () =
+  let plen = String.length requests_prefix in
   let samples =
-    Hashtbl.fold
-      (fun (route, status) n acc ->
-        {
-          Obs.Prometheus.labels =
-            [ ("route", route); ("status", string_of_int status) ];
-          value = float_of_int n;
-        }
-        :: acc)
-      request_counts []
+    List.filter_map
+      (fun (name, v) ->
+        if
+          String.length name > plen
+          && String.sub name 0 plen = requests_prefix
+        then
+          let rest = String.sub name plen (String.length name - plen) in
+          match String.rindex_opt rest '.' with
+          | Some i ->
+              Some
+                {
+                  Obs.Prometheus.labels =
+                    [
+                      ("route", String.sub rest 0 i);
+                      ( "status",
+                        String.sub rest (i + 1) (String.length rest - i - 1)
+                      );
+                    ];
+                  value = float_of_int v;
+                }
+          | None -> None
+        else None)
+      (Obs.Counter.all ())
     |> List.sort compare
   in
   {
@@ -104,6 +173,7 @@ type req_record = {
   rr_route : string;
   rr_status : int;
   rr_outcome : string;
+  rr_cache : string option; (* X-Cache marker, /map only *)
   rr_started : float;
   rr_seconds : float;
   rr_summary : Obs.Scope.summary option; (* scoped routes (/map) only *)
@@ -113,24 +183,34 @@ let debug_ring_default_capacity = 256
 let debug_ring_capacity = ref debug_ring_default_capacity
 let debug_ring : req_record Queue.t = Queue.create ()
 
+(* accept lane and worker domains both record; reads serve /debug *)
+let ring_mutex = Mutex.create ()
+
+let with_ring f =
+  Mutex.lock ring_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock ring_mutex) f
+
 let remember rr =
-  if !debug_ring_capacity > 0 then begin
-    if Queue.length debug_ring >= !debug_ring_capacity then
-      ignore (Queue.pop debug_ring);
-    Queue.add rr debug_ring
-  end
+  with_ring (fun () ->
+      if !debug_ring_capacity > 0 then begin
+        if Queue.length debug_ring >= !debug_ring_capacity then
+          ignore (Queue.pop debug_ring);
+        Queue.add rr debug_ring
+      end)
 
 let find_request id =
-  Queue.fold
-    (fun acc rr -> if String.equal rr.rr_id id then Some rr else acc)
-    None debug_ring
+  with_ring (fun () ->
+      Queue.fold
+        (fun acc rr -> if String.equal rr.rr_id id then Some rr else acc)
+        None debug_ring)
 
 (* outcome vocabulary (doc/OBSERVABILITY.md §Request scopes): "served"
-   for success; "rejected" for client errors; "failed" for server
-   errors.  Serve v2 adds "cached" and "shed" when the result cache and
-   admission control land. *)
+   for success, "cached" for success straight from the result cache,
+   "rejected" for client errors, "shed" for admission-control 429s,
+   "failed" for server errors. *)
 let outcome_of_status status =
   if status < 400 then "served"
+  else if status = 429 then "shed"
   else if status < 500 then "rejected"
   else "failed"
 
@@ -147,23 +227,31 @@ let request_json rr =
        ("route", J.Str rr.rr_route);
        ("status", J.Int rr.rr_status);
        ("outcome", J.Str rr.rr_outcome);
-       ("started", J.Float rr.rr_started);
-       ("seconds", J.Float rr.rr_seconds);
      ]
+    @ (match rr.rr_cache with
+      | None -> []
+      | Some m -> [ ("cache", J.Str m) ])
+    @ [
+        ("started", J.Float rr.rr_started);
+        ("seconds", J.Float rr.rr_seconds);
+      ]
     @
     match rr.rr_summary with
     | None -> []
     | Some s -> [ ("phases", phases_json s) ])
 
 let debug_requests_json () =
-  let newest_first =
-    Queue.fold (fun acc rr -> request_json rr :: acc) [] debug_ring
+  let capacity, count, newest_first =
+    with_ring (fun () ->
+        ( !debug_ring_capacity,
+          Queue.length debug_ring,
+          Queue.fold (fun acc rr -> request_json rr :: acc) [] debug_ring ))
   in
   J.Obj
     [
       ("schema", J.Str "turbosyn-debug-requests/1");
-      ("capacity", J.Int !debug_ring_capacity);
-      ("count", J.Int (Queue.length debug_ring));
+      ("capacity", J.Int capacity);
+      ("count", J.Int count);
       ("requests", J.List newest_first);
     ]
 
@@ -179,8 +267,9 @@ let algo_of_string = function
 
 (* The response document is a deterministic function of (circuit, algo,
    k): no timings, no machine state.  The same renderer backs the serve
-   path and the test's direct [Synth.run] comparison, so byte equality
-   of the two is meaningful. *)
+   path (cache miss), the cached bytes (stored rendered), and the
+   test's direct [Synth.run] comparison, so byte equality holds for
+   every worker count, hit or miss. *)
 let result_json ~circuit ~k (r : Turbosyn.Synth.result) =
   J.Obj
     [
@@ -214,6 +303,29 @@ let map_response ~circuit ~k ~algo =
         let options = Turbosyn.Synth.default_options ~k () in
         let r = Turbosyn.Synth.run ~options algo nl in
         Ok (result_json ~circuit ~k r)
+
+(* the result-cache key: canonical structural digest — renames and
+   declaration order do not fragment the cache — plus the request
+   parameters the result depends on *)
+let cache_key nl ~k ~algo =
+  Printf.sprintf "%s/%s/k%d" (Circuit.Canon.digest nl)
+    (Turbosyn.Synth.algo_name algo)
+    k
+
+(* the cached /map body: rendered bytes, exactly what [respond_json]
+   would write, so hits and misses answer identical payloads *)
+let map_body_cached cache ~circuit ~k ~algo =
+  match Workloads.Suite.find circuit with
+  | None -> (Error (Printf.sprintf "unknown circuit %S" circuit), Cache.Bypass)
+  | Some spec ->
+      if k < 2 || k > 16 then
+        (Error (Printf.sprintf "k out of range: %d" k), Cache.Bypass)
+      else
+        let nl = Workloads.Suite.build spec in
+        Cache.find_or_compute cache ~key:(cache_key nl ~k ~algo) (fun () ->
+            let options = Turbosyn.Synth.default_options ~k () in
+            let r = Turbosyn.Synth.run ~options algo nl in
+            Ok (J.to_string (result_json ~circuit ~k r) ^ "\n"))
 
 (* body may be a JSON object {"circuit": ..., "k": ..., "algo": ...};
    query parameters (circuit, k, algo) override nothing — they are the
@@ -268,11 +380,30 @@ let parse_map_request ~query ~body =
 (* HTTP plumbing                                                       *)
 (* ------------------------------------------------------------------ *)
 
+type config = {
+  workers : int;  (** worker domains draining the /map queue, >= 1 *)
+  queue_depth : int;  (** /map jobs admitted beyond the in-flight ones *)
+  cache_entries : int;  (** LRU capacity of the result cache; 0 = off *)
+  slow_seconds : float;
+}
+
+type job = {
+  jb_fd : Unix.file_descr;
+  jb_id : string;
+  jb_meth : string;
+  jb_query : (string * string) list;
+  jb_body : string;
+  jb_accepted : float; (* wall clock at enqueue, for queue-wait *)
+}
+
 type t = {
   listen : Unix.file_descr;
   port : int;
-  slow_seconds : float;
-  mutable stopped : bool;
+  config : config;
+  stopped : bool Atomic.t;
+  queue : job Prelude.Bqueue.t;
+  cache : Cache.t;
+  busy : int Atomic.t; (* workers currently inside a /map job *)
 }
 
 let status_text = function
@@ -280,7 +411,9 @@ let status_text = function
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 429 -> "Too Many Requests"
   | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
   | _ -> "Unknown"
 
 let write_all fd s =
@@ -404,57 +537,180 @@ let parse_target target =
       in
       (path, query)
 
-let handle_map fd ~headers ~query ~body =
+(* ------------------------------------------------------------------ *)
+(* Access logging + ring, shared by every completion path              *)
+(* ------------------------------------------------------------------ *)
+
+let log_access t ~route ~meth ~path ~status ~outcome ~cache ~started ~summary =
+  let seconds = Prelude.Timer.wall () -. started in
+  remember
+    {
+      rr_id = Obs.Log.current_request_id () |> Option.value ~default:"";
+      rr_route = route;
+      rr_status = status;
+      rr_outcome = outcome;
+      rr_cache = cache;
+      rr_started = started;
+      rr_seconds = seconds;
+      rr_summary = summary;
+    };
+  let phase_fields =
+    match summary with
+    | None -> []
+    | Some s -> [ ("phases", phases_json s) ]
+  in
+  let cache_fields =
+    match cache with None -> [] | Some m -> [ ("cache", J.Str m) ]
+  in
+  Obs.Log.info "serve.access"
+    ([
+       ("route", J.Str route);
+       ("method", J.Str meth);
+       ("path", J.Str path);
+       ("status", J.Int status);
+       ("outcome", J.Str outcome);
+       ("seconds", J.Float seconds);
+     ]
+    @ cache_fields @ phase_fields);
+  if seconds > t.config.slow_seconds then
+    Obs.Log.warn "serve.slow"
+      ([
+         ("route", J.Str route);
+         ("status", J.Int status);
+         ("seconds", J.Float seconds);
+         ("threshold_seconds", J.Float t.config.slow_seconds);
+       ]
+      @ phase_fields)
+
+(* ------------------------------------------------------------------ *)
+(* Worker domains: /map jobs                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* the /map handler proper, run inside the request scope on a worker
+   domain: every Obs hook here writes the scope's shard, so no lock is
+   needed until the scope closes.  Returns (status, cache marker). *)
+let handle_map_in_scope t fd ~echo ~query ~body ~queued_seconds =
+  Obs.Histogram.observe h_queue_wait queued_seconds;
   match parse_map_request ~query ~body with
   | Error e ->
-      respond_error fd ~headers ~status:400 e;
-      400
+      respond_error fd ~headers:echo ~status:400 e;
+      (400, None)
   | Ok (circuit, k, algo) -> (
-      match map_response ~circuit ~k ~algo with
-      | Ok json ->
-          respond_json fd ~headers ~status:200 json;
-          200
-      | Error e ->
-          respond_error fd ~headers ~status:400 e;
-          400)
+      match map_body_cached t.cache ~circuit ~k ~algo with
+      | Error e, _ ->
+          respond_error fd ~headers:echo ~status:400 e;
+          (400, None)
+      | Ok payload, outcome ->
+          (match outcome with
+          | Cache.Hit -> Obs.Counter.incr c_cache_hits
+          | Cache.Join -> Obs.Counter.incr c_cache_joins
+          | Cache.Miss -> Obs.Counter.incr c_cache_misses
+          | Cache.Bypass -> ());
+          let marker = Cache.outcome_label outcome in
+          respond fd
+            ~headers:(echo @ [ ("X-Cache", marker) ])
+            ~status:200 ~content_type:"application/json" payload;
+          (200, Some marker))
 
-(* /map inside a request scope: the scope's shard captures the
-   request's counters, spans, histograms and timeline slices; closing
-   folds them into the globals (keeping scrape counters monotone) and
-   yields the summary the ring, access log and /debug/trace serve. *)
-let handle_map_scoped fd ~req_id ~headers ~query ~body =
-  let scope = Obs.Scope.create ~id:req_id () in
-  let status = ref 500 in
-  let summary =
-    match
-      Obs.Scope.run scope (fun () ->
-          Obs.Gauge.incr g_inflight;
-          let t0 = Prelude.Timer.wall () in
-          Fun.protect
-            ~finally:(fun () ->
-              Obs.Gauge.decr g_inflight;
-              Obs.Histogram.observe h_request (Prelude.Timer.wall () -. t0))
-            (fun () ->
-              Obs.Span.time s_request (fun () ->
-                  try handle_map fd ~headers ~query ~body
-                  with e ->
-                    (try
-                       respond_error fd ~headers ~status:500
-                         (Printexc.to_string e)
-                     with _ -> ());
-                    500)))
-    with
-    | s ->
-        status := s;
-        Obs.Scope.close scope
-    | exception e ->
-        (* handle_map contains its exceptions; this is a scope-level
-           failure (e.g. the response write raised) — still close, so
-           the shard never leaks *)
-        ignore (Obs.Scope.close scope);
-        raise e
+let serve_job t job =
+  let fd = job.jb_fd in
+  let echo = [ ("X-Request-Id", job.jb_id) ] in
+  let queued_seconds =
+    Float.max 0. (Prelude.Timer.wall () -. job.jb_accepted)
   in
-  (!status, summary)
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Obs.Log.with_request_id job.jb_id @@ fun () ->
+      let scope = Obs.Scope.create ~id:job.jb_id () in
+      let status = ref 500 in
+      let cache_marker = ref None in
+      let run_scoped () =
+        Obs.Scope.run scope (fun () ->
+            let t0 = Prelude.Timer.wall () in
+            Fun.protect
+              ~finally:(fun () ->
+                Obs.Histogram.observe h_request (Prelude.Timer.wall () -. t0))
+              (fun () ->
+                let s, m =
+                  Obs.Span.time s_request (fun () ->
+                      try
+                        handle_map_in_scope t fd ~echo ~query:job.jb_query
+                          ~body:job.jb_body ~queued_seconds
+                      with e ->
+                        (try
+                           respond_error fd ~headers:echo ~status:500
+                             (Printexc.to_string e)
+                         with _ -> ());
+                        (500, None))
+                in
+                status := s;
+                cache_marker := m;
+                count_request ~route:"map" ~status:s))
+      in
+      let summary =
+        match run_scoped () with
+        | () -> with_registry (fun () -> Obs.Scope.close scope)
+        | exception e ->
+            (* scope-level failure (e.g. the response write raised) —
+               still close under the lock, so the shard never leaks and
+               partial observations merge *)
+            ignore (with_registry (fun () -> Obs.Scope.close scope));
+            raise e
+      in
+      let outcome =
+        match !cache_marker with
+        | Some "hit" -> "cached"
+        | _ -> outcome_of_status !status
+      in
+      log_access t ~route:"map" ~meth:job.jb_meth ~path:"/map" ~status:!status
+        ~outcome ~cache:!cache_marker ~started:job.jb_accepted
+        ~summary:(Some summary))
+
+let worker_loop t =
+  let rec go () =
+    match Prelude.Bqueue.pop t.queue with
+    | None -> () (* queue closed and drained: clean shutdown *)
+    | Some job ->
+        Atomic.incr t.busy;
+        (try serve_job t job
+         with e ->
+           Obs.Log.error "serve.worker_crash"
+             [ ("exn", J.Str (Printexc.to_string e)) ]);
+        Atomic.decr t.busy;
+        go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Accept lane: envelope parsing, inline routes, admission control     *)
+(* ------------------------------------------------------------------ *)
+
+let healthz_json t =
+  J.Obj
+    [
+      ("status", J.Str "ok");
+      ("workers", J.Int t.config.workers);
+      ("workers_busy", J.Int (Atomic.get t.busy));
+      ("queue_depth", J.Int (Prelude.Bqueue.length t.queue));
+      ("queue_capacity", J.Int t.config.queue_depth);
+      ("cache_entries", J.Int (Cache.length t.cache));
+      ("cache_capacity", J.Int t.config.cache_entries);
+      ("shed_total", J.Int (Obs.Counter.value c_shed));
+    ]
+
+(* scrape-time gauge refresh: gauges are never written from workers
+   (they have no shard), only here, under the registry lock, from the
+   server's atomics — single writer, no torn floats *)
+let refresh_gauges t =
+  let busy = Atomic.get t.busy in
+  let queued = Prelude.Bqueue.length t.queue in
+  Obs.Gauge.set_int g_inflight (busy + queued);
+  Obs.Gauge.set_int g_queue_depth queued;
+  Obs.Gauge.set_int g_workers t.config.workers;
+  Obs.Gauge.set_int g_workers_busy busy;
+  Obs.Gauge.set_int g_cache_size (Cache.length t.cache);
+  Obs.Gauge.set_int g_cache_capacity t.config.cache_entries
 
 let handle_debug_trace fd ~req_id ~path ~query =
   let id = String.sub path 13 (String.length path - 13) in
@@ -491,88 +747,116 @@ let handle_debug_trace fd ~req_id ~path ~query =
         (Printf.sprintf "no traced request %S in the ring" id);
       404
 
-let handle_connection t fd =
+(* a full (or zero-depth) queue sheds: never block the accept lane,
+   never queue unboundedly.  Retry-After is a coarse hint — one
+   in-flight compute is the unit of drain time. *)
+let shed t fd ~echo ~meth ~path ~started =
+  with_registry (fun () ->
+      Obs.Counter.incr c_shed;
+      count_request ~route:"map" ~status:429);
+  respond_error fd
+    ~headers:(echo @ [ ("Retry-After", "1") ])
+    ~status:429 "server overloaded: queue full, retry later";
+  log_access t ~route:"map" ~meth ~path ~status:429 ~outcome:"shed"
+    ~cache:None ~started ~summary:None
+
+(* true when fd ownership moved to the worker queue *)
+let dispatch t fd =
   match read_request fd with
-  | None -> count_request ~route:"malformed" ~status:400
-  | Some (meth, target, headers, body) ->
+  | None ->
+      count_request_unscoped ~route:"malformed" ~status:400;
+      false
+  | Some (meth, target, headers, body) -> (
       let path, query = parse_target target in
       let req_id = request_id_of_headers headers in
       let started = Prelude.Timer.wall () in
       Obs.Log.with_request_id req_id @@ fun () ->
       let echo = [ ("X-Request-Id", req_id) ] in
-      let route, status, summary =
-        match (meth, path) with
-        | "GET", "/healthz" ->
-            respond fd ~headers:echo ~status:200 ~content_type:"text/plain"
-              "ok\n";
-            ("healthz", 200, None)
-        | "GET", "/metrics" ->
-            let scrape =
-              Obs.Prometheus.render ~extra:[ request_family () ] ()
-            in
-            respond fd ~headers:echo ~status:200
-              ~content_type:"text/plain; version=0.0.4" scrape;
-            ("metrics", 200, None)
-        | ("POST" | "GET"), "/map" ->
-            let status, summary =
-              handle_map_scoped fd ~req_id ~headers:echo ~query ~body
-            in
-            ("map", status, Some summary)
-        | "GET", "/debug/requests" ->
-            respond_json fd ~headers:echo ~status:200
-              (debug_requests_json ());
-            ("debug", 200, None)
-        | "GET", _
-          when String.length path > 13
-               && String.sub path 0 13 = "/debug/trace/" ->
-            let status = handle_debug_trace fd ~req_id ~path ~query in
-            ("debug", status, None)
-        | _, ("/healthz" | "/metrics" | "/map" | "/debug/requests") ->
-            respond_error fd ~headers:echo ~status:405 "method not allowed";
-            ("method", 405, None)
-        | _ ->
-            respond_error fd ~headers:echo ~status:404 "not found";
-            ("other", 404, None)
+      let inline route status summary =
+        count_request_unscoped ~route ~status;
+        log_access t ~route ~meth ~path ~status
+          ~outcome:(outcome_of_status status) ~cache:None ~started ~summary;
+        false
       in
-      count_request ~route ~status;
-      let seconds = Prelude.Timer.wall () -. started in
-      let outcome = outcome_of_status status in
-      remember
-        {
-          rr_id = req_id;
-          rr_route = route;
-          rr_status = status;
-          rr_outcome = outcome;
-          rr_started = started;
-          rr_seconds = seconds;
-          rr_summary = summary;
-        };
-      let phase_fields =
-        match summary with
-        | None -> []
-        | Some s -> [ ("phases", phases_json s) ]
-      in
-      Obs.Log.info "serve.access"
-        ([
-           ("route", J.Str route);
-           ("method", J.Str meth);
-           ("path", J.Str path);
-           ("status", J.Int status);
-           ("outcome", J.Str outcome);
-           ("seconds", J.Float seconds);
-         ]
-        @ phase_fields);
-      if seconds > t.slow_seconds then
-        Obs.Log.warn "serve.slow"
-          ([
-             ("route", J.Str route);
-             ("status", J.Int status);
-             ("seconds", J.Float seconds);
-             ("threshold_seconds", J.Float t.slow_seconds);
-           ]
-          @ phase_fields)
+      match (meth, path) with
+      | ("POST" | "GET"), "/map" ->
+          let job =
+            {
+              jb_fd = fd;
+              jb_id = req_id;
+              jb_meth = meth;
+              jb_query = query;
+              jb_body = body;
+              jb_accepted = started;
+            }
+          in
+          if Prelude.Bqueue.try_push t.queue job then true
+          else begin
+            shed t fd ~echo ~meth ~path ~started;
+            false
+          end
+      | "GET", "/healthz" ->
+          respond_json fd ~headers:echo ~status:200 (healthz_json t);
+          inline "healthz" 200 None
+      | "GET", "/metrics" ->
+          let scrape =
+            with_registry (fun () ->
+                refresh_gauges t;
+                Obs.Prometheus.render
+                  ~exclude_prefixes:[ requests_prefix ]
+                  ~extra:[ request_family () ]
+                  ())
+          in
+          respond fd ~headers:echo ~status:200
+            ~content_type:"text/plain; version=0.0.4" scrape;
+          inline "metrics" 200 None
+      | "GET", "/debug/requests" ->
+          respond_json fd ~headers:echo ~status:200 (debug_requests_json ());
+          inline "debug" 200 None
+      | "GET", _
+        when String.length path > 13
+             && String.sub path 0 13 = "/debug/trace/" ->
+          let status = handle_debug_trace fd ~req_id ~path ~query in
+          inline "debug" status None
+      | _, ("/healthz" | "/metrics" | "/map" | "/debug/requests") ->
+          respond_error fd ~headers:echo ~status:405 "method not allowed";
+          inline "method" 405 None
+      | _ ->
+          respond_error fd ~headers:echo ~status:404 "not found";
+          inline "other" 404 None)
 
-let create ?(port = 0) ?(slow_seconds = 1.0) () =
+let accept_loop t =
+  let continue = ref true in
+  while !continue && not (Atomic.get t.stopped) do
+    match Unix.accept t.listen with
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+        (* the listen socket was shut down under us: stop *)
+        continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | fd, _ ->
+        let handed_off =
+          try dispatch t fd
+          with Unix.Unix_error (_, _, _) -> false (* client went away *)
+        in
+        if not handed_off then
+          try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let default_workers () =
+  max 1 (min 4 (Domain.recommended_domain_count () - 1))
+
+let create ?(port = 0) ?(slow_seconds = 1.0) ?workers ?(queue_depth = 64)
+    ?(cache_entries = 256) () =
+  let workers =
+    match workers with Some w -> max 1 w | None -> default_workers ()
+  in
+  if queue_depth < 0 then invalid_arg "Server.create: negative queue depth";
+  if cache_entries < 0 then
+    invalid_arg "Server.create: negative cache capacity";
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -582,29 +866,41 @@ let create ?(port = 0) ?(slow_seconds = 1.0) () =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> port
   in
-  { listen = fd; port; slow_seconds; stopped = false }
+  {
+    listen = fd;
+    port;
+    config = { workers; queue_depth; cache_entries; slow_seconds };
+    stopped = Atomic.make false;
+    queue = Prelude.Bqueue.create ~capacity:queue_depth;
+    cache = Cache.create ~capacity:cache_entries;
+    busy = Atomic.make 0;
+  }
 
 let port t = t.port
+let workers t = t.config.workers
 
 let run t =
   (* a client that disconnects mid-response must not kill the server *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  let rec loop () =
-    match Unix.accept t.listen with
-    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> if not t.stopped then loop ()
-    | fd, _ ->
-        (try handle_connection t fd
-         with Unix.Unix_error (_, _, _) -> () (* client went away *));
-        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
-        if not t.stopped then loop ()
-  in
-  loop ()
+  (* one Prelude.Pool hosts every lane: task 0 is the accept lane, the
+     rest are queue workers.  All tasks run until shutdown, so each
+     lane takes exactly one; the accept lane closes the queue on exit,
+     which drains and releases the workers — then the pool barrier
+     returns.  Assignment of lanes to tasks is irrelevant (the tasks
+     are self-contained loops), matching the pool's no-promises
+     contract. *)
+  let lanes = t.config.workers + 1 in
+  Prelude.Pool.with_pool ~domains:lanes (fun pool ->
+      Prelude.Pool.run pool ~n:lanes (fun _worker task ->
+          if task = 0 then
+            Fun.protect
+              ~finally:(fun () -> Prelude.Bqueue.close t.queue)
+              (fun () -> accept_loop t)
+          else worker_loop t))
 
 let stop t =
-  if not t.stopped then begin
-    t.stopped <- true;
+  if not (Atomic.exchange t.stopped true) then begin
     (* [shutdown] wakes a blocked [accept] (EINVAL) even from another
        domain; a plain [close] would not — the in-flight accept holds a
        reference to the socket and blocks forever *)

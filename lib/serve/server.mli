@@ -1,6 +1,6 @@
-(** The mapping pipeline as an HTTP service.
+(** The mapping pipeline as a concurrent HTTP service.
 
-    A dependency-free HTTP/1.1 listener over [Unix]:
+    A dependency-free HTTP/1.1 serving stack over [Unix]:
 
     - [POST /map] (or [GET /map?circuit=...&k=...&algo=...]) runs a
       mapping request — JSON body
@@ -8,11 +8,16 @@
       a deterministic [turbosyn-serve/1] document (phi, clock period,
       latency, LUTs, probes, and the per-signal labels; no timings).
     - [GET /metrics] answers a Prometheus text-exposition scrape of the
-      {!Obs} registries plus the server's own request counters.
-    - [GET /healthz] answers [ok].
+      {!Obs} registries plus the server's own request counters and
+      pool/cache gauges.
+    - [GET /healthz] answers a JSON liveness document:
+      [{"status": "ok", "workers": ..., "workers_busy": ...,
+      "queue_depth": ..., "queue_capacity": ..., "cache_entries": ...,
+      "cache_capacity": ..., "shed_total": ...}].
     - [GET /debug/requests] answers the recent-request ring
-      ([turbosyn-debug-requests/1]): id, route, status, outcome,
-      wall-clock timings and per-phase span seconds, newest first.
+      ([turbosyn-debug-requests/1]): id, route, status, outcome, cache
+      marker, wall-clock timings and per-phase span seconds, newest
+      first.
     - [GET /debug/trace/<id>] answers the retained per-request telemetry
       of one ring entry ([turbosyn-debug-trace/1] with the full
       {!Obs.Scope.summary_json}); [?format=chrome] renders the request's
@@ -20,47 +25,79 @@
       flamegraph.pl folded stacks.  [404] when the id has been evicted
       from the ring (or never existed).
 
+    {b Concurrency.}  One {!Prelude.Pool} hosts an accept lane plus
+    [workers] worker domains.  The accept lane owns the listen socket,
+    parses request envelopes, answers the cheap routes inline, and
+    feeds [/map] jobs to a bounded {!Prelude.Bqueue}; worker domains
+    drain the queue, run the pipeline, and write the responses.  The
+    [/map] documents are byte-identical to a direct
+    {!Turbosyn.Synth.run} for every worker count
+    ([doc/CONCURRENCY.md] §Serving).
+
+    {b Admission control.}  When the queue is full (or [queue_depth] is
+    [0]), [/map] requests are shed with [429 Too Many Requests] and a
+    [Retry-After] header instead of queueing unboundedly; [/healthz]
+    and [/metrics] stay answerable from the accept lane under full
+    overload.
+
+    {b Result cache.}  [/map] responses are cached in an LRU of
+    [cache_entries] rendered bodies, keyed by the canonical circuit
+    digest ({!Circuit.Canon.digest} — invariant under wire renaming and
+    declaration order) plus [(algo, k)], with single-flight
+    deduplication: concurrent identical submissions compute once.
+    Every [/map] response carries an [X-Cache: hit|miss|bypass] header
+    ([bypass] when the cache is disabled).
+
     {b Correlation ids.}  Every request carries a correlation id: the
     client's [X-Request-Id] header when present (up to 64 chars of
     [[A-Za-z0-9_-]]), else the trace-id field of a W3C [traceparent]
     header, else a server-generated {!Obs.Scope.fresh_id}.  Every
     response echoes it back as [X-Request-Id], every access-log line
     ([serve.access], plus [serve.slow] over the threshold) carries it as
-    [request_id], and [/debug/trace/<id>] retrieves by it — so one id
-    follows a request through client, server log and trace.
+    [request_id], and [/debug/trace/<id>] retrieves by it.
 
-    Each [/map] request runs inside an {!Obs.Scope} keyed by its id:
-    the scope's close folds the request's telemetry into the global
-    registries (scrape counters stay monotone, and φ/labels/stats
-    documents are byte-identical to unscoped runs) and its summary
-    feeds the ring, the access log's phase timings and the per-request
-    flamegraph.
-
-    The accept loop is single-threaded (the Obs registries and the
-    pipeline are process-global); concurrent clients queue in the listen
-    backlog and are served in order.  A failing request answers
-    4xx/5xx without tearing down the loop, and metric state persists
-    across requests so scrape counters are monotone. *)
+    Each [/map] request runs inside an {!Obs.Scope} keyed by its id on
+    its worker domain; scope closes (and every other direct registry
+    touch) serialize behind one mutex, so scrape counters stay monotone
+    and φ/labels/stats documents are byte-identical to unscoped runs. *)
 
 type t
 
-val create : ?port:int -> ?slow_seconds:float -> unit -> t
+val create :
+  ?port:int ->
+  ?slow_seconds:float ->
+  ?workers:int ->
+  ?queue_depth:int ->
+  ?cache_entries:int ->
+  unit ->
+  t
 (** Bind and listen on [127.0.0.1:port].  [port] defaults to [0]: the
     kernel picks an ephemeral port, readable via {!port}.
     [slow_seconds] (default [1.0]) is the threshold above which a
-    request additionally logs a [serve.slow] warning.  Raises
-    [Unix.Unix_error] when binding fails (e.g. port in use). *)
+    request additionally logs a [serve.slow] warning.  [workers]
+    (default: host-derived, between 1 and 4) is the number of /map
+    worker domains, clamped to at least 1.  [queue_depth] (default
+    [64]) bounds the jobs admitted beyond the in-flight ones; [0]
+    sheds every /map request — useful for tests.  [cache_entries]
+    (default [256]) is the LRU capacity of the result cache; [0]
+    disables caching.  Raises [Unix.Unix_error] when binding fails
+    (e.g. port in use), [Invalid_argument] on negative
+    [queue_depth]/[cache_entries]. *)
 
 val port : t -> int
 
+val workers : t -> int
+(** The resolved worker-domain count. *)
+
 val run : t -> unit
-(** Serve until {!stop}.  Blocks the calling thread; run it in a
-    [Domain] (as [bench serve-load] and the tests do) to drive requests
-    from the same process. *)
+(** Serve until {!stop}.  Blocks the calling thread (it becomes the
+    pool's lane 0); run it in a [Domain] (as [bench serve-load] and the
+    tests do) to drive requests from the same process. *)
 
 val stop : t -> unit
-(** Close the listen socket, waking the blocked accept.  In-flight
-    request handling completes first (the loop is single-threaded). *)
+(** Close the listen socket, waking the blocked accept.  Queued and
+    in-flight /map jobs complete before {!run} returns (graceful
+    drain). *)
 
 (** {1 Request plumbing, exposed for tests} *)
 
@@ -68,17 +105,21 @@ val algo_of_string : string -> Turbosyn.Synth.algo option
 
 val result_json :
   circuit:string -> k:int -> Turbosyn.Synth.result -> Obs.Json.t
-(** The deterministic response renderer shared by the serve path and the
-    byte-identity test: rendering a direct {!Turbosyn.Synth.run} result
-    through it must equal the served body. *)
+(** The deterministic response renderer shared by the serve path, the
+    cached bytes, and the byte-identity test: rendering a direct
+    {!Turbosyn.Synth.run} result through it must equal the served body,
+    for every worker count, cache hit or miss. *)
 
 val map_response :
   circuit:string ->
   k:int ->
   algo:Turbosyn.Synth.algo ->
   (Obs.Json.t, string) result
-(** Resolve the circuit, run the mapping, render the response; [Error]
-    on unknown circuits or out-of-range [k]. *)
+(** Resolve the circuit, run the mapping (uncached), render the
+    response; [Error] on unknown circuits or out-of-range [k]. *)
+
+val cache_key : Circuit.Netlist.t -> k:int -> algo:Turbosyn.Synth.algo -> string
+(** The result-cache key: {!Circuit.Canon.digest} plus algo and [k]. *)
 
 val request_id_of_headers : (string * string) list -> string
 (** The correlation id for a request with the given (lower-cased)
@@ -86,4 +127,6 @@ val request_id_of_headers : (string * string) list -> string
     else a fresh id. *)
 
 val outcome_of_status : int -> string
-(** ["served"] below 400, ["rejected"] for 4xx, ["failed"] for 5xx. *)
+(** ["served"] below 400, ["shed"] for 429, ["rejected"] for other 4xx,
+    ["failed"] for 5xx.  (The serve paths additionally report
+    ["cached"] for cache-served successes.) *)

@@ -388,6 +388,157 @@ let test_verilog_sanitize () =
        false
      with Not_found -> true)
 
+(* ---------------------------------------------------------------- *)
+(* Canonical digests (Canon): renaming/permutation invariance and    *)
+(* structural separation                                             *)
+(* ---------------------------------------------------------------- *)
+
+(* A replayable build recipe for a random sequential circuit: node
+   index 0..n_pi-1 are PIs, n_pi+j is gate j.  Feedback is allowed
+   (gates may reference later gates) through reserve/define. *)
+type canon_recipe = {
+  rc_n_pi : int;
+  rc_gates : (Truthtable.t * (int * int) array) array;
+  rc_pos : (int * int) array;
+}
+
+let gen_canon_recipe rng =
+  let n_pi = 2 + Prelude.Rng.int rng 3 in
+  let n_gates = 4 + Prelude.Rng.int rng 8 in
+  let n = n_pi + n_gates in
+  let gates =
+    Array.init n_gates (fun j ->
+        let k = 1 + Prelude.Rng.int rng 3 in
+        let fanins =
+          Array.init k (fun _ ->
+              let src = Prelude.Rng.int rng n in
+              (* weight-0 back edges would make a combinational loop;
+                 keep cycles registered by forcing feedback weights >= 1 *)
+              let w =
+                if src >= n_pi + j then 1 + Prelude.Rng.int rng 2
+                else Prelude.Rng.int rng 3
+              in
+              (src, w))
+        in
+        (Truthtable.random rng k, fanins))
+  in
+  let pos =
+    Array.init 2 (fun _ ->
+        (Prelude.Rng.int rng n, Prelude.Rng.int rng 2))
+  in
+  { rc_n_pi = n_pi; rc_gates = gates; rc_pos = pos }
+
+(* Replay a recipe declaring gates in [order] (a permutation of the
+   recipe's gate indices), naming every wire through [wire_name]. *)
+let build_canon_recipe rc ~order ~wire_name =
+  let nl = Netlist.create ~name:"canon" () in
+  let n_gates = Array.length rc.rc_gates in
+  let pi_ids =
+    Array.init rc.rc_n_pi (fun i -> Netlist.add_pi ~name:(wire_name i) nl)
+  in
+  let gate_ids = Array.make n_gates (-1) in
+  Array.iter
+    (fun j ->
+      gate_ids.(j) <-
+        Netlist.reserve_gate ~name:(wire_name (rc.rc_n_pi + j)) nl)
+    order;
+  let node i =
+    if i < rc.rc_n_pi then pi_ids.(i) else gate_ids.(i - rc.rc_n_pi)
+  in
+  Array.iteri
+    (fun j (f, fanins) ->
+      Netlist.define_gate nl gate_ids.(j) f
+        (Array.map (fun (i, w) -> (node i, w)) fanins))
+    rc.rc_gates;
+  Array.iter
+    (fun (i, w) -> ignore (Netlist.add_po nl ~driver:(node i) ~weight:w))
+    rc.rc_pos;
+  nl
+
+let shuffle rng arr =
+  let arr = Array.copy arr in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Prelude.Rng.int rng (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done;
+  arr
+
+let qcheck_canon =
+  let open QCheck in
+  let seed = make Gen.(int_bound 1_000_000) in
+  [
+    Test.make ~count:60
+      ~name:"canon digest invariant under gate permutation and renaming"
+      seed
+      (fun s ->
+        let rng = Prelude.Rng.create s in
+        let rc = gen_canon_recipe rng in
+        let ident = Array.init (Array.length rc.rc_gates) Fun.id in
+        let a =
+          build_canon_recipe rc ~order:ident
+            ~wire_name:(Printf.sprintf "w%d")
+        in
+        let b =
+          build_canon_recipe rc ~order:(shuffle rng ident)
+            ~wire_name:(fun i -> Printf.sprintf "renamed_%d_x" ((i * 7) + 1))
+        in
+        Canon.digest a = Canon.digest b
+        && Canon.digest64 a = Canon.digest64 b);
+    Test.make ~count:60
+      ~name:"canon digest separates a flipped gate function" seed
+      (fun s ->
+        let rng = Prelude.Rng.create (s + 7919) in
+        let rc = gen_canon_recipe rng in
+        let ident = Array.init (Array.length rc.rc_gates) Fun.id in
+        let wire_name = Printf.sprintf "w%d" in
+        let a = build_canon_recipe rc ~order:ident ~wire_name in
+        let b = build_canon_recipe rc ~order:ident ~wire_name in
+        (* flip one truth-table bit of one gate: a semantic change that
+           keeps every name, id and wire identical *)
+        let g = Prelude.Rng.pick rng (Array.of_list (Netlist.gates b)) in
+        let f = Netlist.gate_function b g in
+        let bit = Prelude.Rng.int rng (1 lsl Truthtable.arity f) in
+        Netlist.set_gate_function b g
+          (Truthtable.create (Truthtable.arity f)
+             (Int64.logxor (Truthtable.bits f) (Int64.shift_left 1L bit)));
+        Canon.digest a <> Canon.digest b);
+  ]
+
+let test_canon_format_and_determinism () =
+  let nl, _, _, _, _ = feedback_pair () in
+  let d = Canon.digest nl in
+  Alcotest.(check int) "32 hex chars" 32 (String.length d);
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "hex digit" true
+        ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+    d;
+  Alcotest.(check string) "deterministic" d (Canon.digest nl);
+  (* the circuit's own name does not participate *)
+  Netlist.set_name nl "something-else";
+  Alcotest.(check string) "name-independent" d (Canon.digest nl)
+
+let test_canon_suite_distinct () =
+  (* every Table-1 circuit digests distinctly: the serve-layer result
+     cache can never cross-serve another circuit's labels *)
+  let digests =
+    List.map
+      (fun spec ->
+        (spec.Workloads.Suite.name,
+         Canon.digest (Workloads.Suite.build spec)))
+      Workloads.Suite.table1
+  in
+  List.iteri
+    (fun i (na, da) ->
+      List.iteri
+        (fun j (nb, db) ->
+          if i < j && da = db then
+            Alcotest.failf "suite circuits %s and %s collide (%s)" na nb da)
+        digests)
+    digests
+
 let () =
   Alcotest.run "circuit"
     [
@@ -423,4 +574,10 @@ let () =
           Alcotest.test_case "combinational" `Quick test_verilog_comb_no_clock;
           Alcotest.test_case "sanitize" `Quick test_verilog_sanitize;
         ] );
+      ( "canon",
+        Alcotest.test_case "format and determinism" `Quick
+          test_canon_format_and_determinism
+        :: Alcotest.test_case "table1 pairwise distinct" `Quick
+             test_canon_suite_distinct
+        :: List.map QCheck_alcotest.to_alcotest qcheck_canon );
     ]

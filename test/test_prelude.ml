@@ -226,6 +226,78 @@ let test_timer () =
   let (), dc = Timer.time_cpu (fun () -> ()) in
   Alcotest.(check bool) "non-negative cpu" true (dc >= 0.0)
 
+(* ---------------------------------------------------------------- *)
+(* Bqueue: the bounded MPMC queue behind the serve worker pool       *)
+(* ---------------------------------------------------------------- *)
+
+let test_bqueue_basic () =
+  let q = Prelude.Bqueue.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (Prelude.Bqueue.capacity q);
+  Alcotest.(check bool) "push 1" true (Prelude.Bqueue.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Prelude.Bqueue.try_push q 2);
+  Alcotest.(check bool) "full rejects" false (Prelude.Bqueue.try_push q 3);
+  Alcotest.(check int) "length" 2 (Prelude.Bqueue.length q);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Prelude.Bqueue.pop q);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Prelude.Bqueue.pop q);
+  Alcotest.(check bool) "room again" true (Prelude.Bqueue.try_push q 4);
+  Prelude.Bqueue.close q;
+  Alcotest.(check bool) "closed rejects" false (Prelude.Bqueue.try_push q 5);
+  Alcotest.(check (option int)) "drains after close" (Some 4)
+    (Prelude.Bqueue.pop q);
+  Alcotest.(check (option int)) "then empty" None (Prelude.Bqueue.pop q);
+  Alcotest.(check bool) "is_closed" true (Prelude.Bqueue.is_closed q);
+  (* zero capacity: the always-shed configuration *)
+  let z = Prelude.Bqueue.create ~capacity:0 in
+  Alcotest.(check bool) "zero capacity rejects" false
+    (Prelude.Bqueue.try_push z 1);
+  Alcotest.check
+    (Alcotest.testable (fun fmt -> Format.fprintf fmt "%b") ( = ))
+    "negative capacity raises" true
+    (try
+       ignore (Prelude.Bqueue.create ~capacity:(-1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_bqueue_concurrent () =
+  (* N producers x M consumers: every pushed element is popped exactly
+     once, consumers unblock and exit on close *)
+  let q = Prelude.Bqueue.create ~capacity:4 in
+  let producers, consumers, per = (3, 3, 200) in
+  let popped = Array.init consumers (fun _ -> ref []) in
+  let cs =
+    Array.init consumers (fun c ->
+        Domain.spawn (fun () ->
+            let rec go () =
+              match Prelude.Bqueue.pop q with
+              | Some v ->
+                  popped.(c) := v :: !(popped.(c));
+                  go ()
+              | None -> ()
+            in
+            go ()))
+  in
+  let ps =
+    Array.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              let v = (p * per) + i in
+              (* spin until the bounded queue has room *)
+              while not (Prelude.Bqueue.try_push q v) do
+                Domain.cpu_relax ()
+              done
+            done))
+  in
+  Array.iter Domain.join ps;
+  Prelude.Bqueue.close q;
+  Array.iter Domain.join cs;
+  let all =
+    Array.to_list popped |> List.concat_map (fun r -> !r) |> List.sort compare
+  in
+  Alcotest.(check int) "element count" (producers * per) (List.length all);
+  Alcotest.(check (list int)) "each element exactly once"
+    (List.init (producers * per) Fun.id)
+    all
+
 let () =
   Alcotest.run "prelude"
     [
@@ -258,4 +330,9 @@ let () =
           Alcotest.test_case "padding" `Quick test_table_pads_short_rows;
         ] );
       ("timer", [ Alcotest.test_case "timing" `Quick test_timer ]);
+      ( "bqueue",
+        [
+          Alcotest.test_case "basic" `Quick test_bqueue_basic;
+          Alcotest.test_case "concurrent" `Quick test_bqueue_concurrent;
+        ] );
     ]

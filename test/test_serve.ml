@@ -94,13 +94,15 @@ let series_value body name =
 (* Server lifecycle                                                 *)
 (* ---------------------------------------------------------------- *)
 
-let with_server f =
+let with_server ?workers ?queue_depth ?cache_entries f =
   Obs.set_enabled true;
   Obs.reset ();
   (* keep per-request access-log lines out of the test output; the
      records still reach the in-memory ring and the request ring *)
   Obs.Log.to_null ();
-  let server = Serve.Server.create ~port:0 () in
+  let server =
+    Serve.Server.create ~port:0 ?workers ?queue_depth ?cache_entries ()
+  in
   let srv = Domain.spawn (fun () -> Serve.Server.run server) in
   Fun.protect
     ~finally:(fun () ->
@@ -119,7 +121,7 @@ let map_body ~circuit ~algo =
 (* ---------------------------------------------------------------- *)
 
 let test_concurrent_map () =
-  with_server (fun port ->
+  with_server ~workers:4 (fun port ->
       (* Expected bodies: a direct [Synth.run] rendered through the
          same [result_json] the server uses.  Computed before any
          request is in flight — the pipeline is process-global and the
@@ -171,7 +173,195 @@ let test_concurrent_map () =
       Alcotest.(check int) "unknown route" 404 status;
       let status, body = http ~port ~meth:"GET" ~path:"/healthz" () in
       Alcotest.(check int) "alive after errors" 200 status;
-      Alcotest.(check string) "healthz body" "ok\n" body)
+      match Obs.Json.of_string body with
+      | Error e -> Alcotest.failf "healthz not JSON: %s" e
+      | Ok doc ->
+          Alcotest.(check bool) "healthz status ok" true
+            (Obs.Json.member "status" doc = Some (Obs.Json.Str "ok"));
+          List.iter
+            (fun field ->
+              Alcotest.(check bool) ("healthz has " ^ field) true
+                (match Obs.Json.member field doc with
+                | Some (Obs.Json.Int _) -> true
+                | _ -> false))
+            [
+              "workers"; "workers_busy"; "queue_depth"; "queue_capacity";
+              "cache_entries"; "cache_capacity"; "shed_total";
+            ])
+
+(* ---------------------------------------------------------------- *)
+(* Byte-identity across worker counts: the /map document must not    *)
+(* depend on how many domains serve it, nor on hit vs miss           *)
+(* ---------------------------------------------------------------- *)
+
+let test_workers_invariance () =
+  let expected =
+    let spec = Option.get (Workloads.Suite.find "bbara") in
+    let nl = Workloads.Suite.build spec in
+    let options = Turbosyn.Synth.default_options ~k:5 () in
+    let r = Turbosyn.Synth.run ~options `Turbomap nl in
+    Obs.Json.to_string (Serve.Server.result_json ~circuit:"bbara" ~k:5 r)
+    ^ "\n"
+  in
+  List.iter
+    (fun workers ->
+      with_server ~workers (fun port ->
+          (* miss then hit: both must equal the direct run *)
+          List.iter
+            (fun attempt ->
+              let status, hdrs, body =
+                http_full ~port ~meth:"POST" ~path:"/map"
+                  ~body:(map_body ~circuit:"bbara" ~algo:"turbomap")
+                  ()
+              in
+              Alcotest.(check int)
+                (Printf.sprintf "workers=%d %s status" workers attempt)
+                200 status;
+              Alcotest.(check string)
+                (Printf.sprintf "workers=%d %s body" workers attempt)
+                expected body;
+              Alcotest.(check bool)
+                (Printf.sprintf "workers=%d %s x-cache" workers attempt)
+                true
+                (List.assoc_opt "x-cache" hdrs = Some attempt))
+            [ "miss"; "hit" ]))
+    [ 1; 2; 4 ]
+
+(* ---------------------------------------------------------------- *)
+(* Result cache: X-Cache markers, single-flight dedup, bypass        *)
+(* ---------------------------------------------------------------- *)
+
+let test_cache_single_flight () =
+  with_server ~workers:4 (fun port ->
+      (* concurrent identical submissions: the pipeline runs once; one
+         leader reports miss, joiners and later requests report hit,
+         and every body is byte-identical *)
+      let jobs = 6 in
+      let replies =
+        Array.init jobs (fun _ ->
+            Domain.spawn (fun () ->
+                http_full ~port ~meth:"POST" ~path:"/map"
+                  ~body:(map_body ~circuit:"dk16" ~algo:"turbomap")
+                  ()))
+        |> Array.map Domain.join
+      in
+      let bodies =
+        Array.map (fun (_, _, body) -> body) replies |> Array.to_list
+      in
+      Array.iter
+        (fun (status, _, _) ->
+          Alcotest.(check int) "single-flight status" 200 status)
+        replies;
+      List.iter
+        (fun b ->
+          Alcotest.(check string) "single-flight bodies identical"
+            (List.hd bodies) b)
+        bodies;
+      let misses =
+        Array.to_list replies
+        |> List.filter (fun (_, hdrs, _) ->
+               List.assoc_opt "x-cache" hdrs = Some "miss")
+        |> List.length
+      in
+      Alcotest.(check int) "exactly one miss per key" 1 misses;
+      Alcotest.(check int) "everyone else hit" (jobs - 1)
+        (Array.to_list replies
+        |> List.filter (fun (_, hdrs, _) ->
+               List.assoc_opt "x-cache" hdrs = Some "hit")
+        |> List.length);
+      (* a different k is a different key: miss again *)
+      let _, hdrs, _ =
+        http_full ~port ~meth:"GET"
+          ~path:"/map?circuit=dk16&k=4&algo=turbomap" ()
+      in
+      Alcotest.(check (option string)) "distinct key misses" (Some "miss")
+        (List.assoc_opt "x-cache" hdrs);
+      (* the hit outcome is visible in the request ring as "cached" *)
+      let _, _, ring = http_full ~port ~meth:"GET" ~path:"/debug/requests" () in
+      match Obs.Json.of_string ring with
+      | Error e -> Alcotest.failf "/debug/requests: %s" e
+      | Ok doc ->
+          let requests =
+            match Obs.Json.member "requests" doc with
+            | Some (Obs.Json.List rs) -> rs
+            | _ -> Alcotest.fail "no requests array"
+          in
+          Alcotest.(check bool) "ring has cached outcome" true
+            (List.exists
+               (fun r ->
+                 Obs.Json.member "outcome" r
+                 = Some (Obs.Json.Str "cached"))
+               requests))
+
+let test_cache_bypass () =
+  with_server ~cache_entries:0 (fun port ->
+      List.iter
+        (fun _ ->
+          let status, hdrs, _ =
+            http_full ~port ~meth:"POST" ~path:"/map"
+              ~body:(map_body ~circuit:"bbara" ~algo:"turbomap")
+              ()
+          in
+          Alcotest.(check int) "bypass status" 200 status;
+          Alcotest.(check (option string)) "cache disabled bypasses"
+            (Some "bypass")
+            (List.assoc_opt "x-cache" hdrs))
+        [ (); () ])
+
+(* ---------------------------------------------------------------- *)
+(* Admission control: queue_depth 0 sheds every /map with 429 +      *)
+(* Retry-After while the monitoring routes stay answerable           *)
+(* ---------------------------------------------------------------- *)
+
+let test_shed () =
+  with_server ~queue_depth:0 (fun port ->
+      let status, hdrs, _ =
+        http_full ~port ~meth:"POST" ~path:"/map"
+          ~headers:[ ("X-Request-Id", "itest-shed-1") ]
+          ~body:(map_body ~circuit:"bbara" ~algo:"turbomap")
+          ()
+      in
+      Alcotest.(check int) "shed status" 429 status;
+      Alcotest.(check bool) "retry-after present" true
+        (List.assoc_opt "retry-after" hdrs <> None);
+      Alcotest.(check (option string)) "shed echoes id"
+        (Some "itest-shed-1")
+        (List.assoc_opt "x-request-id" hdrs);
+      (* monitoring survives overload *)
+      let status, body = http ~port ~meth:"GET" ~path:"/healthz" () in
+      Alcotest.(check int) "healthz alive under shed" 200 status;
+      (match Obs.Json.of_string body with
+      | Ok doc ->
+          Alcotest.(check bool) "healthz counts the shed" true
+            (match Obs.Json.member "shed_total" doc with
+            | Some (Obs.Json.Int n) -> n >= 1
+            | _ -> false)
+      | Error e -> Alcotest.failf "healthz not JSON: %s" e);
+      let status, scrape = http ~port ~meth:"GET" ~path:"/metrics" () in
+      Alcotest.(check int) "metrics alive under shed" 200 status;
+      (match series_value scrape "turbosyn_serve_shed_total" with
+      | Some v -> Alcotest.(check bool) "shed counter nonzero" true (v >= 1.)
+      | None -> Alcotest.fail "turbosyn_serve_shed_total missing");
+      (* the ring records the shed with its outcome *)
+      let _, _, ring = http_full ~port ~meth:"GET" ~path:"/debug/requests" () in
+      match Obs.Json.of_string ring with
+      | Error e -> Alcotest.failf "/debug/requests: %s" e
+      | Ok doc -> (
+          let requests =
+            match Obs.Json.member "requests" doc with
+            | Some (Obs.Json.List rs) -> rs
+            | _ -> Alcotest.fail "no requests array"
+          in
+          match
+            List.find_opt
+              (fun r ->
+                Obs.Json.member "id" r = Some (Obs.Json.Str "itest-shed-1"))
+              requests
+          with
+          | None -> Alcotest.fail "shed request missing from ring"
+          | Some r ->
+              Alcotest.(check bool) "shed outcome" true
+                (Obs.Json.member "outcome" r = Some (Obs.Json.Str "shed"))))
 
 (* ---------------------------------------------------------------- *)
 (* Prometheus scrape: valid exposition, live histograms, monotone     *)
@@ -208,6 +398,41 @@ let test_scrape () =
           "turbosyn_synth_e2e_seconds";
           "turbosyn_serve_request_seconds";
         ];
+      (* serve v2 families: cache counters, pool/cache gauges, and the
+         labeled per-route/status request family *)
+      List.iter
+        (fun series ->
+          match series_value scrape1 series with
+          | Some _ -> ()
+          | None -> Alcotest.failf "series %s missing from scrape" series)
+        [
+          "turbosyn_serve_cache_hits_total";
+          "turbosyn_serve_cache_misses_total";
+          "turbosyn_serve_cache_joins_total";
+          "turbosyn_serve_shed_total";
+          "turbosyn_serve_queue_depth";
+          "turbosyn_serve_workers";
+          "turbosyn_serve_workers_busy";
+          "turbosyn_serve_cache_size";
+          "turbosyn_serve_cache_capacity";
+        ];
+      (match series_value scrape1 "turbosyn_serve_cache_misses_total" with
+      | Some v -> Alcotest.(check bool) "miss counted" true (v >= 1.)
+      | None -> Alcotest.fail "cache_misses missing");
+      (match series_value scrape1 "turbosyn_serve_workers" with
+      | Some v -> Alcotest.(check bool) "workers gauge live" true (v >= 1.)
+      | None -> Alcotest.fail "workers gauge missing");
+      (match
+         series_value scrape1
+           "turbosyn_serve_requests{route=\"map\",status=\"200\"}"
+       with
+      | Some v -> Alcotest.(check bool) "labeled requests" true (v >= 1.)
+      | None -> Alcotest.fail "labeled serve_requests series missing");
+      (* the flat rendering of the same underlying counter is excluded:
+         one registry counter, one exposition series *)
+      Alcotest.(check (option (float 0.)))
+        "flat request counter suppressed" None
+        (series_value scrape1 "turbosyn_serve_requests_map_200_total");
       (* a second scrape after more traffic: every counter series is
          still present and has not decreased *)
       let status, _ =
@@ -261,9 +486,9 @@ let test_request_id_extraction () =
     [ ""; "has space"; "semi;colon"; String.make 80 'a' ];
   Alcotest.(check bool) "generated without headers" true
     (String.length (Serve.Server.request_id_of_headers []) = 16);
-  Alcotest.(check string) "outcomes" "served,rejected,failed"
+  Alcotest.(check string) "outcomes" "served,rejected,shed,failed"
     (String.concat ","
-       (List.map Serve.Server.outcome_of_status [ 200; 400; 500 ]))
+       (List.map Serve.Server.outcome_of_status [ 200; 400; 429; 500 ]))
 
 let test_request_tracing () =
   with_server (fun port ->
@@ -408,6 +633,12 @@ let () =
         [
           Alcotest.test_case "concurrent mapping requests" `Quick
             test_concurrent_map;
+          Alcotest.test_case "byte-identity across worker counts" `Quick
+            test_workers_invariance;
+          Alcotest.test_case "cache single-flight" `Quick
+            test_cache_single_flight;
+          Alcotest.test_case "cache bypass" `Quick test_cache_bypass;
+          Alcotest.test_case "admission control sheds" `Quick test_shed;
           Alcotest.test_case "prometheus scrape" `Quick test_scrape;
           Alcotest.test_case "request id extraction" `Quick
             test_request_id_extraction;
