@@ -588,14 +588,20 @@ let stats_diff base_file cur_file =
 (*              first miss the LRU serves, X-Cache proves it;          *)
 (*   mix      — N workers, cache on, 50% hot key + cold keys spread    *)
 (*              over circuits x k: the measured-hit-rate scenario;     *)
+(*   mix-prof — the same mix with the Obs.Prof sampler attached and an *)
+(*              SLO configured: its p99 against plain mix gates the    *)
+(*              profiler's overhead budget, and its live /debug/slo +  *)
+(*              /metrics answers gate burn-rate reproducibility;       *)
 (*   overload — one worker, queue depth 1, cache off, many clients:    *)
 (*              admission control must shed with 429 + Retry-After     *)
 (*              (never 5xx) while /healthz stays answerable.           *)
-(* Emits a turbosyn-serve-perf/1 document (--out, default              *)
+(* Emits a turbosyn-serve-perf/2 document (--out, default              *)
 (* BENCH_serve_perf.json) and exits nonzero when a gate fails: any     *)
 (* 5xx (exit 3); no cache hits in hot/mix, no sheds or a missing       *)
-(* Retry-After in overload, an invalid /metrics scrape, or — on        *)
-(* multicore hosts — hot throughput below 3x baseline (exit 2).        *)
+(* Retry-After in overload, an invalid /metrics scrape, a profiled-mix *)
+(* p99 over 1.03x plain mix + 50ms, a dead /debug/prof, an SLO burn    *)
+(* rate that fails to recompute from the scrape, or — on multicore     *)
+(* hosts — hot throughput below 3x baseline (exit 2).                  *)
 (* ------------------------------------------------------------------ *)
 
 let http_request ~port ~meth ~path ?(headers = []) ~body () =
@@ -725,11 +731,13 @@ type scenario_report = {
   sr_scrape_ok : bool; (* post-load /metrics passed promlint *)
 }
 
-let run_scenario ~name ~workers ~queue_depth ~cache_entries ~client_jobs
-    ~total ~body_of () =
+let run_scenario ?(slos = []) ?(profile = false)
+    ?(after = fun ~port:(_ : int) -> ()) ~name ~workers ~queue_depth
+    ~cache_entries ~client_jobs ~total ~body_of () =
   Obs.reset ();
   let server =
-    Serve.Server.create ~port:0 ~workers ~queue_depth ~cache_entries ()
+    Serve.Server.create ~port:0 ~workers ~queue_depth ~cache_entries ~slos
+      ~profile ()
   in
   let port = Serve.Server.port server in
   let srv = Domain.spawn (fun () -> Serve.Server.run server) in
@@ -792,6 +800,9 @@ let run_scenario ~name ~workers ~queue_depth ~cache_entries ~client_jobs
     | Ok () -> true
     | Error _ -> false
   in
+  (* scenario-specific probes against the still-running server (e.g.
+     the SLO burn-rate reproduction, which needs a live /debug/slo) *)
+  after ~port;
   Serve.Server.stop server;
   Domain.join srv;
   let obs = List.map snd results in
@@ -888,6 +899,115 @@ let scenario_json sr =
       ("scrape_ok", Bool sr.sr_scrape_ok);
     ]
 
+(* One /debug/slo latency verdict recomputed from a /metrics scrape.
+   Fetch order matters: /debug/slo first, then /metrics, with no /map
+   request in between — GETs only touch their own route histograms, so
+   the map latency distribution is frozen across the two fetches.  The
+   verdict publishes good_upper_seconds (the exact bucket boundary it
+   evaluated at); [good] must equal the cumulative _bucket count at the
+   largest rendered le <= that boundary, [count] the _count line, and
+   the burn rate must recompute to the digit (doc/PROFILING.md §SLOs). *)
+type slo_repro = {
+  sl_burn : float; (* as reported by /debug/slo *)
+  sl_burn_re : float; (* recomputed from the scrape *)
+  sl_good : int;
+  sl_good_re : int;
+  sl_count : int;
+  sl_count_re : int;
+}
+
+let slo_repro_ok r =
+  Float.abs (r.sl_burn -. r.sl_burn_re) <= 1e-9
+  && r.sl_good = r.sl_good_re
+  && r.sl_count = r.sl_count_re
+
+let slo_reproduction ~port =
+  let slo_body = resp_body (http_get ~port ~path:"/debug/slo") in
+  let metrics = resp_body (http_get ~port ~path:"/metrics") in
+  let ( let* ) = Option.bind in
+  let* doc = Result.to_option (Obs.Json.of_string slo_body) in
+  let* objectives = Obs.Json.member "objectives" doc in
+  let* obj =
+    match objectives with Obs.Json.List (o :: _) -> Some o | _ -> None
+  in
+  let* lat = Obs.Json.member "latency" obj in
+  let num k =
+    match Obs.Json.member k lat with
+    | Some (Obs.Json.Float v) -> Some v
+    | Some (Obs.Json.Int v) -> Some (float_of_int v)
+    | _ -> None
+  in
+  let* hist =
+    match Obs.Json.member "histogram" obj with
+    | Some (Obs.Json.Str h) -> Some h
+    | _ -> None
+  in
+  let* q = num "quantile" in
+  let* upper = num "good_upper_seconds" in
+  let* good = num "good" in
+  let* count = num "count" in
+  let* burn = num "burn_rate" in
+  (* the metric as the renderer spells it: turbosyn_ prefix, dots
+     sanitized to underscores *)
+  let metric =
+    "turbosyn_" ^ String.map (fun c -> if c = '.' then '_' else c) hist
+  in
+  let bucket_prefix = metric ^ "_bucket{le=\"" in
+  let count_prefix = metric ^ "_count " in
+  let good_re = ref 0 and best_le = ref neg_infinity in
+  let count_re = ref (-1) in
+  List.iter
+    (fun line ->
+      if String.starts_with ~prefix:bucket_prefix line then begin
+        let rest =
+          String.sub line
+            (String.length bucket_prefix)
+            (String.length line - String.length bucket_prefix)
+        in
+        match String.index_opt rest '"' with
+        | Some qi -> (
+            let le = float_of_string_opt (String.sub rest 0 qi) in
+            let v =
+              String.sub rest (qi + 2) (String.length rest - qi - 2)
+              |> String.trim |> float_of_string_opt
+            in
+            match (le, v) with
+            | Some le, Some v
+              when le <= (upper *. (1. +. 1e-9)) +. 1e-12 && le > !best_le ->
+                (* cumulative series: the largest boundary at or below
+                   good_upper carries exactly the "good" count *)
+                best_le := le;
+                good_re := int_of_float v
+            | _ -> ())
+        | None -> ()
+      end
+      else if String.starts_with ~prefix:count_prefix line then
+        match
+          float_of_string_opt
+            (String.trim
+               (String.sub line
+                  (String.length count_prefix)
+                  (String.length line - String.length count_prefix)))
+        with
+        | Some v -> count_re := int_of_float v
+        | None -> ())
+    (String.split_on_char '\n' metrics);
+  let burn_re =
+    if !count_re <= 0 then 0.
+    else
+      float_of_int (!count_re - !good_re)
+      /. float_of_int !count_re /. (1. -. q)
+  in
+  Some
+    {
+      sl_burn = burn;
+      sl_burn_re = burn_re;
+      sl_good = int_of_float good;
+      sl_good_re = !good_re;
+      sl_count = int_of_float count;
+      sl_count_re = !count_re;
+    }
+
 let serve_load ~jobs ~quick ~out () =
   Obs.set_enabled true;
   (* per-request access logs would drown the report; keep the threshold
@@ -932,6 +1052,38 @@ let serve_load ~jobs ~quick ~out () =
       ~body_of:(fun g -> if g mod 2 = 0 then hot_body else cold_body (g / 2))
       ()
   in
+  (* mix again, this time with the sampling profiler attached and SLOs
+     configured: same request mix, fresh server and cache, so its p99
+     against plain mix measures the profiler's end-to-end overhead
+     (doc/PROFILING.md §Overhead budget), and its live /debug endpoints
+     feed the burn-rate reproduction and profiler-liveness gates *)
+  let slos =
+    match Obs.Slo.parse_all [ "route=/map,p99=250ms,err=0.1%" ] with
+    | Ok o -> o
+    | Error e -> failwith e
+  in
+  let slo_check = ref None in
+  let prof_endpoint_ok = ref false in
+  let mix_prof =
+    (* the scenario name seeds client request ids, which must stay
+       within the X-Request-Id alphabet ([A-Za-z0-9_-]) to round-trip *)
+    run_scenario ~name:"mix-prof" ~workers:auto_workers ~queue_depth:64
+      ~cache_entries:256 ~client_jobs ~slos ~profile:true
+      ~total:(if quick then 24 else 64)
+      ~body_of:(fun g -> if g mod 2 = 0 then hot_body else cold_body (g / 2))
+      ~after:(fun ~port ->
+        let prof = http_get ~port ~path:"/debug/prof" in
+        prof_endpoint_ok :=
+          resp_status prof = 200
+          && (match Obs.Json.of_string (resp_body prof) with
+             | Ok doc ->
+                 Obs.Json.member "attached" doc = Some (Obs.Json.Bool true)
+             | Error _ -> false)
+          && resp_status (http_get ~port ~path:"/debug/prof?format=folded")
+             = 200;
+        slo_check := slo_reproduction ~port)
+      ()
+  in
   let overload =
     run_scenario ~name:"overload" ~workers:1 ~queue_depth:1 ~cache_entries:0
       ~client_jobs:(max client_jobs 8)
@@ -939,8 +1091,15 @@ let serve_load ~jobs ~quick ~out () =
       ~body_of:(fun _ -> hot_body)
       ()
   in
-  let scenarios = [ baseline; hot; mix; overload ] in
+  let scenarios = [ baseline; hot; mix; mix_prof; overload ] in
   let speedup = hot.sr_throughput /. Float.max 1e-9 baseline.sr_throughput in
+  (* profiler overhead: p99 of the profiled mix vs the plain mix.  The
+     3% floor is the budget; the 50ms absolute slack absorbs scheduler
+     noise on the small per-scenario sample counts *)
+  let overhead_pct =
+    ((mix_prof.sr_p99 /. Float.max 1e-9 mix.sr_p99) -. 1.) *. 100.
+  in
+  let overhead_ok = mix_prof.sr_p99 <= (mix.sr_p99 *. 1.03) +. 0.050 in
   let gates =
     [
       ( "no_5xx",
@@ -955,19 +1114,45 @@ let serve_load ~jobs ~quick ~out () =
       ("healthz_under_overload", overload.sr_healthz_ok);
       ("scrapes_valid", List.for_all (fun s -> s.sr_scrape_ok) scenarios);
       ("hot_speedup_3x", (not multicore) || speedup >= 3.0);
+      ("profiler_overhead_3pct", overhead_ok);
+      ("prof_endpoint_ok", !prof_endpoint_ok);
+      ( "slo_burn_reproduced",
+        match !slo_check with Some r -> slo_repro_ok r | None -> false );
     ]
   in
   let doc =
     let open Obs.Json in
     Obj
       [
-        ("schema", Str "turbosyn-serve-perf/1");
+        ("schema", Str "turbosyn-serve-perf/2");
         ("quick", Bool quick);
         ("host", Obj [ ("recommended_domains", Int host_domains) ]);
         ("baseline_throughput_rps", Float baseline.sr_throughput);
         ("hot_speedup_vs_baseline", Float speedup);
         ("hot_speedup_floor", Float 3.0);
         ("hot_speedup_gated", Bool multicore);
+        ( "profiler",
+          Obj
+            [
+              ("p99_off_seconds", Float mix.sr_p99);
+              ("p99_on_seconds", Float mix_prof.sr_p99);
+              ("overhead_p99_pct", Float overhead_pct);
+              ("overhead_floor_pct", Float 3.0);
+            ] );
+        ( "slo",
+          match !slo_check with
+          | None -> Null
+          | Some r ->
+              Obj
+                [
+                  ("burn_rate_reported", Float r.sl_burn);
+                  ("burn_rate_recomputed", Float r.sl_burn_re);
+                  ("good_reported", Int r.sl_good);
+                  ("good_recomputed", Int r.sl_good_re);
+                  ("count_reported", Int r.sl_count);
+                  ("count_recomputed", Int r.sl_count_re);
+                  ("reproduced", Bool (slo_repro_ok r));
+                ] );
         ("scenarios", List (List.map scenario_json scenarios));
         ( "gates",
           Obj
@@ -981,6 +1166,18 @@ let serve_load ~jobs ~quick ~out () =
   close_out oc;
   Format.printf "hot speedup vs baseline: %.1fx (floor 3.0x, %s)@." speedup
     (if multicore then "gated" else "not gated: single-core host");
+  Format.printf
+    "profiler p99 overhead on mix: %+.1f%% (%.1fms off, %.1fms on; floor \
+     3%% + 50ms slack)@."
+    overhead_pct (mix.sr_p99 *. 1e3) (mix_prof.sr_p99 *. 1e3);
+  (match !slo_check with
+  | Some r ->
+      Format.printf
+        "slo burn rate: reported %.6f, recomputed from scrape %.6f \
+         (good %d/%d vs %d/%d) — %s@."
+        r.sl_burn r.sl_burn_re r.sl_good r.sl_count r.sl_good_re r.sl_count_re
+        (if slo_repro_ok r then "reproduced" else "MISMATCH")
+  | None -> Format.printf "slo burn rate: /debug/slo answer unusable@.");
   Format.printf "wrote %s@." out;
   List.iter
     (fun (n, ok) -> if not ok then Format.printf "GATE FAILED: %s@." n)
@@ -993,7 +1190,7 @@ let serve_load ~jobs ~quick ~out () =
 (* Perf mode: (a) the worklist+arena label engine vs the seed sweep    *)
 (* engine on the default TurboSYN flow, and (b) the intra-phi parallel *)
 (* scheduler (--jobs N lanes) vs the sequential engine at phi*.  Emits *)
-(* BENCH_perf.json (schema turbosyn-perf/3, see doc/PERF.md) and exits *)
+(* BENCH_perf.json (schema turbosyn-perf/4, see doc/PERF.md) and exits *)
 (* nonzero when the worklist engine falls below the 2x speedup floor,  *)
 (* when any engine/lane configuration disagrees on phi, labels,        *)
 (* provenance or audit documents (the hard jobs-invariance gate of     *)
@@ -1003,6 +1200,10 @@ let serve_load ~jobs ~quick ~out () =
 (* (enumeration / memo / flow layers, doc/PERF.md) and the host's      *)
 (* recommended_domains, since the intra_phi columns are wall-clock     *)
 (* measurements that depend on the host's core count.                  *)
+(* Schema v4 additions: profile_identical — byte-identity of the audit *)
+(* document with the Obs.Prof sampler attached, for jobs 1/2/4 on the  *)
+(* quick subset (doc/PROFILING.md §Byte identity); a disagreement is   *)
+(* exit 1 like every other identity gate.                              *)
 (* ------------------------------------------------------------------ *)
 
 let perf_quick_set = [ "bbara"; "s298" ]
@@ -1145,9 +1346,13 @@ let perf ~quick ~jobs ~out () =
         let intra_speedup = t_j1 /. Float.max 1e-9 t_jn in
         intra_speedups := intra_speedup :: !intra_speedups;
         (* full-flow jobs-invariance on the quick subset: whole TurboSYN
-           runs under 1 and N lanes must yield byte-equal audit documents *)
-        let audit_equal =
-          if not (List.mem name perf_quick_set) then None
+           runs under 1 and N lanes must yield byte-equal audit documents;
+           and the same runs with the sampling profiler attached must
+           yield the SAME documents (doc/PROFILING.md §Byte identity —
+           the sampler only reads live span state, this gates any
+           accidental write-back) for jobs 1, 2 and 4 *)
+        let audit_equal, profile_equal =
+          if not (List.mem name perf_quick_set) then (None, None)
           else begin
             Format.eprintf "[perf] %s audit jobs-invariance@." name;
             let doc_of jobs' =
@@ -1155,20 +1360,65 @@ let perf ~quick ~jobs ~out () =
               let r = Turbosyn.Synth.run ~options `Turbosyn nl in
               Audit.build ~source:nl ~options r
             in
+            let profiled_doc_of jobs' =
+              Obs.set_enabled true;
+              Obs.reset ();
+              Obs.Prof.reset ();
+              (* a tick well under the run time, so samples really land *)
+              Obs.Prof.attach ~interval:0.002 ();
+              let finish () =
+                Obs.Prof.detach ();
+                Obs.set_enabled false
+              in
+              match doc_of jobs' with
+              | doc ->
+                  finish ();
+                  doc
+              | exception e ->
+                  finish ();
+                  raise e
+            in
             match (doc_of 1, doc_of lanes) with
-            | Ok a, Ok b -> (
-                match Audit.equal_documents a b with
-                | Ok () -> Some true
-                | Error e ->
-                    Format.eprintf "[perf] %s audit docs differ: %s@." name e;
-                    Some false)
+            | Ok a, Ok b ->
+                let jobs_ok =
+                  match Audit.equal_documents a b with
+                  | Ok () -> true
+                  | Error e ->
+                      Format.eprintf "[perf] %s audit docs differ: %s@." name
+                        e;
+                      false
+                in
+                (* each profiled document is compared against the
+                   unprofiled jobs=1 document: jobs-invariance is gated
+                   just above, so it stands in for every lane count *)
+                let check j =
+                  Format.eprintf "[perf] %s profile-identity jobs=%d@." name j;
+                  match profiled_doc_of j with
+                  | Ok p -> (
+                      match Audit.equal_documents a p with
+                      | Ok () -> true
+                      | Error e ->
+                          Format.eprintf
+                            "[perf] %s profiled audit differs (jobs=%d): %s@."
+                            name j e;
+                          false)
+                  | Error e ->
+                      Format.eprintf
+                        "[perf] %s profiled audit build failed (jobs=%d): \
+                         %s@."
+                        name j e;
+                      false
+                in
+                (Some jobs_ok, Some (List.for_all check [ 1; 2; 4 ]))
             | Error e, _ | _, Error e ->
                 Format.eprintf "[perf] %s audit build failed: %s@." name e;
-                Some false
+                (Some false, Some false)
           end
         in
         let identical =
-          phi_equal && labels_equal && intra_equal && audit_equal <> Some false
+          phi_equal && labels_equal && intra_equal
+          && audit_equal <> Some false
+          && profile_equal <> Some false
         in
         if not identical then all_ok := false;
         let speedup = t_old /. Float.max 1e-9 t_new in
@@ -1223,10 +1473,13 @@ let perf ~quick ~jobs ~out () =
                         core count (see recommended_domains)" );
                  ] );
            ]
+          @ (match audit_equal with
+            | None -> []
+            | Some b -> [ ("audit_identical", Obs.Json.Bool b) ])
           @
-          match audit_equal with
+          match profile_equal with
           | None -> []
-          | Some b -> [ ("audit_identical", Obs.Json.Bool b) ]))
+          | Some b -> [ ("profile_identical", Obs.Json.Bool b) ]))
       names
   in
   let g = geomean !speedups in
@@ -1241,7 +1494,7 @@ let perf ~quick ~jobs ~out () =
   let doc =
     Obs.Json.Obj
       [
-        ("schema", Obs.Json.Str "turbosyn-perf/3");
+        ("schema", Obs.Json.Str "turbosyn-perf/4");
         ("k", Obs.Json.Int 5);
         ("jobs", Obs.Json.Int jobs);
         ("intra_phi_lanes", Obs.Json.Int lanes);

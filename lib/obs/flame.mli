@@ -13,6 +13,10 @@
     with self time clamped at zero, so the output stays well-formed
     (see [doc/OBSERVABILITY.md] §Flamegraphs). *)
 
+val clean_frame : string -> string
+(** Frame-name sanitization used throughout: [';'], [' '] and newlines
+    (structural in the folded format) replaced by ['_']. *)
+
 val fold_slices : Timeline.slice list -> (string * float) list
 (** Folded stacks: (frames joined with [';'], outermost first; self
     seconds), sorted by stack, zero-self stacks included.  Frame names

@@ -1,0 +1,99 @@
+(* Per-domain live span stacks for the sampling profiler (Obs.Prof).
+
+   Span only keeps aggregates; a wall-clock sampler needs to know which
+   spans are open RIGHT NOW on each domain.  While the profiler is
+   attached (State.profiling), Span.enter/exit push and pop the span
+   name on a small per-domain frame stack registered here; the tick
+   thread walks the registry and snapshots every stack.
+
+   Memory model: a stack is written only by its owning domain and read
+   racily by the sampler thread.  Frames are immutable strings and the
+   depth is an int, so every racy read observes a valid (if possibly
+   stale or momentarily inconsistent) stack — acceptable for statistical
+   sampling, and exactly why no signal machinery is needed
+   (doc/PROFILING.md §Sampling without signals).  The registry itself is
+   mutex-protected: domains register once, the sampler snapshots the
+   list per tick.
+
+   Pops match by name: [pop name] only removes the top frame when it
+   equals [name].  A profiler attached mid-span would otherwise pop
+   frames it never saw pushed and skew every later sample on that
+   domain; name-matched pops self-correct within one request. *)
+
+let capacity = 64
+
+type t = {
+  frames : string array; (* valid in [0, min depth capacity) *)
+  mutable depth : int; (* live frames; may exceed [capacity] (deep
+                          recursion of distinct spans — extra frames are
+                          counted but not recorded) *)
+  mutable route : string; (* serving context ("" outside a request) *)
+}
+
+let registry : t list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current () =
+  match Domain.DLS.get key with
+  | Some st -> st
+  | None ->
+      let st = { frames = Array.make capacity ""; depth = 0; route = "" } in
+      Mutex.lock registry_mutex;
+      registry := st :: !registry;
+      Mutex.unlock registry_mutex;
+      Domain.DLS.set key (Some st);
+      st
+
+let push name =
+  let st = current () in
+  if st.depth < capacity then st.frames.(st.depth) <- name;
+  st.depth <- st.depth + 1
+
+let pop name =
+  let st = current () in
+  if st.depth > 0 then
+    if st.depth > capacity then st.depth <- st.depth - 1
+    else if String.equal st.frames.(st.depth - 1) name then begin
+      st.depth <- st.depth - 1;
+      st.frames.(st.depth) <- ""
+    end
+
+let set_route route = (current ()).route <- route
+
+let with_route route f =
+  let st = current () in
+  let prev = st.route in
+  st.route <- route;
+  Fun.protect ~finally:(fun () -> st.route <- prev) f
+
+(* Sampler-side snapshot of one stack: (route, frames outermost-first),
+   or None when the stack is empty.  Reads race the owning domain; the
+   depth is clamped and re-checked so the result is always well-formed. *)
+let snapshot st =
+  let d = min st.depth capacity in
+  if d <= 0 then None
+  else begin
+    let frames = Array.sub st.frames 0 d in
+    (* a concurrent pop may have blanked a tail frame between the depth
+       read and the copy; drop empty frames rather than emit them *)
+    let frames = Array.to_list frames |> List.filter (fun f -> f <> "") in
+    match frames with [] -> None | fs -> Some (st.route, fs)
+  end
+
+let all () =
+  Mutex.lock registry_mutex;
+  let l = !registry in
+  Mutex.unlock registry_mutex;
+  l
+
+(* Called by Prof.attach while State.profiling is still false (owners
+   only write while it is true), so stale frames left by a detach that
+   happened mid-span are cleared before sampling starts. *)
+let clear_all () =
+  List.iter
+    (fun st ->
+      st.depth <- 0;
+      Array.fill st.frames 0 capacity "")
+    (all ())

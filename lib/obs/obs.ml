@@ -11,6 +11,8 @@ module Shard = Shard
 module Scope = Scope
 module Log = Log
 module Flame = Flame
+module Prof = Prof
+module Slo = Slo
 
 let set_enabled = State.set_enabled
 let enabled = State.enabled
@@ -23,6 +25,11 @@ let reset () =
           in flight (or a shard was not released); resetting now would race \
           worker domains and lose their pending merges"
          (Atomic.get State.active_shards));
+  if Atomic.get State.profiling then
+    invalid_arg
+      "Obs.reset: the sampling profiler is attached — its tick thread is \
+       concurrently reading live span state that the reset would clear \
+       under it; Prof.detach () first";
   Counter.reset_all ();
   Gauge.reset_all ();
   Histogram.reset_all ();

@@ -42,6 +42,8 @@ module Shard = Shard
 module Scope = Scope
 module Log = Log
 module Flame = Flame
+module Prof = Prof
+module Slo = Slo
 
 val set_enabled : bool -> unit
 (** Master switch for all collection ({!Counter}, {!Span}, {!Trace}).
@@ -64,4 +66,6 @@ val reset : unit -> unit
     yet released): a reset mid-parallel-phase would race worker domains
     and silently lose their un-merged observations, so it is rejected
     instead.  Finish the phase (or [Shard.release] leaked shards)
-    first. *)
+    first.  Likewise refused while the {!Prof} sampler is attached: its
+    tick thread reads live span state concurrently, so detach first
+    ([doc/PROFILING.md]). *)

@@ -16,8 +16,38 @@ type t = {
   id : string;
   shard : Shard.t;
   started : float;
+  (* Resource baselines, captured at create on the domain that will run
+     the work (create and close must happen on the same domain for the
+     GC deltas to be the domain's own — quick_stat is per-domain). *)
+  gc_at_open : Gc.stat;
+  cpu_at_open : float;
   mutable closed : bool;
 }
+
+(* Per-request resource deltas.  GC words are the opening domain's own
+   allocation (monotone counters, so deltas are non-negative and a
+   parent scope's delta bounds the sum of its sequential children's —
+   the additivity property qcheck exercises).  CPU seconds are
+   process-wide processor time (Prelude.Timer.cpu): exact when one
+   request runs alone, an upper bound under concurrent workers — an
+   honest queueing signal either way.  Queue wait is supplied by the
+   caller (the serve layer measures it from enqueue to dequeue). *)
+type resources = {
+  r_cpu_seconds : float;
+  r_minor_words : float;
+  r_promoted_words : float;
+  r_major_words : float;
+  r_queue_wait : float;
+}
+
+let zero_resources =
+  {
+    r_cpu_seconds = 0.;
+    r_minor_words = 0.;
+    r_promoted_words = 0.;
+    r_major_words = 0.;
+    r_queue_wait = 0.;
+  }
 
 type summary = {
   sc_id : string;
@@ -28,6 +58,7 @@ type summary = {
   sc_histograms : (string * Histogram.snapshot) list;
   sc_slices : Timeline.slice list;
   sc_dropped_slices : int;
+  sc_resources : resources;
 }
 
 (* Correlation ids: 16 lower-case hex chars (the shape of a traceparent
@@ -53,6 +84,8 @@ let create ?id () =
     id;
     shard = Shard.create ();
     started = Prelude.Timer.wall ();
+    gc_at_open = Gc.quick_stat ();
+    cpu_at_open = Prelude.Timer.cpu ();
     closed = false;
   }
 
@@ -63,10 +96,22 @@ let run t f =
   if t.closed then invalid_arg "Obs.Scope.run: scope already closed";
   Log.with_request_id t.id (fun () -> Shard.wrap t.shard f)
 
-let close t =
+let close ?(queue_wait = 0.) t =
   if t.closed then invalid_arg "Obs.Scope.close: scope already closed";
   t.closed <- true;
   let finished = Prelude.Timer.wall () in
+  let resources =
+    let gc1 = Gc.quick_stat () in
+    let pos f = Float.max 0. f in
+    {
+      r_cpu_seconds = pos (Prelude.Timer.cpu () -. t.cpu_at_open);
+      r_minor_words = pos (gc1.Gc.minor_words -. t.gc_at_open.Gc.minor_words);
+      r_promoted_words =
+        pos (gc1.Gc.promoted_words -. t.gc_at_open.Gc.promoted_words);
+      r_major_words = pos (gc1.Gc.major_words -. t.gc_at_open.Gc.major_words);
+      r_queue_wait = pos queue_wait;
+    }
+  in
   let summary =
     {
       sc_id = t.id;
@@ -80,6 +125,7 @@ let close t =
       sc_histograms = Histogram.shard_contents (Shard.histograms t.shard);
       sc_slices = Timeline.shard_slices (Shard.timeline t.shard);
       sc_dropped_slices = Timeline.shard_dropped (Shard.timeline t.shard);
+      sc_resources = resources;
     }
   in
   Shard.merge t.shard;
@@ -136,4 +182,13 @@ let summary_json s =
                  ])
              s.sc_slices) );
       ("dropped_slices", Json.Int s.sc_dropped_slices);
+      ( "resources",
+        Json.Obj
+          [
+            ("cpu_seconds", Json.Float s.sc_resources.r_cpu_seconds);
+            ("minor_words", Json.Float s.sc_resources.r_minor_words);
+            ("promoted_words", Json.Float s.sc_resources.r_promoted_words);
+            ("major_words", Json.Float s.sc_resources.r_major_words);
+            ("queue_wait_seconds", Json.Float s.sc_resources.r_queue_wait);
+          ] );
     ]

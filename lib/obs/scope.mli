@@ -23,6 +23,23 @@
 
 type t
 
+type resources = {
+  r_cpu_seconds : float;
+      (** process CPU-seconds delta over the scope (exact for a lone
+          request, an upper bound under concurrent workers) *)
+  r_minor_words : float;  (** opening domain's own allocation *)
+  r_promoted_words : float;
+  r_major_words : float;
+  r_queue_wait : float;  (** supplied by the caller at {!close}; 0 when
+                             unknown *)
+}
+(** Per-request resource deltas ([Gc.quick_stat] + [Prelude.Timer.cpu]
+    at open/close).  All fields clamped non-negative; GC deltas are
+    monotone-counter differences, so a parent scope's delta bounds the
+    sum of its sequential children's. *)
+
+val zero_resources : resources
+
 type summary = {
   sc_id : string;
   sc_started : float;  (** [Prelude.Timer.wall] at {!create} *)
@@ -33,6 +50,7 @@ type summary = {
   sc_histograms : (string * Histogram.snapshot) list;
   sc_slices : Timeline.slice list;  (** oldest first *)
   sc_dropped_slices : int;
+  sc_resources : resources;
 }
 
 val create : ?id:string -> unit -> t
@@ -50,10 +68,12 @@ val run : t -> (unit -> 'a) -> 'a
     not overlap across domains.
     @raise Invalid_argument on a closed scope. *)
 
-val close : t -> summary
+val close : ?queue_wait:float -> t -> summary
 (** Capture the scope's local observations as a summary, fold them into
     the global registries (or the enclosing scope's), and release the
-    shard.  Call outside {!run}, once.
+    shard.  Call outside {!run}, once, on the domain that ran the work
+    (the GC resource deltas are per-domain).  [queue_wait] is recorded
+    verbatim (clamped non-negative) in [sc_resources].
     @raise Invalid_argument on a double close. *)
 
 val wrap : ?id:string -> (t -> 'a) -> 'a * summary
@@ -67,7 +87,7 @@ val span_seconds : summary -> string -> float option
 val summary_json : summary -> Json.t
 (** The summary as a JSON object: [id], [started], [finished],
     [seconds], [counters], [spans], [histograms], [slices],
-    [dropped_slices]. *)
+    [dropped_slices], [resources]. *)
 
 val fresh_id : unit -> string
 (** A new 16-hex-char correlation id: process-random prefix plus

@@ -1,0 +1,86 @@
+(** Declarative service-level objectives and scrape-time burn rates.
+
+    Objectives are parsed from compact specs
+    (["route=/map,p99=250ms,err=0.1%"]) and evaluated against data the
+    registries already hold — a route's latency {!Histogram} snapshot
+    and request/error totals — so burn rates cost nothing per request
+    and reproduce exactly from a scraped [/metrics] body
+    ([doc/PROFILING.md] §SLOs and burn rates).
+
+    Latency burn = (fraction of requests over target) / (1 - q);
+    error burn = error rate / budget.  1.0 means the budget is consumed
+    exactly as fast as it accrues; above 1.0 the objective is being
+    violated.  Latency is evaluated at the histogram bucket boundary at
+    or above the target ([lv_good_upper]) — published so scrape-side
+    reproduction is exact and the ≤ one-√2-bucket slack is visible. *)
+
+type objective = {
+  o_route : string;
+  o_latency : (string * float * float) option;
+      (** (objective label e.g. ["p99"], quantile, target seconds) *)
+  o_err : float option;  (** error budget as a fraction of requests *)
+}
+
+val parse : string -> (objective, string) result
+(** Parse one spec: comma-separated [key=value] with [route=<path>]
+    (required), at most one [p<NN>=<duration>] ([ms]/[s] suffix, plain
+    seconds otherwise), and [err=<pct>%] (or a plain fraction). *)
+
+val parse_all : string list -> (objective list, string) result
+(** First error wins. *)
+
+val parse_file : string -> (objective list, string) result
+(** One spec per line; blank lines and [#] comments ignored. *)
+
+(** {1 Evaluation} *)
+
+type latency_verdict = {
+  lv_label : string;
+  lv_quantile : float;
+  lv_target : float;
+  lv_good_upper : float;
+      (** the bucket boundary actually evaluated,
+          [Histogram.bucket_upper (bucket_of target)] *)
+  lv_good : int;  (** observations at or under [lv_good_upper] *)
+  lv_count : int;
+  lv_bad_fraction : float;
+  lv_burn : float;
+  lv_ok : bool;
+}
+
+type err_verdict = {
+  ev_budget : float;
+  ev_errors : int;
+  ev_total : int;
+  ev_rate : float;
+  ev_burn : float;
+  ev_ok : bool;
+}
+
+type verdict = {
+  v_route : string;
+  v_latency : latency_verdict option;
+  v_err : err_verdict option;
+  v_ok : bool;  (** all present objectives within budget *)
+}
+
+val evaluate :
+  objective ->
+  latency:Histogram.snapshot ->
+  total:int ->
+  errors:int ->
+  verdict
+(** Pure arithmetic; an empty snapshot / zero totals yield burn 0
+    (nothing served = nothing violated). *)
+
+val verdict_json : verdict -> Json.t
+(** One route's entry in the [/debug/slo] document (schema
+    [turbosyn-slo/1]): [route], optional [latency] and [errors]
+    objects, [ok]. *)
+
+val families : verdict list -> Prometheus.family list
+(** Gauge families for {!Prometheus.render}'s [?extra]:
+    [slo.latency_burn_rate{route,objective}],
+    [slo.latency_target_seconds{route,objective}],
+    [slo.error_burn_rate{route}], [slo.error_budget{route}],
+    [slo.ok{route}].  Empty-sample families are omitted. *)

@@ -120,7 +120,12 @@ let enter s =
     let s = resolve s in
     if s.depth = 0 then begin
       s.started <- Prelude.Timer.wall ();
-      s.gc_at_enter <- Some (Gc.quick_stat ())
+      s.gc_at_enter <- Some (Gc.quick_stat ());
+      (* live-stack mirror for the sampling profiler: allocation-free
+         (stores an existing string into a pre-sized array), so GC
+         deltas and every other observable stay byte-identical whether
+         the sampler is attached or not *)
+      if State.profiling_on () then Livestack.push s.name
     end;
     s.depth <- s.depth + 1
   end
@@ -150,7 +155,8 @@ let exit s =
             };
           s.gc_at_enter <- None
       | None -> ());
-      Timeline.record s.name ~start:s.started ~stop:now
+      Timeline.record s.name ~start:s.started ~stop:now;
+      if State.profiling_on () then Livestack.pop s.name
     end
   end
 

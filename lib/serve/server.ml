@@ -58,6 +58,14 @@ let c_cache_misses = Obs.Counter.make "serve.cache_misses"
 let c_cache_joins = Obs.Counter.make "serve.cache_joins"
 let c_shed = Obs.Counter.make "serve.shed"
 
+(* Profiler accounting, mirrored from Obs.Prof's private state at
+   scrape time only (the tick thread must never touch the
+   unsynchronized registries; doc/PROFILING.md §Overhead budget).
+   Gauges, not counters: a detach/re-attach cycle may reset them. *)
+let g_prof_samples = Obs.Gauge.make "prof.samples"
+let g_prof_dropped = Obs.Gauge.make "prof.dropped"
+let g_prof_overhead = Obs.Gauge.make "prof.overhead_seconds"
+
 (* Everything process-global in Obs (counters, spans, histograms,
    timeline) is unsynchronized; with worker domains closing scopes
    concurrently, every direct registry touch — merge, render, inline
@@ -123,6 +131,50 @@ let request_family () =
     ftype = `Counter;
     samples;
   }
+
+(* [serve.response_bytes.<route>] counters, same sharding/locking story
+   as the request counters, re-rendered as
+   [turbosyn_serve_response_bytes_total{route=...}]. *)
+let response_bytes_prefix = "serve.response_bytes."
+
+let count_response_bytes ~route bytes =
+  if bytes > 0 then
+    Obs.Counter.add (Obs.Counter.make (response_bytes_prefix ^ route)) bytes
+
+let response_bytes_family () =
+  let plen = String.length response_bytes_prefix in
+  let samples =
+    List.filter_map
+      (fun (name, v) ->
+        if
+          String.length name > plen
+          && String.sub name 0 plen = response_bytes_prefix
+        then
+          Some
+            {
+              Obs.Prometheus.labels =
+                [ ("route", String.sub name plen (String.length name - plen)) ];
+              value = float_of_int v;
+            }
+        else None)
+      (Obs.Counter.all ())
+    |> List.sort compare
+  in
+  {
+    (* extra families get no automatic _total suffix; spell it out *)
+    Obs.Prometheus.fname = "serve.response_bytes_total";
+    fhelp = "HTTP response body bytes written, by route.";
+    ftype = `Counter;
+    samples;
+  }
+
+(* Per-route end-to-end latency (accept to response written), the
+   histograms the SLO engine evaluates.  Flat families
+   ([turbosyn_serve_route_seconds_<route>_bucket]) — each route keeps
+   its own exact bucket counts, which is what makes /debug/slo burn
+   rates reproducible from a scrape. *)
+let route_seconds_prefix = "serve.route_seconds."
+let route_hist route = Obs.Histogram.make (route_seconds_prefix ^ route)
 
 (* ------------------------------------------------------------------ *)
 (* Correlation ids                                                     *)
@@ -204,6 +256,35 @@ let find_request id =
         (fun acc rr -> if String.equal rr.rr_id id then Some rr else acc)
         None debug_ring)
 
+(* Slowest-N exemplars per route: request ids a /debug/slo reader can
+   follow straight into /debug/trace/<id>.  Tiny sorted lists under
+   their own mutex, updated on every completion. *)
+let exemplar_capacity = 5
+
+let exemplars : (string, (string * float * int) list) Hashtbl.t =
+  Hashtbl.create 8
+
+let exemplar_mutex = Mutex.create ()
+
+let remember_exemplar ~route ~id ~seconds ~status =
+  if id <> "" then begin
+    Mutex.lock exemplar_mutex;
+    let l = Option.value ~default:[] (Hashtbl.find_opt exemplars route) in
+    let l =
+      (id, seconds, status) :: l
+      |> List.sort (fun (_, a, _) (_, b, _) -> Float.compare b a)
+      |> List.filteri (fun i _ -> i < exemplar_capacity)
+    in
+    Hashtbl.replace exemplars route l;
+    Mutex.unlock exemplar_mutex
+  end
+
+let exemplars_for route =
+  Mutex.lock exemplar_mutex;
+  let l = Option.value ~default:[] (Hashtbl.find_opt exemplars route) in
+  Mutex.unlock exemplar_mutex;
+  l
+
 (* outcome vocabulary (doc/OBSERVABILITY.md §Request scopes): "served"
    for success, "cached" for success straight from the result cache,
    "rejected" for client errors, "shed" for admission-control 429s,
@@ -219,6 +300,16 @@ let phases_json (summary : Obs.Scope.summary) =
     (List.map
        (fun (name, seconds, _entries) -> (name, J.Float seconds))
        summary.Obs.Scope.sc_spans)
+
+let resources_json (r : Obs.Scope.resources) =
+  J.Obj
+    [
+      ("cpu_seconds", J.Float r.Obs.Scope.r_cpu_seconds);
+      ("minor_words", J.Float r.Obs.Scope.r_minor_words);
+      ("promoted_words", J.Float r.Obs.Scope.r_promoted_words);
+      ("major_words", J.Float r.Obs.Scope.r_major_words);
+      ("queue_wait_seconds", J.Float r.Obs.Scope.r_queue_wait);
+    ]
 
 let request_json rr =
   J.Obj
@@ -238,7 +329,11 @@ let request_json rr =
     @
     match rr.rr_summary with
     | None -> []
-    | Some s -> [ ("phases", phases_json s) ])
+    | Some s ->
+        [
+          ("phases", phases_json s);
+          ("resources", resources_json s.Obs.Scope.sc_resources);
+        ])
 
 let debug_requests_json () =
   let capacity, count, newest_first =
@@ -385,6 +480,9 @@ type config = {
   queue_depth : int;  (** /map jobs admitted beyond the in-flight ones *)
   cache_entries : int;  (** LRU capacity of the result cache; 0 = off *)
   slow_seconds : float;
+  slos : Obs.Slo.objective list;
+  profile : bool;  (** attach the Obs.Prof sampler for the run's life *)
+  profile_interval : float;
 }
 
 type job = {
@@ -426,6 +524,8 @@ let write_all fd s =
   in
   go 0
 
+(* returns the body byte count (= the Content-Length written), so every
+   completion path can feed the serve.response_bytes counters *)
 let respond fd ?(headers = []) ~status ~content_type body =
   let extra =
     String.concat ""
@@ -437,7 +537,8 @@ let respond fd ?(headers = []) ~status ~content_type body =
        Connection: close\r\n\r\n"
       status (status_text status) content_type (String.length body) extra
   in
-  write_all fd (head ^ body)
+  write_all fd (head ^ body);
+  String.length body
 
 let respond_json fd ?headers ~status json =
   respond fd ?headers ~status ~content_type:"application/json"
@@ -543,9 +644,14 @@ let parse_target target =
 
 let log_access t ~route ~meth ~path ~status ~outcome ~cache ~started ~summary =
   let seconds = Prelude.Timer.wall () -. started in
+  let id = Obs.Log.current_request_id () |> Option.value ~default:"" in
+  (* the SLO engine's per-route latency distribution: end-to-end
+     seconds, accept to response written, every completion path *)
+  with_registry (fun () -> Obs.Histogram.observe (route_hist route) seconds);
+  remember_exemplar ~route ~id ~seconds ~status;
   remember
     {
-      rr_id = Obs.Log.current_request_id () |> Option.value ~default:"";
+      rr_id = id;
       rr_route = route;
       rr_status = status;
       rr_outcome = outcome;
@@ -557,7 +663,11 @@ let log_access t ~route ~meth ~path ~status ~outcome ~cache ~started ~summary =
   let phase_fields =
     match summary with
     | None -> []
-    | Some s -> [ ("phases", phases_json s) ]
+    | Some s ->
+        [
+          ("phases", phases_json s);
+          ("resources", resources_json s.Obs.Scope.sc_resources);
+        ]
   in
   let cache_fields =
     match cache with None -> [] | Some m -> [ ("cache", J.Str m) ]
@@ -591,14 +701,15 @@ let log_access t ~route ~meth ~path ~status ~outcome ~cache ~started ~summary =
    needed until the scope closes.  Returns (status, cache marker). *)
 let handle_map_in_scope t fd ~echo ~query ~body ~queued_seconds =
   Obs.Histogram.observe h_queue_wait queued_seconds;
+  let written bytes = count_response_bytes ~route:"map" bytes in
   match parse_map_request ~query ~body with
   | Error e ->
-      respond_error fd ~headers:echo ~status:400 e;
+      written (respond_error fd ~headers:echo ~status:400 e);
       (400, None)
   | Ok (circuit, k, algo) -> (
       match map_body_cached t.cache ~circuit ~k ~algo with
       | Error e, _ ->
-          respond_error fd ~headers:echo ~status:400 e;
+          written (respond_error fd ~headers:echo ~status:400 e);
           (400, None)
       | Ok payload, outcome ->
           (match outcome with
@@ -607,9 +718,10 @@ let handle_map_in_scope t fd ~echo ~query ~body ~queued_seconds =
           | Cache.Miss -> Obs.Counter.incr c_cache_misses
           | Cache.Bypass -> ());
           let marker = Cache.outcome_label outcome in
-          respond fd
-            ~headers:(echo @ [ ("X-Cache", marker) ])
-            ~status:200 ~content_type:"application/json" payload;
+          written
+            (respond fd
+               ~headers:(echo @ [ ("X-Cache", marker) ])
+               ~status:200 ~content_type:"application/json" payload);
           (200, Some marker))
 
 let serve_job t job =
@@ -622,6 +734,9 @@ let serve_job t job =
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       Obs.Log.with_request_id job.jb_id @@ fun () ->
+      (* tag this domain's profiler samples with the route while the
+         request runs (a no-op for the sampler unless it is attached) *)
+      Obs.Prof.with_route "map" @@ fun () ->
       let scope = Obs.Scope.create ~id:job.jb_id () in
       let status = ref 500 in
       let cache_marker = ref None in
@@ -639,8 +754,9 @@ let serve_job t job =
                           ~body:job.jb_body ~queued_seconds
                       with e ->
                         (try
-                           respond_error fd ~headers:echo ~status:500
-                             (Printexc.to_string e)
+                           ignore
+                             (respond_error fd ~headers:echo ~status:500
+                                (Printexc.to_string e))
                          with _ -> ());
                         (500, None))
                 in
@@ -650,12 +766,16 @@ let serve_job t job =
       in
       let summary =
         match run_scoped () with
-        | () -> with_registry (fun () -> Obs.Scope.close scope)
+        | () ->
+            with_registry (fun () ->
+                Obs.Scope.close ~queue_wait:queued_seconds scope)
         | exception e ->
             (* scope-level failure (e.g. the response write raised) —
                still close under the lock, so the shard never leaks and
                partial observations merge *)
-            ignore (with_registry (fun () -> Obs.Scope.close scope));
+            ignore
+              (with_registry (fun () ->
+                   Obs.Scope.close ~queue_wait:queued_seconds scope));
             raise e
       in
       let outcome =
@@ -686,6 +806,110 @@ let worker_loop t =
 (* Accept lane: envelope parsing, inline routes, admission control     *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* SLO evaluation (scrape-time) and profiler introspection             *)
+(* ------------------------------------------------------------------ *)
+
+(* objectives are spelled with the client-visible path ("/map"); the
+   internal route vocabulary drops the slash ("map") *)
+let internal_route r =
+  if String.length r > 0 && r.[0] = '/' then
+    String.sub r 1 (String.length r - 1)
+  else r
+
+let empty_snapshot =
+  {
+    Obs.Histogram.s_buckets = [];
+    s_count = 0;
+    s_sum = 0.;
+    s_min = infinity;
+    s_max = neg_infinity;
+  }
+
+(* (total, 5xx) for one route, from the serve.requests.<route>.<status>
+   counters; call under [registry_mutex] together with the histogram
+   snapshot so one /debug/slo answer is a consistent cut *)
+let route_totals route =
+  let prefix = Printf.sprintf "%s%s." requests_prefix route in
+  let plen = String.length prefix in
+  List.fold_left
+    (fun (total, errors) (name, v) ->
+      if String.length name > plen && String.sub name 0 plen = prefix then
+        match
+          int_of_string_opt (String.sub name plen (String.length name - plen))
+        with
+        | Some s -> (total + v, if s >= 500 then errors + v else errors)
+        | None -> (total, errors)
+      else (total, errors))
+    (0, 0) (Obs.Counter.all ())
+
+(* call under [registry_mutex] *)
+let eval_slos t =
+  List.map
+    (fun (o : Obs.Slo.objective) ->
+      let r = internal_route o.Obs.Slo.o_route in
+      let snap =
+        Option.value ~default:empty_snapshot
+          (Obs.Histogram.find (route_seconds_prefix ^ r))
+      in
+      let total, errors = route_totals r in
+      (r, Obs.Slo.evaluate o ~latency:snap ~total ~errors))
+    t.config.slos
+
+let debug_slo_json t =
+  let verdicts = with_registry (fun () -> eval_slos t) in
+  J.Obj
+    [
+      ("schema", J.Str "turbosyn-slo/1");
+      ( "objectives",
+        J.List
+          (List.map
+             (fun (r, v) ->
+               let extras =
+                 [
+                   (* the flat histogram family the burn rate was
+                      computed from — scrape it and reproduce *)
+                   ("histogram", J.Str (route_seconds_prefix ^ r));
+                   ( "slowest",
+                     J.List
+                       (List.map
+                          (fun (id, seconds, status) ->
+                            J.Obj
+                              [
+                                ("id", J.Str id);
+                                ("seconds", J.Float seconds);
+                                ("status", J.Int status);
+                                ("trace", J.Str ("/debug/trace/" ^ id));
+                              ])
+                          (exemplars_for r)) );
+                 ]
+               in
+               match Obs.Slo.verdict_json v with
+               | J.Obj fields -> J.Obj (fields @ extras)
+               | j -> j)
+             verdicts) );
+    ]
+
+let debug_prof_json ?route () =
+  let top = Obs.Prof.top_self ?route () |> List.filteri (fun i _ -> i < 20) in
+  J.Obj
+    [
+      ("schema", J.Str "turbosyn-prof/1");
+      ("attached", J.Bool (Obs.Prof.attached ()));
+      ("interval_seconds", J.Float (Obs.Prof.interval ()));
+      ("samples", J.Int (Obs.Prof.samples ()));
+      ("dropped", J.Int (Obs.Prof.dropped ()));
+      ("overhead_seconds", J.Float (Obs.Prof.overhead_seconds ()));
+      ("routes", J.List (List.map (fun r -> J.Str r) (Obs.Prof.routes ())));
+      ( "top_self",
+        J.List
+          (List.map
+             (fun (frame, secs) ->
+               J.Obj
+                 [ ("frame", J.Str frame); ("self_seconds", J.Float secs) ])
+             top) );
+    ]
+
 let healthz_json t =
   J.Obj
     [
@@ -710,7 +934,12 @@ let refresh_gauges t =
   Obs.Gauge.set_int g_workers t.config.workers;
   Obs.Gauge.set_int g_workers_busy busy;
   Obs.Gauge.set_int g_cache_size (Cache.length t.cache);
-  Obs.Gauge.set_int g_cache_capacity t.config.cache_entries
+  Obs.Gauge.set_int g_cache_capacity t.config.cache_entries;
+  (* profiler accounting, read from Prof's own synchronized state (lock
+     order: registry_mutex, then Prof's — Prof never takes ours) *)
+  Obs.Gauge.set_int g_prof_samples (Obs.Prof.samples ());
+  Obs.Gauge.set_int g_prof_dropped (Obs.Prof.dropped ());
+  Obs.Gauge.set g_prof_overhead (Obs.Prof.overhead_seconds ())
 
 let handle_debug_trace fd ~req_id ~path ~query =
   let id = String.sub path 13 (String.length path - 13) in
@@ -718,45 +947,48 @@ let handle_debug_trace fd ~req_id ~path ~query =
   | Some { rr_summary = Some summary; _ } -> (
       match List.assoc_opt "format" query with
       | Some "folded" ->
-          respond fd
-            ~headers:[ ("X-Request-Id", req_id) ]
-            ~status:200 ~content_type:"text/plain"
-            (Obs.Flame.of_slices summary.Obs.Scope.sc_slices);
-          200
+          ( 200,
+            respond fd
+              ~headers:[ ("X-Request-Id", req_id) ]
+              ~status:200 ~content_type:"text/plain"
+              (Obs.Flame.of_slices summary.Obs.Scope.sc_slices) )
       | Some "chrome" ->
-          respond_json fd
-            ~headers:[ ("X-Request-Id", req_id) ]
-            ~status:200
-            (Obs.Report.timeline_json
-               ~slices:summary.Obs.Scope.sc_slices ~events:[] ());
-          200
+          ( 200,
+            respond_json fd
+              ~headers:[ ("X-Request-Id", req_id) ]
+              ~status:200
+              (Obs.Report.timeline_json
+                 ~slices:summary.Obs.Scope.sc_slices ~events:[] ()) )
       | None | Some _ ->
-          respond_json fd
-            ~headers:[ ("X-Request-Id", req_id) ]
-            ~status:200
-            (J.Obj
-               [
-                 ("schema", J.Str "turbosyn-debug-trace/1");
-                 ("request", Obs.Scope.summary_json summary);
-               ]);
-          200)
+          ( 200,
+            respond_json fd
+              ~headers:[ ("X-Request-Id", req_id) ]
+              ~status:200
+              (J.Obj
+                 [
+                   ("schema", J.Str "turbosyn-debug-trace/1");
+                   ("request", Obs.Scope.summary_json summary);
+                 ]) ))
   | Some { rr_summary = None; _ } | None ->
-      respond_error fd
-        ~headers:[ ("X-Request-Id", req_id) ]
-        ~status:404
-        (Printf.sprintf "no traced request %S in the ring" id);
-      404
+      ( 404,
+        respond_error fd
+          ~headers:[ ("X-Request-Id", req_id) ]
+          ~status:404
+          (Printf.sprintf "no traced request %S in the ring" id) )
 
 (* a full (or zero-depth) queue sheds: never block the accept lane,
    never queue unboundedly.  Retry-After is a coarse hint — one
    in-flight compute is the unit of drain time. *)
 let shed t fd ~echo ~meth ~path ~started =
+  let bytes =
+    respond_error fd
+      ~headers:(echo @ [ ("Retry-After", "1") ])
+      ~status:429 "server overloaded: queue full, retry later"
+  in
   with_registry (fun () ->
       Obs.Counter.incr c_shed;
-      count_request ~route:"map" ~status:429);
-  respond_error fd
-    ~headers:(echo @ [ ("Retry-After", "1") ])
-    ~status:429 "server overloaded: queue full, retry later";
+      count_request ~route:"map" ~status:429;
+      count_response_bytes ~route:"map" bytes);
   log_access t ~route:"map" ~meth ~path ~status:429 ~outcome:"shed"
     ~cache:None ~started ~summary:None
 
@@ -772,8 +1004,10 @@ let dispatch t fd =
       let started = Prelude.Timer.wall () in
       Obs.Log.with_request_id req_id @@ fun () ->
       let echo = [ ("X-Request-Id", req_id) ] in
-      let inline route status summary =
-        count_request_unscoped ~route ~status;
+      let inline ?(bytes = 0) route status summary =
+        with_registry (fun () ->
+            count_request ~route ~status;
+            count_response_bytes ~route bytes);
         log_access t ~route ~meth ~path ~status
           ~outcome:(outcome_of_status status) ~cache:None ~started ~summary;
         false
@@ -796,34 +1030,69 @@ let dispatch t fd =
             false
           end
       | "GET", "/healthz" ->
-          respond_json fd ~headers:echo ~status:200 (healthz_json t);
-          inline "healthz" 200 None
+          let bytes =
+            respond_json fd ~headers:echo ~status:200 (healthz_json t)
+          in
+          inline ~bytes "healthz" 200 None
       | "GET", "/metrics" ->
           let scrape =
             with_registry (fun () ->
                 refresh_gauges t;
                 Obs.Prometheus.render
-                  ~exclude_prefixes:[ requests_prefix ]
-                  ~extra:[ request_family () ]
+                  ~exclude_prefixes:[ requests_prefix; response_bytes_prefix ]
+                  ~extra:
+                    (request_family () :: response_bytes_family ()
+                    :: Obs.Slo.families (List.map snd (eval_slos t)))
                   ())
           in
-          respond fd ~headers:echo ~status:200
-            ~content_type:"text/plain; version=0.0.4" scrape;
-          inline "metrics" 200 None
+          let bytes =
+            respond fd ~headers:echo ~status:200
+              ~content_type:"text/plain; version=0.0.4" scrape
+          in
+          inline ~bytes "metrics" 200 None
       | "GET", "/debug/requests" ->
-          respond_json fd ~headers:echo ~status:200 (debug_requests_json ());
-          inline "debug" 200 None
+          let bytes =
+            respond_json fd ~headers:echo ~status:200 (debug_requests_json ())
+          in
+          inline ~bytes "debug" 200 None
+      | "GET", "/debug/slo" ->
+          let bytes =
+            respond_json fd ~headers:echo ~status:200 (debug_slo_json t)
+          in
+          inline ~bytes "debug" 200 None
+      | "GET", "/debug/prof" ->
+          let route = List.assoc_opt "route" query in
+          let bytes =
+            match List.assoc_opt "format" query with
+            | Some "folded" ->
+                respond fd ~headers:echo ~status:200
+                  ~content_type:"text/plain"
+                  (Obs.Prof.folded_text ?route ())
+            | Some "chrome" ->
+                respond_json fd ~headers:echo ~status:200
+                  (Obs.Report.timeline_json
+                     ~slices:(Obs.Prof.slices ?route ())
+                     ~events:[] ())
+            | None | Some _ ->
+                respond_json fd ~headers:echo ~status:200
+                  (debug_prof_json ?route ())
+          in
+          inline ~bytes "debug" 200 None
       | "GET", _
         when String.length path > 13
              && String.sub path 0 13 = "/debug/trace/" ->
-          let status = handle_debug_trace fd ~req_id ~path ~query in
-          inline "debug" status None
-      | _, ("/healthz" | "/metrics" | "/map" | "/debug/requests") ->
-          respond_error fd ~headers:echo ~status:405 "method not allowed";
-          inline "method" 405 None
+          let status, bytes = handle_debug_trace fd ~req_id ~path ~query in
+          inline ~bytes "debug" status None
+      | ( _,
+          ( "/healthz" | "/metrics" | "/map" | "/debug/requests"
+          | "/debug/slo" | "/debug/prof" ) ) ->
+          let bytes =
+            respond_error fd ~headers:echo ~status:405 "method not allowed"
+          in
+          inline ~bytes "method" 405 None
       | _ ->
-          respond_error fd ~headers:echo ~status:404 "not found";
-          inline "other" 404 None)
+          let bytes = respond_error fd ~headers:echo ~status:404 "not found" in
+          inline ~bytes "other" 404 None)
 
 let accept_loop t =
   let continue = ref true in
@@ -850,13 +1119,16 @@ let default_workers () =
   max 1 (min 4 (Domain.recommended_domain_count () - 1))
 
 let create ?(port = 0) ?(slow_seconds = 1.0) ?workers ?(queue_depth = 64)
-    ?(cache_entries = 256) () =
+    ?(cache_entries = 256) ?(slos = []) ?(profile = false)
+    ?(profile_interval = 0.010) () =
   let workers =
     match workers with Some w -> max 1 w | None -> default_workers ()
   in
   if queue_depth < 0 then invalid_arg "Server.create: negative queue depth";
   if cache_entries < 0 then
     invalid_arg "Server.create: negative cache capacity";
+  if profile_interval <= 0. then
+    invalid_arg "Server.create: profile interval must be > 0";
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -869,7 +1141,16 @@ let create ?(port = 0) ?(slow_seconds = 1.0) ?workers ?(queue_depth = 64)
   {
     listen = fd;
     port;
-    config = { workers; queue_depth; cache_entries; slow_seconds };
+    config =
+      {
+        workers;
+        queue_depth;
+        cache_entries;
+        slow_seconds;
+        slos;
+        profile;
+        profile_interval;
+      };
     stopped = Atomic.make false;
     queue = Prelude.Bqueue.create ~capacity:queue_depth;
     cache = Cache.create ~capacity:cache_entries;
@@ -891,13 +1172,22 @@ let run t =
      are self-contained loops), matching the pool's no-promises
      contract. *)
   let lanes = t.config.workers + 1 in
-  Prelude.Pool.with_pool ~domains:lanes (fun pool ->
-      Prelude.Pool.run pool ~n:lanes (fun _worker task ->
-          if task = 0 then
-            Fun.protect
-              ~finally:(fun () -> Prelude.Bqueue.close t.queue)
-              (fun () -> accept_loop t)
-          else worker_loop t))
+  (* the sampler lives exactly as long as the serving pool: attached
+     here (so Obs.reset still works between create and run) and
+     detached — joining the tick thread — on the way out, even when the
+     pool raises *)
+  if t.config.profile then
+    Obs.Prof.attach ~interval:t.config.profile_interval ();
+  Fun.protect
+    ~finally:(fun () -> if t.config.profile then Obs.Prof.detach ())
+    (fun () ->
+      Prelude.Pool.with_pool ~domains:lanes (fun pool ->
+          Prelude.Pool.run pool ~n:lanes (fun _worker task ->
+              if task = 0 then
+                Fun.protect
+                  ~finally:(fun () -> Prelude.Bqueue.close t.queue)
+                  (fun () -> accept_loop t)
+              else worker_loop t)))
 
 let stop t =
   if not (Atomic.exchange t.stopped true) then begin

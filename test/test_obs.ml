@@ -840,6 +840,438 @@ let test_timeline_overflow_flame () =
           | Error e -> Alcotest.failf "trace document: %s" e))
 
 (* ---------------------------------------------------------------- *)
+(* Sampling profiler (Obs.Prof, doc/PROFILING.md)                    *)
+(* ---------------------------------------------------------------- *)
+
+(* Attach/detach lifecycle, and the satellite guarantee that
+   [Obs.reset] refuses while the sampler's tick thread could be
+   reading live span state. *)
+let test_prof_lifecycle () =
+  with_obs (fun () ->
+      Alcotest.(check bool) "detached initially" false (Obs.Prof.attached ());
+      Alcotest.(check bool) "non-positive interval refused" true
+        (match Obs.Prof.attach ~interval:0. () with
+        | exception Invalid_argument _ -> true
+        | () -> false);
+      Obs.Prof.attach ~interval:0.002 ();
+      Fun.protect
+        ~finally:(fun () -> Obs.Prof.detach ())
+        (fun () ->
+          Alcotest.(check bool) "attached" true (Obs.Prof.attached ());
+          Alcotest.(check (float 1e-9)) "interval" 0.002 (Obs.Prof.interval ());
+          Alcotest.(check bool) "double attach refused" true
+            (match Obs.Prof.attach () with
+            | exception Invalid_argument _ -> true
+            | () -> false);
+          (* the reset guard: the tick thread reads live span stacks,
+             so clearing the registries under it is refused *)
+          Alcotest.(check bool) "Obs.reset refused while attached" true
+            (match Obs.reset () with
+            | exception Invalid_argument _ -> true
+            | () -> false));
+      Alcotest.(check bool) "detached" false (Obs.Prof.attached ());
+      Obs.Prof.detach ();
+      (* idempotent *)
+      Obs.reset ();
+      (* allowed again *)
+      Obs.Prof.reset ();
+      Alcotest.(check int) "reset clears samples" 0 (Obs.Prof.samples ()))
+
+(* Real sampled stacks: nested spans on a route, long enough (sleeps
+   release the runtime lock, so the tick systhread observes them) that
+   samples land deterministically, and the folded output reflects the
+   nesting. *)
+let test_prof_sampling () =
+  with_obs (fun () ->
+      let outer = Obs.Span.make "test.prof-outer" in
+      let inner = Obs.Span.make "test.prof-inner" in
+      Obs.Prof.reset ();
+      Obs.Prof.attach ~interval:0.002 ();
+      Fun.protect
+        ~finally:(fun () -> Obs.Prof.detach ())
+        (fun () ->
+          Obs.Prof.with_route "map" (fun () ->
+              Obs.Span.time outer (fun () ->
+                  Obs.Span.time inner (fun () -> Unix.sleepf 0.06))));
+      Alcotest.(check bool) "samples landed" true (Obs.Prof.samples () > 0);
+      Alcotest.(check bool) "nothing dropped" true (Obs.Prof.dropped () = 0);
+      Alcotest.(check bool) "overhead accounted" true
+        (Obs.Prof.overhead_seconds () >= 0.);
+      Alcotest.(check (list string)) "route recorded" [ "map" ]
+        (Obs.Prof.routes ());
+      let folded = Obs.Prof.folded () in
+      Alcotest.(check bool) "folded non-empty" true (folded <> []);
+      List.iter
+        (fun (stack, w) ->
+          Alcotest.(check bool) ("positive weight for " ^ stack) true (w > 0.);
+          List.iter
+            (fun fr ->
+              Alcotest.(check bool) "frame sane" true
+                (fr <> "" && not (String.contains fr ' ')))
+            (String.split_on_char ';' stack))
+        folded;
+      Alcotest.(check bool) "nested stack sampled" true
+        (List.mem_assoc "test.prof-outer;test.prof-inner" folded);
+      (* the sleep runs under the inner span: it dominates self time *)
+      (match Obs.Prof.top_self () with
+      | (frame, _) :: _ ->
+          Alcotest.(check string) "heaviest self frame" "test.prof-inner"
+            frame
+      | [] -> Alcotest.fail "top_self empty");
+      Alcotest.(check bool) "folded text well-formed" true
+        (folded_well_formed (Obs.Prof.folded_text ()));
+      (* route filtering *)
+      Alcotest.(check bool) "unknown route filters to nothing" true
+        (Obs.Prof.folded ~route:"nope" () = []);
+      Alcotest.(check bool) "route filter keeps the samples" true
+        (Obs.Prof.folded ~route:"map" () <> []);
+      (* raw samples render as a parseable Chrome-trace document *)
+      let slices = Obs.Prof.slices () in
+      Alcotest.(check bool) "slices non-empty" true (slices <> []);
+      List.iter
+        (fun (sl : Obs.Timeline.slice) ->
+          Alcotest.(check bool) "slice ordered" true (sl.stop > sl.start))
+        slices;
+      (match
+         Obs.Json.of_string
+           (Obs.Json.to_string (Obs.Report.timeline_json ~slices ()))
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "prof chrome trace: %s" e);
+      (* reset forgets the samples *)
+      Obs.Prof.reset ();
+      Alcotest.(check int) "samples cleared" 0 (Obs.Prof.samples ());
+      Alcotest.(check bool) "folded cleared" true (Obs.Prof.folded () = []))
+
+(* qcheck: whatever nesting program runs under the sampler, the folded
+   output stays well-formed — frames non-empty and separator-free,
+   weights strictly positive (sampling is timing-dependent; the
+   property must hold for ANY subset of stacks the ticks observed). *)
+let test_prof_folded_qcheck () =
+  with_obs (fun () ->
+      let frame_names = [| "prof.qa"; "prof.qb"; "prof.qc"; "prof.qd" |] in
+      let gen =
+        QCheck.Gen.(
+          list_size (1 -- 3)
+            (list_size (1 -- 3) (0 -- (Array.length frame_names - 1))))
+      in
+      let print paths =
+        String.concat " | "
+          (List.map
+             (fun p ->
+               String.concat ";"
+                 (List.map (fun i -> frame_names.(i)) p))
+             paths)
+      in
+      run_qcheck
+        (QCheck.Test.make ~count:8 ~name:"sampled folded stacks well-formed"
+           (QCheck.make ~print gen)
+           (fun paths ->
+             Obs.Prof.reset ();
+             Obs.Prof.attach ~interval:0.001 ();
+             Fun.protect
+               ~finally:(fun () -> Obs.Prof.detach ())
+               (fun () ->
+                 List.iter
+                   (fun path ->
+                     let rec nest = function
+                       | [] -> Unix.sleepf 0.004
+                       | i :: rest ->
+                           Obs.Span.time
+                             (Obs.Span.make frame_names.(i))
+                             (fun () -> nest rest)
+                     in
+                     nest path)
+                   paths);
+             let folded = Obs.Prof.folded () in
+             List.for_all
+               (fun (stack, w) ->
+                 w > 0. && stack <> ""
+                 && List.for_all
+                      (fun fr ->
+                        fr <> ""
+                        && not (String.contains fr ' ')
+                        && not (String.contains fr '\n'))
+                      (String.split_on_char ';' stack))
+               folded
+             && folded_well_formed (Obs.Prof.folded_text ()))));
+  Obs.Prof.reset ()
+
+(* ---------------------------------------------------------------- *)
+(* Scope resource accounting                                         *)
+(* ---------------------------------------------------------------- *)
+
+let test_scope_resources () =
+  with_obs (fun () ->
+      Alcotest.(check (float 0.)) "zero_resources cpu" 0.
+        Obs.Scope.zero_resources.Obs.Scope.r_cpu_seconds;
+      let scope = Obs.Scope.create () in
+      Obs.Scope.run scope (fun () ->
+          ignore (Sys.opaque_identity (List.init 50_000 Fun.id)));
+      let s = Obs.Scope.close ~queue_wait:0.25 scope in
+      let r = s.Obs.Scope.sc_resources in
+      Alcotest.(check bool) "allocation observed" true
+        (r.Obs.Scope.r_minor_words > 0.);
+      List.iter
+        (fun (what, v) ->
+          Alcotest.(check bool) (what ^ " non-negative") true (v >= 0.))
+        [
+          ("cpu", r.Obs.Scope.r_cpu_seconds);
+          ("minor", r.Obs.Scope.r_minor_words);
+          ("promoted", r.Obs.Scope.r_promoted_words);
+          ("major", r.Obs.Scope.r_major_words);
+          ("queue", r.Obs.Scope.r_queue_wait);
+        ];
+      Alcotest.(check (float 1e-9)) "queue wait recorded" 0.25
+        r.Obs.Scope.r_queue_wait;
+      (* negative queue wait clamps to zero *)
+      let scope2 = Obs.Scope.create () in
+      Obs.Scope.run scope2 (fun () -> ());
+      let s2 = Obs.Scope.close ~queue_wait:(-3.) scope2 in
+      Alcotest.(check (float 0.)) "negative queue wait clamped" 0.
+        s2.Obs.Scope.sc_resources.Obs.Scope.r_queue_wait;
+      (* the summary document carries the resources object *)
+      match Obs.Json.member "resources" (Obs.Scope.summary_json s) with
+      | Some res ->
+          List.iter
+            (fun field ->
+              Alcotest.(check bool) ("resources." ^ field) true
+                (match Obs.Json.member field res with
+                | Some (Obs.Json.Float _) | Some (Obs.Json.Int _) -> true
+                | _ -> false))
+            [
+              "cpu_seconds"; "minor_words"; "promoted_words"; "major_words";
+              "queue_wait_seconds";
+            ]
+      | None -> Alcotest.fail "summary_json has no resources member")
+
+(* qcheck: resource deltas are non-negative for every child, and — the
+   GC words being monotone per-domain counters — a parent scope's delta
+   bounds the sum of its sequential children's. *)
+let test_scope_resources_additive () =
+  with_obs (fun () ->
+      let gen = QCheck.Gen.(list_size (1 -- 4) (0 -- 5000)) in
+      let print l = String.concat "," (List.map string_of_int l) in
+      run_qcheck
+        (QCheck.Test.make ~count:20
+           ~name:"scope resources non-negative and parent-bounded"
+           (QCheck.make ~print gen)
+           (fun sizes ->
+             let parent = Obs.Scope.create () in
+             let children =
+               Obs.Scope.run parent (fun () ->
+                   List.map
+                     (fun n ->
+                       let (), summary =
+                         Obs.Scope.wrap (fun _ ->
+                             ignore
+                               (Sys.opaque_identity (List.init n Fun.id)))
+                       in
+                       summary.Obs.Scope.sc_resources)
+                     sizes)
+             in
+             let p = (Obs.Scope.close parent).Obs.Scope.sc_resources in
+             let nonneg (r : Obs.Scope.resources) =
+               r.Obs.Scope.r_cpu_seconds >= 0.
+               && r.Obs.Scope.r_minor_words >= 0.
+               && r.Obs.Scope.r_promoted_words >= 0.
+               && r.Obs.Scope.r_major_words >= 0.
+               && r.Obs.Scope.r_queue_wait >= 0.
+             in
+             let sum f = List.fold_left (fun a r -> a +. f r) 0. children in
+             List.for_all nonneg children && nonneg p
+             && p.Obs.Scope.r_minor_words +. 1e-6
+                >= sum (fun r -> r.Obs.Scope.r_minor_words)
+             && p.Obs.Scope.r_promoted_words +. 1e-6
+                >= sum (fun r -> r.Obs.Scope.r_promoted_words)
+             && p.Obs.Scope.r_major_words +. 1e-6
+                >= sum (fun r -> r.Obs.Scope.r_major_words)
+             && p.Obs.Scope.r_cpu_seconds +. 1e-6
+                >= sum (fun r -> r.Obs.Scope.r_cpu_seconds))))
+
+(* ---------------------------------------------------------------- *)
+(* SLOs: spec parsing, burn-rate evaluation, scrape families         *)
+(* ---------------------------------------------------------------- *)
+
+let test_slo_parse () =
+  (match Obs.Slo.parse "route=/map,p99=250ms,err=0.1%" with
+  | Error e -> Alcotest.failf "canonical spec rejected: %s" e
+  | Ok o ->
+      Alcotest.(check string) "route" "/map" o.Obs.Slo.o_route;
+      (match o.Obs.Slo.o_latency with
+      | Some (label, q, t) ->
+          Alcotest.(check string) "label" "p99" label;
+          Alcotest.(check (float 1e-9)) "quantile" 0.99 q;
+          Alcotest.(check (float 1e-9)) "target" 0.25 t
+      | None -> Alcotest.fail "no latency objective");
+      match o.Obs.Slo.o_err with
+      | Some b -> Alcotest.(check (float 1e-12)) "budget" 0.001 b
+      | None -> Alcotest.fail "no error objective");
+  (* p-digit quantiles scale by digit count; seconds spellings work *)
+  (match Obs.Slo.parse "route=/map,p999=1.5s" with
+  | Ok { Obs.Slo.o_latency = Some (_, q, t); _ } ->
+      Alcotest.(check (float 1e-9)) "p999" 0.999 q;
+      Alcotest.(check (float 1e-9)) "seconds" 1.5 t
+  | _ -> Alcotest.fail "p999 spec rejected");
+  (match Obs.Slo.parse "route=/map,p50=10ms" with
+  | Ok { Obs.Slo.o_latency = Some (_, q, _); _ } ->
+      Alcotest.(check (float 1e-9)) "p50" 0.5 q
+  | _ -> Alcotest.fail "p50 spec rejected");
+  (* rejections *)
+  List.iter
+    (fun bad ->
+      match Obs.Slo.parse bad with
+      | Ok _ -> Alcotest.failf "accepted bad spec %S" bad
+      | Error _ -> ())
+    [
+      "";
+      "p99=250ms" (* no route *);
+      "route=/map" (* no objective *);
+      "route=/map,p99=fast";
+      "route=/map,p99=0ms";
+      "route=/map,err=150%";
+      "route=/map,err=0";
+      "route=/map,latency=250ms" (* unknown key *);
+      "route=,p99=250ms";
+    ];
+  (* parse_all surfaces the first error *)
+  (match Obs.Slo.parse_all [ "route=/map,p99=1ms"; "bogus" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse_all ignored a bad spec");
+  match Obs.Slo.parse_all [ "route=/a,p99=1ms"; "route=/b,err=1%" ] with
+  | Ok [ a; b ] ->
+      Alcotest.(check string) "first" "/a" a.Obs.Slo.o_route;
+      Alcotest.(check string) "second" "/b" b.Obs.Slo.o_route
+  | _ -> Alcotest.fail "parse_all lost a spec"
+
+let test_slo_parse_file () =
+  let path = Filename.temp_file "turbosyn-slo" ".conf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc
+            "# objectives for the serve smoke\n\n\
+             route=/map,p99=250ms,err=0.1%\n\
+             route=/healthz,p95=5ms\n");
+      match Obs.Slo.parse_file path with
+      | Ok [ a; b ] ->
+          Alcotest.(check string) "first route" "/map" a.Obs.Slo.o_route;
+          Alcotest.(check string) "second route" "/healthz" b.Obs.Slo.o_route
+      | Ok _ -> Alcotest.fail "wrong objective count"
+      | Error e -> Alcotest.failf "parse_file: %s" e)
+
+let test_slo_evaluate () =
+  with_obs (fun () ->
+      let o =
+        match Obs.Slo.parse "route=/map,p99=250ms,err=0.1%" with
+        | Ok o -> o
+        | Error e -> Alcotest.failf "spec: %s" e
+      in
+      (* 20 fast observations, 5 slow: bad_fraction 0.2 against a p99
+         objective burns at 0.2/0.01 = 20 *)
+      let snap =
+        snapshot_of_values
+          (List.init 20 (fun _ -> 0.01) @ List.init 5 (fun _ -> 100.))
+      in
+      let v = Obs.Slo.evaluate o ~latency:snap ~total:25 ~errors:1 in
+      (match v.Obs.Slo.v_latency with
+      | Some l ->
+          Alcotest.(check int) "good" 20 l.Obs.Slo.lv_good;
+          Alcotest.(check int) "count" 25 l.Obs.Slo.lv_count;
+          Alcotest.(check (float 1e-9)) "bad fraction" 0.2
+            l.Obs.Slo.lv_bad_fraction;
+          Alcotest.(check (float 1e-6)) "latency burn" 20. l.Obs.Slo.lv_burn;
+          Alcotest.(check bool) "latency violated" false l.Obs.Slo.lv_ok;
+          (* the evaluated boundary is the documented bucket upper *)
+          Alcotest.(check (float 1e-12)) "good upper"
+            (Obs.Histogram.bucket_upper (Obs.Histogram.bucket_of 0.25))
+            l.Obs.Slo.lv_good_upper
+      | None -> Alcotest.fail "no latency verdict");
+      (match v.Obs.Slo.v_err with
+      | Some e ->
+          Alcotest.(check (float 1e-9)) "error rate" 0.04 e.Obs.Slo.ev_rate;
+          Alcotest.(check (float 1e-6)) "error burn" 40. e.Obs.Slo.ev_burn;
+          Alcotest.(check bool) "errors violated" false e.Obs.Slo.ev_ok
+      | None -> Alcotest.fail "no error verdict");
+      Alcotest.(check bool) "overall violated" false v.Obs.Slo.v_ok;
+      (* empty data burns nothing *)
+      let v0 =
+        Obs.Slo.evaluate o ~latency:(snapshot_of_values []) ~total:0
+          ~errors:0
+      in
+      Alcotest.(check bool) "empty ok" true v0.Obs.Slo.v_ok;
+      (match v0.Obs.Slo.v_latency with
+      | Some l -> Alcotest.(check (float 0.)) "empty burn" 0. l.Obs.Slo.lv_burn
+      | None -> Alcotest.fail "no latency verdict on empty");
+      (* the verdict document parses and carries the burn rates *)
+      (match
+         Obs.Json.of_string (Obs.Json.to_string (Obs.Slo.verdict_json v))
+       with
+      | Error e -> Alcotest.failf "verdict json: %s" e
+      | Ok doc -> (
+          Alcotest.(check bool) "route member" true
+            (Obs.Json.member "route" doc = Some (Obs.Json.Str "/map"));
+          match Obs.Json.member "latency" doc with
+          | Some lat ->
+              Alcotest.(check bool) "burn member" true
+                (Obs.Json.member "burn_rate" lat <> None)
+          | None -> Alcotest.fail "no latency object"));
+      (* the scrape families render and validate *)
+      let fams = Obs.Slo.families [ v ] in
+      Alcotest.(check int) "five families" 5 (List.length fams);
+      match Obs.Prometheus.validate (Obs.Prometheus.render ~extra:fams ()) with
+      | Ok () -> ()
+      | Error es ->
+          Alcotest.failf "slo families invalid: %s" (String.concat "; " es))
+
+(* qcheck: [lv_good] always equals the recomputation from the published
+   boundary over the snapshot's cumulative buckets, and the burn rate
+   follows from (good, count, q) — the exact arithmetic the serve-load
+   bench replays from a /metrics scrape. *)
+let test_slo_reproduction () =
+  with_obs (fun () ->
+      let gen =
+        QCheck.Gen.(pair (list_size (0 -- 64) value_gen) (float_range 1e-4 10.))
+      in
+      let print (vs, t) =
+        Printf.sprintf "target=%g values=[%s]" t (print_values vs)
+      in
+      run_qcheck
+        (QCheck.Test.make ~count:200 ~name:"burn rate reproducible"
+           (QCheck.make ~print gen)
+           (fun (vs, target) ->
+             let spec = Printf.sprintf "route=/map,p99=%fs" target in
+             match Obs.Slo.parse spec with
+             | Error _ -> false
+             | Ok o -> (
+                 let snap = snapshot_of_values vs in
+                 let total = List.length vs in
+                 let v = Obs.Slo.evaluate o ~latency:snap ~total ~errors:0 in
+                 match v.Obs.Slo.v_latency with
+                 | None -> false
+                 | Some l ->
+                     let good_re =
+                       List.fold_left
+                         (fun acc (i, c) ->
+                           if
+                             Obs.Histogram.bucket_upper i
+                             <= l.Obs.Slo.lv_good_upper
+                           then acc + c
+                           else acc)
+                         0 snap.Obs.Histogram.s_buckets
+                     in
+                     let burn_re =
+                       if l.Obs.Slo.lv_count = 0 then 0.
+                       else
+                         float_of_int (l.Obs.Slo.lv_count - good_re)
+                         /. float_of_int l.Obs.Slo.lv_count
+                         /. (1. -. l.Obs.Slo.lv_quantile)
+                     in
+                     good_re = l.Obs.Slo.lv_good
+                     && Float.abs (burn_re -. l.Obs.Slo.lv_burn) <= 1e-9))))
+
+(* ---------------------------------------------------------------- *)
 (* Structured logging                                                *)
 (* ---------------------------------------------------------------- *)
 
@@ -1028,6 +1460,28 @@ let () =
             test_flame_timeline_round_trip;
           Alcotest.test_case "ring overflow" `Quick
             test_timeline_overflow_flame;
+        ] );
+      ( "prof",
+        [
+          Alcotest.test_case "lifecycle and reset guard" `Quick
+            test_prof_lifecycle;
+          Alcotest.test_case "sampling" `Quick test_prof_sampling;
+          Alcotest.test_case "folded well-formed" `Quick
+            test_prof_folded_qcheck;
+        ] );
+      ( "resources",
+        [
+          Alcotest.test_case "scope deltas" `Quick test_scope_resources;
+          Alcotest.test_case "non-negative and additive" `Quick
+            test_scope_resources_additive;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "parse" `Quick test_slo_parse;
+          Alcotest.test_case "parse file" `Quick test_slo_parse_file;
+          Alcotest.test_case "evaluate" `Quick test_slo_evaluate;
+          Alcotest.test_case "burn reproduction" `Quick
+            test_slo_reproduction;
         ] );
       ( "log",
         [

@@ -94,14 +94,16 @@ let series_value body name =
 (* Server lifecycle                                                 *)
 (* ---------------------------------------------------------------- *)
 
-let with_server ?workers ?queue_depth ?cache_entries f =
+let with_server ?workers ?queue_depth ?cache_entries ?slos ?profile
+    ?profile_interval f =
   Obs.set_enabled true;
   Obs.reset ();
   (* keep per-request access-log lines out of the test output; the
      records still reach the in-memory ring and the request ring *)
   Obs.Log.to_null ();
   let server =
-    Serve.Server.create ~port:0 ?workers ?queue_depth ?cache_entries ()
+    Serve.Server.create ~port:0 ?workers ?queue_depth ?cache_entries ?slos
+      ?profile ?profile_interval ()
   in
   let srv = Domain.spawn (fun () -> Serve.Server.run server) in
   Fun.protect
@@ -626,6 +628,235 @@ let test_request_tracing () =
       in
       Alcotest.(check int) "untraced route answers 404" 404 status)
 
+(* ---------------------------------------------------------------- *)
+(* Response accounting: Content-Length and the per-route bytes family *)
+(* ---------------------------------------------------------------- *)
+
+let test_response_bytes () =
+  with_server (fun port ->
+      (* every response declares its exact body length *)
+      let content_length hdrs body what =
+        match List.assoc_opt "content-length" hdrs with
+        | None -> Alcotest.failf "%s: no Content-Length" what
+        | Some v ->
+            Alcotest.(check string)
+              (what ^ " content-length matches body")
+              (string_of_int (String.length body))
+              v
+      in
+      let _, hhdrs, hbody = http_full ~port ~meth:"GET" ~path:"/healthz" () in
+      content_length hhdrs hbody "/healthz";
+      let status, mhdrs, mbody =
+        http_full ~port ~meth:"POST" ~path:"/map"
+          ~body:(map_body ~circuit:"bbara" ~algo:"turbomap")
+          ()
+      in
+      Alcotest.(check int) "map status" 200 status;
+      content_length mhdrs mbody "/map";
+      (* ... and the bytes written land on the per-route counter,
+         rendered as one labelled family on the scrape *)
+      let _, _, scrape = http_full ~port ~meth:"GET" ~path:"/metrics" () in
+      (match
+         series_value scrape
+           "turbosyn_serve_response_bytes_total{route=\"map\"}"
+       with
+      | None -> Alcotest.fail "no response-bytes series for /map"
+      | Some v ->
+          Alcotest.(check bool) "map bytes cover the body" true
+            (v >= float_of_int (String.length mbody)));
+      (match
+         series_value scrape
+           "turbosyn_serve_response_bytes_total{route=\"healthz\"}"
+       with
+      | None -> Alcotest.fail "no response-bytes series for /healthz"
+      | Some v ->
+          Alcotest.(check bool) "healthz bytes cover the body" true
+            (v >= float_of_int (String.length hbody)));
+      (* the flat per-route counters stay off the scrape — only the
+         labelled family renders *)
+      Alcotest.(check bool) "flat counter suppressed" true
+        (series_value scrape "turbosyn_serve_response_bytes_map_total" = None))
+
+(* ---------------------------------------------------------------- *)
+(* Profiling and SLO endpoints                                       *)
+(* ---------------------------------------------------------------- *)
+
+let test_profiling_and_slo () =
+  let slos =
+    match Obs.Slo.parse_all [ "route=/map,p99=250ms,err=0.1%" ] with
+    | Ok slos -> slos
+    | Error e -> Alcotest.failf "slo spec: %s" e
+  in
+  with_server ~slos ~profile:true ~profile_interval:0.002 (fun port ->
+      (* served bytes are identical with the sampler attached: the
+         response must equal a direct (unprofiled-path) rendering *)
+      let expected =
+        match
+          Serve.Server.map_response ~circuit:"bbara" ~k:5
+            ~algo:(Option.get (Serve.Server.algo_of_string "turbomap"))
+        with
+        | Ok doc -> Obs.Json.to_string doc ^ "\n"
+        | Error e -> Alcotest.failf "direct map: %s" e
+      in
+      let status, _, body =
+        http_full ~port ~meth:"POST" ~path:"/map"
+          ~body:(map_body ~circuit:"bbara" ~algo:"turbomap")
+          ()
+      in
+      Alcotest.(check int) "map status" 200 status;
+      Alcotest.(check string) "byte-identical under the profiler" expected
+        body;
+      (* /debug/prof reports the attached sampler *)
+      let status, _, body =
+        http_full ~port ~meth:"GET" ~path:"/debug/prof" ()
+      in
+      Alcotest.(check int) "prof status" 200 status;
+      let doc =
+        match Obs.Json.of_string body with
+        | Ok d -> d
+        | Error e -> Alcotest.failf "/debug/prof: %s" e
+      in
+      Alcotest.(check bool) "prof schema" true
+        (Obs.Json.member "schema" doc
+        = Some (Obs.Json.Str "turbosyn-prof/1"));
+      Alcotest.(check bool) "sampler attached" true
+        (Obs.Json.member "attached" doc = Some (Obs.Json.Bool true));
+      Alcotest.(check bool) "interval published" true
+        (match Obs.Json.member "interval_seconds" doc with
+        | Some (Obs.Json.Float f) -> f = 0.002
+        | _ -> false);
+      Alcotest.(check bool) "sample accounting" true
+        (match
+           ( Obs.Json.member "samples" doc,
+             Obs.Json.member "dropped" doc,
+             Obs.Json.member "overhead_seconds" doc )
+         with
+        | Some (Obs.Json.Int s), Some (Obs.Json.Int d), Some _ ->
+            s >= 0 && d >= 0
+        | _ -> false);
+      (* folded and chrome renderings answer (possibly empty on a fast
+         run; weights must parse when present) *)
+      let status, _, folded =
+        http_full ~port ~meth:"GET" ~path:"/debug/prof?format=folded" ()
+      in
+      Alcotest.(check int) "folded status" 200 status;
+      String.split_on_char '\n' folded
+      |> List.iter (fun line ->
+             if line <> "" then
+               match String.rindex_opt line ' ' with
+               | None -> Alcotest.failf "malformed folded line %S" line
+               | Some i -> (
+                   match
+                     int_of_string_opt
+                       (String.sub line (i + 1) (String.length line - i - 1))
+                   with
+                   | Some w when w > 0 -> ()
+                   | _ -> Alcotest.failf "bad weight in %S" line));
+      let status, _, chrome =
+        http_full ~port ~meth:"GET" ~path:"/debug/prof?format=chrome" ()
+      in
+      Alcotest.(check int) "chrome status" 200 status;
+      (match Obs.Json.of_string chrome with
+      | Ok doc ->
+          Alcotest.(check bool) "chrome traceEvents" true
+            (match Obs.Json.member "traceEvents" doc with
+            | Some (Obs.Json.List _) -> true
+            | _ -> false)
+      | Error e -> Alcotest.failf "prof chrome trace: %s" e);
+      (* /debug/slo evaluates the configured objective against the
+         route histogram, exemplars linking into /debug/trace *)
+      let status, _, body =
+        http_full ~port ~meth:"GET" ~path:"/debug/slo" ()
+      in
+      Alcotest.(check int) "slo status" 200 status;
+      let doc =
+        match Obs.Json.of_string body with
+        | Ok d -> d
+        | Error e -> Alcotest.failf "/debug/slo: %s" e
+      in
+      Alcotest.(check bool) "slo schema" true
+        (Obs.Json.member "schema" doc = Some (Obs.Json.Str "turbosyn-slo/1"));
+      let objective =
+        match Obs.Json.member "objectives" doc with
+        | Some (Obs.Json.List [ o ]) -> o
+        | _ -> Alcotest.fail "expected exactly one objective"
+      in
+      Alcotest.(check bool) "objective route" true
+        (Obs.Json.member "route" objective = Some (Obs.Json.Str "/map"));
+      Alcotest.(check bool) "histogram named for reproduction" true
+        (Obs.Json.member "histogram" objective
+        = Some (Obs.Json.Str "serve.route_seconds.map"));
+      (match Obs.Json.member "latency" objective with
+      | Some lat ->
+          Alcotest.(check bool) "one served request counted" true
+            (Obs.Json.member "count" lat = Some (Obs.Json.Int 1));
+          Alcotest.(check bool) "good at or under target" true
+            (Obs.Json.member "good" lat = Some (Obs.Json.Int 1));
+          Alcotest.(check bool) "burn rate present" true
+            (Obs.Json.member "burn_rate" lat <> None)
+      | None -> Alcotest.fail "no latency verdict");
+      (match Obs.Json.member "errors" objective with
+      | Some errs ->
+          Alcotest.(check bool) "no errors burned" true
+            (Obs.Json.member "errors" errs = Some (Obs.Json.Int 0))
+      | None -> Alcotest.fail "no error verdict");
+      (match Obs.Json.member "slowest" objective with
+      | Some (Obs.Json.List (ex :: _)) ->
+          Alcotest.(check bool) "exemplar links into /debug/trace" true
+            (match Obs.Json.member "trace" ex with
+            | Some (Obs.Json.Str path) ->
+                String.length path > 13
+                && String.sub path 0 13 = "/debug/trace/"
+            | _ -> false)
+      | _ -> Alcotest.fail "no slowest exemplars");
+      (* the same verdicts reach the scrape as turbosyn_slo_* gauges,
+         and the sampler's own accounting as prof_* series *)
+      let _, _, scrape = http_full ~port ~meth:"GET" ~path:"/metrics" () in
+      (match
+         series_value scrape
+           "turbosyn_slo_latency_burn_rate{route=\"/map\",objective=\"p99\"}"
+       with
+      | None -> Alcotest.fail "no latency burn-rate gauge"
+      | Some burn ->
+          Alcotest.(check bool) "burn within budget" true
+            (burn >= 0. && burn <= 1.));
+      (match series_value scrape "turbosyn_slo_ok{route=\"/map\"}" with
+      | None -> Alcotest.fail "no slo ok gauge"
+      | Some ok -> Alcotest.(check (float 0.)) "objective holding" 1. ok);
+      Alcotest.(check bool) "error budget gauge" true
+        (series_value scrape "turbosyn_slo_error_budget{route=\"/map\"}"
+        = Some 0.001);
+      Alcotest.(check bool) "sampler accounting on the scrape" true
+        (series_value scrape "turbosyn_prof_samples" <> None
+        && series_value scrape "turbosyn_prof_overhead_seconds" <> None);
+      (* the route histogram the verdict reproduces from is scraped *)
+      match
+        series_value scrape "turbosyn_serve_route_seconds_map_count"
+      with
+      | None -> Alcotest.fail "no route histogram on the scrape"
+      | Some n -> Alcotest.(check (float 0.)) "one observation" 1. n)
+
+(* Without objectives or the sampler, the debug endpoints still answer
+   (empty and detached, not 404) — dashboards can always scrape them. *)
+let test_prof_slo_defaults () =
+  with_server (fun port ->
+      let status, _, body =
+        http_full ~port ~meth:"GET" ~path:"/debug/prof" ()
+      in
+      Alcotest.(check int) "prof status" 200 status;
+      (match Obs.Json.of_string body with
+      | Ok doc ->
+          Alcotest.(check bool) "sampler detached" true
+            (Obs.Json.member "attached" doc = Some (Obs.Json.Bool false))
+      | Error e -> Alcotest.failf "/debug/prof: %s" e);
+      let status, _, body = http_full ~port ~meth:"GET" ~path:"/debug/slo" () in
+      Alcotest.(check int) "slo status" 200 status;
+      match Obs.Json.of_string body with
+      | Ok doc ->
+          Alcotest.(check bool) "no objectives" true
+            (Obs.Json.member "objectives" doc = Some (Obs.Json.List []))
+      | Error e -> Alcotest.failf "/debug/slo: %s" e)
+
 let () =
   Alcotest.run "serve"
     [
@@ -643,5 +874,11 @@ let () =
           Alcotest.test_case "request id extraction" `Quick
             test_request_id_extraction;
           Alcotest.test_case "request tracing" `Quick test_request_tracing;
+          Alcotest.test_case "content-length and response bytes" `Quick
+            test_response_bytes;
+          Alcotest.test_case "profiling and slo endpoints" `Quick
+            test_profiling_and_slo;
+          Alcotest.test_case "prof and slo defaults" `Quick
+            test_prof_slo_defaults;
         ] );
     ]
